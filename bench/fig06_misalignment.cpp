@@ -1,0 +1,34 @@
+// Figure 6 — Degradation of SNR due to phase misalignment.
+//
+// Paper method (Section 11.1a): simulate a 2-transmitter, 2-receiver
+// system; compute beamforming vectors from the measured channel; introduce
+// a phase misalignment at the slave; report the average SNR reduction.
+// 100 random channels, misalignment 0..0.5 rad, at 10 and 20 dB SNR.
+//
+// Paper result: ~8 dB reduction at 0.35 rad for the 20 dB system, with
+// high-SNR systems hurt more than low-SNR ones.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/link_model.h"
+
+int main(int argc, char** argv) {
+  using namespace jmb;
+  const auto seed = bench::seed_from(argc, argv);
+  bench::banner("Fig. 6: SNR reduction vs phase misalignment (2x2 ZF)", seed);
+
+  constexpr std::size_t kTrials = 100;
+  std::printf("%-22s %-18s %-18s\n", "misalignment (rad)",
+              "reduction @10 dB", "reduction @20 dB");
+  for (double mis = 0.0; mis <= 0.5001; mis += 0.05) {
+    Rng rng10(seed), rng20(seed);  // same channels for both SNRs
+    const double red10 =
+        core::snr_reduction_db(2, 2, mis, 10.0, kTrials, rng10);
+    const double red20 =
+        core::snr_reduction_db(2, 2, mis, 20.0, kTrials, rng20);
+    std::printf("%-22.2f %-18.2f %-18.2f\n", mis, red10, red20);
+  }
+  std::printf("\npaper: ~8 dB at 0.35 rad / 20 dB SNR; higher-SNR systems"
+              " degrade more.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 7 — CDF of observed phase misalignment under JMB's distributed
+// phase synchronization.
+//
+// Paper method (Section 11.1b): a lead and a slave AP alternate OFDM
+// symbols after the slave applies its sync-header correction; a receiver
+// estimates both channels and tracks the deviation of their relative phase
+// from its first observation.
+//
+// Paper result: median 0.017 rad, 95th percentile 0.05 rad.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/system.h"
+
+int main(int argc, char** argv) {
+  using namespace jmb;
+  const auto seed = bench::seed_from(argc, argv);
+  bench::banner("Fig. 7: CDF of achieved phase misalignment (sample-level)",
+                seed);
+
+  rvec all;
+  Rng rng(seed);
+  constexpr int kTopologies = 6;
+  constexpr std::size_t kRounds = 25;
+  for (int topo = 0; topo < kTopologies; ++topo) {
+    core::SystemParams p;
+    p.n_aps = 2;
+    p.n_clients = 1;
+    p.seed = rng.next_u64();
+    // Static testbed (nodes on ledges/tripods): the probe isolates the
+    // oscillator-sync error, not channel aging.
+    p.coherence_time_s = 1e4;
+    const double snr_db = rng.uniform(18.0, 28.0);
+    core::JmbSystem sys(
+        p, {{core::JmbSystem::gain_for_snr_db(snr_db, 1.0),
+             core::JmbSystem::gain_for_snr_db(snr_db, 1.0)}});
+    if (!sys.run_measurement()) continue;
+    const rvec dev = sys.measure_alignment_series(kRounds, 5e-3);
+    all.insert(all.end(), dev.begin(), dev.end());
+  }
+  if (all.empty()) {
+    std::printf("no samples collected\n");
+    return 1;
+  }
+  std::printf("samples: %zu\n\n", all.size());
+  std::printf("%-12s %-18s\n", "percentile", "misalignment (rad)");
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    std::printf("%-12.2f %-18.4f\n", q, percentile(all, q));
+  }
+  std::printf("\nmedian = %.4f rad (paper: 0.017), 95th = %.4f rad"
+              " (paper: 0.05)\n",
+              median(all), percentile(all, 0.95));
+  return 0;
+}

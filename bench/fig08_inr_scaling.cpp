@@ -1,0 +1,94 @@
+// Figure 8 — Accuracy of phase alignment at scale: interference-to-noise
+// ratio (INR) at a nulled client vs the number of AP-client pairs.
+//
+// Paper method (Section 11.1c): place N APs and N clients in a band, null
+// at one client, measure received-power-to-noise there.
+// Paper result: INR below 1.5 dB even at 10 APs / high SNR, growing
+// ~0.13 dB per added AP-client pair.
+//
+// Two views below:
+//  (a) the misalignment-limited regime the paper's testbed sits in
+//      (well-conditioned channels; residual per-slave phase error from the
+//      Fig. 7 calibration) — this is where the ~0.13 dB/pair slope lives;
+//  (b) a sample-level spot check of the full system (waveforms, real
+//      estimators). Its i.i.d. channel draws are estimation-limited and
+//      worse conditioned than a real room at large N, so its INR runs a
+//      few dB above the paper's; see EXPERIMENTS.md.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/link_model.h"
+#include "core/system.h"
+
+int main(int argc, char** argv) {
+  using namespace jmb;
+  const auto seed = bench::seed_from(argc, argv);
+  bench::banner("Fig. 8: INR at a nulled client vs number of AP-client pairs",
+                seed);
+
+  std::printf("(a) misalignment-limited regime (link model, calibrated"
+              " phase error %.3f rad)\n\n", bench::kCalibratedPhaseSigma);
+  std::printf("%-6s", "N");
+  for (const auto& band : bench::snr_bands()) std::printf(" %-20s", band.name);
+  std::printf("\n");
+
+  std::vector<rvec> series(bench::snr_bands().size());
+  for (std::size_t n = 2; n <= 10; ++n) {
+    std::printf("%-6zu", n);
+    for (std::size_t b = 0; b < bench::snr_bands().size(); ++b) {
+      const auto& band = bench::snr_bands()[b];
+      Rng rng(seed + 1000 * n + b);
+      RunningStats inr;
+      for (int topo = 0; topo < 8; ++topo) {
+        const auto gains = bench::diverse_link_gains(n, n, band, rng);
+        const auto h = core::well_conditioned_channel_set(gains, rng);
+        const auto precoder = core::ZfPrecoder::build(h);
+        if (!precoder) continue;
+        const double eff = rng.uniform(band.lo_db, band.hi_db);
+        const double noise = precoder->scale() * precoder->scale() / from_db(eff);
+        inr.add(core::expected_inr_db(h, bench::kCalibratedPhaseSigma, noise,
+                                      25, rng));
+      }
+      series[b].push_back(inr.mean());
+      std::printf(" %-20.2f", inr.mean());
+    }
+    std::printf("\n");
+  }
+  const rvec& high = series[0];
+  std::printf("\nhigh-SNR INR slope: %.3f dB per added AP-client pair"
+              " (paper: ~0.13)\n", (high.back() - high.front()) / 8.0);
+  std::printf("INR at N=10, high SNR: %.2f dB (paper: < 1.5 dB)\n\n",
+              high.back());
+
+  std::printf("(b) sample-level spot check (full waveforms + estimators,"
+              " high band)\n\n");
+  std::printf("%-6s %-14s\n", "N", "median INR (dB)");
+  Rng rng(seed);
+  for (std::size_t n = 2; n <= 4; ++n) {
+    rvec inrs;
+    for (int topo = 0; topo < 6; ++topo) {
+      core::SystemParams p;
+      p.n_aps = n;
+      p.n_clients = n;
+      p.seed = rng.next_u64();
+      auto gains = bench::diverse_link_gains(n, n, bench::snr_bands()[0], rng);
+      for (auto& row : gains) {
+        double best = 0.0;
+        for (double g : row) best = std::max(best, g);
+        for (double& g : row) {
+          g = std::max(g, best / from_db(6.0)) / core::JmbSystem::kOfdmTimePower;
+        }
+      }
+      core::JmbSystem sys(p, gains);
+      if (!sys.run_measurement()) continue;
+      sys.calibrate_to_effective_snr(20.0);
+      sys.advance_time(2e-3);
+      if (!sys.run_measurement()) continue;
+      sys.advance_time(2e-3);
+      inrs.push_back(sys.measure_inr(topo % n));
+    }
+    if (inrs.empty()) continue;
+    std::printf("%-6zu %-14.2f\n", n, median(inrs));
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 10 — Fairness: CDF of per-client throughput gain.
+//
+// Paper method (Section 11.3): same runs as Fig. 9; per-client gain is the
+// ratio of a node's JMB throughput to its 802.11 throughput.
+//
+// Paper result: all clients see roughly the N-fold gain; the CDF is wider
+// at low SNR (measurement noise spreads per-client rates).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/link_model.h"
+#include "net/mac.h"
+
+int main(int argc, char** argv) {
+  using namespace jmb;
+  const auto seed = bench::seed_from(argc, argv);
+  bench::banner("Fig. 10: CDF of per-client throughput gain", seed);
+  std::printf("per-client gain = client JMB goodput / client 802.11 goodput\n\n");
+
+  constexpr int kTopologies = 12;
+  for (const auto& band : bench::snr_bands()) {
+    std::printf("--- %s ---\n", band.name);
+    std::printf("%-6s %-8s %-8s %-8s %-8s %-8s %-8s\n", "N", "p10", "p25",
+                "p50", "p75", "p90", "spread");
+    for (std::size_t n : {2u, 6u, 10u}) {
+      Rng rng(seed + n);
+      rvec gains_cdf;
+      for (int t = 0; t < kTopologies; ++t) {
+        const auto gains = bench::diverse_link_gains(n, n, band, rng);
+        const core::ChannelMatrixSet h =
+            core::well_conditioned_channel_set(gains, rng);
+        const auto precoder = core::ZfPrecoder::build(h);
+        if (!precoder) continue;
+
+        net::MacParams mac;
+        mac.duration_s = 0.1;
+        mac.airtime.turnaround_s = 16e-6;
+        std::vector<rvec> base_snrs(n);
+        for (std::size_t c = 0; c < n; ++c) {
+          double best = 0.0;
+          for (double g : gains[c]) best = std::max(best, g);
+          base_snrs[c].assign(phy::kNumDataCarriers, best);
+        }
+        mac.seed = rng.next_u64();
+        const net::MacReport base = net::run_baseline_mac(
+            n, [&](std::size_t c) { return net::LinkState{base_snrs[c]}; },
+            mac);
+        Rng err_rng(rng.next_u64());
+        constexpr std::size_t kPool = 16;
+        std::vector<std::vector<rvec>> pool;
+        for (std::size_t i = 0; i < kPool; ++i) {
+          pool.push_back(core::jmb_subcarrier_sinrs(
+              h, *precoder, bench::kCalibratedPhaseSigma, 1.0, err_rng));
+        }
+        std::size_t draw = 0;
+        mac.seed = rng.next_u64();
+        const net::MacReport jmb = net::run_jmb_mac(
+            n, n, n,
+            [&](std::size_t c) {
+              return net::LinkState{pool[(draw++ / n) % kPool][c]};
+            },
+            mac);
+        for (std::size_t c = 0; c < n; ++c) {
+          if (base.per_client[c].goodput_mbps > 0.1) {
+            gains_cdf.push_back(jmb.per_client[c].goodput_mbps /
+                                base.per_client[c].goodput_mbps);
+          }
+        }
+      }
+      if (gains_cdf.empty()) continue;
+      const double p10 = percentile(gains_cdf, 0.10);
+      const double p90 = percentile(gains_cdf, 0.90);
+      std::printf("%-6zu %-8.2f %-8.2f %-8.2f %-8.2f %-8.2f %-8.2f\n", n, p10,
+                  percentile(gains_cdf, 0.25), percentile(gains_cdf, 0.50),
+                  percentile(gains_cdf, 0.75), p90, p90 - p10);
+    }
+    std::printf("\n");
+  }
+  std::printf("paper: per-client gains cluster near N at every SNR; CDFs"
+              " widen at low SNR.\n");
+  return 0;
+}

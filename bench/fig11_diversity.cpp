@@ -1,0 +1,83 @@
+// Figure 11 — Diversity throughput vs SNR for 2..10 APs.
+//
+// Paper method (Section 11.4): one client with roughly equal SNR to all
+// APs; all APs beamform the same stream to it (distributed MRT); compare
+// against a single 802.11 transmitter across the operational SNR range.
+//
+// Paper result: large gains at low SNR — a client with 0 dB links (useless
+// under 802.11) reaches ~21 Mb/s with 10 APs; coherent combining gives an
+// N^2 SNR boost.
+#include <cstdio>
+#include <optional>
+
+#include "bench_util.h"
+#include "core/link_model.h"
+#include "rate/airtime.h"
+#include "rate/effective_snr.h"
+#include "rate/per.h"
+
+namespace {
+
+using namespace jmb;
+
+// Goodput (Mb/s) of back-to-back 1500-byte frames at the best rate the
+// per-subcarrier SNRs support; 0 if even the base rate fails.
+double goodput_mbps(const rvec& sub_snr) {
+  const auto ri = rate::select_rate(sub_snr);
+  if (!ri) return 0.0;
+  const phy::Mcs& mcs = phy::rate_set()[*ri];
+  const double airtime = rate::frame_airtime_s(1500, mcs, 10e6) + 16e-6;
+  const double per = rate::frame_error_prob(sub_snr, *ri, 1500);
+  return 1500.0 * 8.0 * (1.0 - per) / airtime / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto seed = bench::seed_from(argc, argv);
+  bench::banner("Fig. 11: diversity throughput vs per-link SNR", seed);
+  std::printf("single client; all APs beamform the same stream (MRT)\n\n");
+
+  constexpr int kTrials = 40;
+  std::printf("%-10s %-10s", "SNR(dB)", "802.11");
+  for (std::size_t n : {2u, 4u, 6u, 8u, 10u}) std::printf(" %zu APs    ", n);
+  std::printf("\n");
+
+  for (double snr_db = 0.0; snr_db <= 25.01; snr_db += 2.5) {
+    std::printf("%-10.1f", snr_db);
+    // 802.11 baseline: one AP, one Rayleigh/Rician link at snr_db.
+    {
+      Rng rng(seed);
+      RunningStats acc;
+      for (int t = 0; t < kTrials; ++t) {
+        const auto h = core::random_channel_set_with_gains(
+            {{from_db(snr_db)}}, rng, 52, 2.0);
+        rvec sub(h.n_subcarriers());
+        for (std::size_t k = 0; k < sub.size(); ++k) {
+          sub[k] = std::norm(h.at(k)(0, 0));
+        }
+        acc.add(goodput_mbps(sub));
+      }
+      std::printf(" %-9.1f", acc.mean());
+    }
+    for (std::size_t n : {2u, 4u, 6u, 8u, 10u}) {
+      Rng rng(seed);
+      RunningStats acc;
+      for (int t = 0; t < kTrials; ++t) {
+        const auto h = core::random_channel_set_with_gains(
+            {std::vector<double>(n, from_db(snr_db))}, rng, 52, 2.0);
+        std::vector<cvec> row(h.n_subcarriers());
+        for (std::size_t k = 0; k < row.size(); ++k) row[k] = h.at(k).row(0);
+        const rvec sub = core::diversity_subcarrier_snrs(
+            row, bench::kCalibratedPhaseSigma, 1.0, rng);
+        acc.add(goodput_mbps(sub));
+      }
+      std::printf(" %-9.1f", acc.mean());
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper: a 0 dB client reaches ~21 Mb/s with 10 APs while"
+              " 802.11 delivers nothing;\ncoherent MRT combining boosts SNR"
+              " ~ N^2 so curves shift left as N grows.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Hot-path microbenchmarks (google-benchmark): FFT, Viterbi, precoder
+// construction, full TX/RX chains, and the sample-level medium.
+#include <benchmark/benchmark.h>
+
+#include "core/link_model.h"
+#include "core/precoder.h"
+#include "dsp/fft.h"
+#include "dsp/rng.h"
+#include "phy/receiver.h"
+#include "phy/transmitter.h"
+#include "phy/viterbi.h"
+
+namespace {
+
+using namespace jmb;
+
+void BM_Fft64(benchmark::State& state) {
+  Rng rng(1);
+  cvec x = rng.cgaussian_vec(64);
+  for (auto _ : state) {
+    cvec y = x;
+    fft_inplace(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Fft64);
+
+void BM_Fft1024(benchmark::State& state) {
+  Rng rng(2);
+  cvec x = rng.cgaussian_vec(1024);
+  for (auto _ : state) {
+    cvec y = x;
+    fft_inplace(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Fft1024);
+
+void BM_ViterbiDecode1500B(benchmark::State& state) {
+  Rng rng(3);
+  phy::BitVec bits(12000);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.uniform_int(0, 1));
+  const phy::BitVec coded = phy::conv_encode(bits);
+  std::vector<double> llr(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) llr[i] = coded[i] ? -2.0 : 2.0;
+  for (auto _ : state) {
+    auto out = phy::viterbi_decode(llr, bits.size(), false);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1500);
+}
+BENCHMARK(BM_ViterbiDecode1500B);
+
+void BM_TxChain1500B(benchmark::State& state) {
+  Rng rng(4);
+  phy::ByteVec psdu(1500);
+  for (auto& b : psdu) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const phy::Transmitter tx;
+  const phy::Mcs mcs{phy::Modulation::kQam64, phy::CodeRate::kThreeQuarters};
+  for (auto _ : state) {
+    auto frame = tx.build_frame(psdu, mcs);
+    benchmark::DoNotOptimize(frame.samples.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1500);
+}
+BENCHMARK(BM_TxChain1500B);
+
+void BM_RxChain1500B(benchmark::State& state) {
+  Rng rng(5);
+  phy::ByteVec psdu(1500);
+  for (auto& b : psdu) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const phy::Transmitter tx;
+  const phy::Receiver rx;
+  const phy::Mcs mcs{phy::Modulation::kQam16, phy::CodeRate::kHalf};
+  auto frame = tx.build_frame(psdu, mcs);
+  cvec buf(200 + frame.samples.size());
+  const double nv = mean_power(frame.samples) / from_db(25.0);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = rng.cgaussian(nv);
+  for (std::size_t i = 0; i < frame.samples.size(); ++i) {
+    buf[100 + i] += frame.samples[i];
+  }
+  for (auto _ : state) {
+    auto res = rx.receive(buf);
+    benchmark::DoNotOptimize(res.psdu.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1500);
+}
+BENCHMARK(BM_RxChain1500B);
+
+void BM_ZfPrecoderBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const core::ChannelMatrixSet h = core::random_channel_set(n, n, rng);
+  for (auto _ : state) {
+    auto p = core::ZfPrecoder::build(h);
+    benchmark::DoNotOptimize(p->scale());
+  }
+}
+BENCHMARK(BM_ZfPrecoderBuild)->Arg(2)->Arg(4)->Arg(10);
+
+void BM_BeamformingSinr10x10(benchmark::State& state) {
+  Rng rng(7);
+  const core::ChannelMatrixSet h = core::random_channel_set(10, 10, rng);
+  rvec phase(10, 0.01);
+  for (auto _ : state) {
+    auto rep = core::beamforming_sinr(h, phase, 1.0);
+    benchmark::DoNotOptimize(rep.sinr.data());
+  }
+}
+BENCHMARK(BM_BeamformingSinr10x10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Upgrading an 802.11n deployment (Section 6): keep the clients, replace
+// only the AP infrastructure. Two 2-antenna APs measure channels through
+// standard 2-stream soundings with the reference-antenna trick, then serve
+// two stock 2x2 clients with four concurrent streams.
+//
+//   ./build/examples/wifi_n_upgrade [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/compat11n.h"
+#include "rate/airtime.h"
+#include "rate/effective_snr.h"
+#include "rate/per.h"
+
+namespace {
+
+double stream_goodput_mbps(const jmb::rvec& sub_snr) {
+  using namespace jmb;
+  const auto ri = rate::select_rate(sub_snr);
+  if (!ri) return 0.0;
+  const phy::Mcs& mcs = phy::rate_set()[*ri];
+  const double airtime = rate::frame_airtime_s(1500, mcs, 20e6) + 16e-6;
+  return 1500.0 * 8.0 * (1.0 - rate::frame_error_prob(sub_snr, *ri, 1500)) /
+         airtime / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jmb;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+  Rng rng(seed);
+
+  core::Compat11nParams p;
+  p.effective_snr_db = 22.0;
+  const core::Compat11nResult r = core::run_compat11n(p, rng);
+
+  std::printf("Reference-antenna channel measurement (Section 6.2):\n");
+  std::printf("  reconstruction error with the trick: %.1f%%\n",
+              100.0 * r.reconstruction_rel_err);
+  std::printf("  naive stitching of stale soundings:  %.1f%%\n\n",
+              100.0 * r.naive_rel_err);
+
+  double jmb = 0.0, base = 0.0;
+  std::printf("per-stream goodput (20 MHz, 1500-byte frames):\n");
+  for (std::size_t s = 0; s < r.jmb_stream_sinr.size(); ++s) {
+    const double g = stream_goodput_mbps(r.jmb_stream_sinr[s]);
+    std::printf("  JMB stream %zu (client %zu, antenna %zu): %.1f Mb/s\n", s,
+                s / 2, s % 2, g);
+    jmb += g;
+  }
+  for (const rvec& s : r.baseline_stream_snr) base += stream_goodput_mbps(s);
+  base /= 2.0;  // stock 802.11n: clients time-share the channel
+
+  std::printf("\ntotal with stock 802.11n (time-shared 2x2): %.1f Mb/s\n", base);
+  std::printf("total with JMB APs (4 concurrent streams):  %.1f Mb/s\n", jmb);
+  std::printf("gain: %.2fx  (paper: 1.67-1.83x, 2x theoretical)\n",
+              base > 0 ? jmb / base : 0.0);
+  std::printf("\nNo client modification: the sync header hides in the legacy"
+              " prefix of\nmixed-mode 802.11n frames, and channel snapshots"
+              " come from standard CSI\nfeedback stitched with the reference"
+              " antenna.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "chan/medium.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/resampler.h"
+
+namespace jmb::chan {
+
+Medium::Medium(MediumParams p, std::uint64_t noise_seed)
+    : params_(p), noise_rng_(noise_seed) {}
+
+NodeId Medium::add_node(OscillatorParams osc, double noise_var) {
+  osc.sample_rate_hz = params_.sample_rate_hz;
+  nodes_.push_back(Node{Oscillator(osc), noise_var});
+  return nodes_.size() - 1;
+}
+
+const Oscillator& Medium::oscillator(NodeId id) const {
+  return nodes_.at(id).osc;
+}
+
+double Medium::noise_var(NodeId id) const { return nodes_.at(id).noise_var; }
+
+void Medium::set_noise_var(NodeId id, double noise_var) {
+  nodes_.at(id).noise_var = noise_var;
+}
+
+void Medium::set_link(NodeId tx, NodeId rx, FadingParams fading) {
+  if (tx >= nodes_.size() || rx >= nodes_.size()) {
+    throw std::invalid_argument("Medium::set_link: unknown node");
+  }
+  fading.sample_rate_hz = params_.sample_rate_hz;
+  links_[{tx, rx}] = std::make_unique<FadingChannel>(fading);
+}
+
+FadingChannel* Medium::link(NodeId tx, NodeId rx) {
+  const auto it = links_.find({tx, rx});
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+const FadingChannel* Medium::link(NodeId tx, NodeId rx) const {
+  const auto it = links_.find({tx, rx});
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+void Medium::evolve_links_to(double t_seconds) {
+  for (auto& [key, chan] : links_) chan->evolve_to(t_seconds);
+}
+
+void Medium::transmit(NodeId tx, double start_s, cvec samples) {
+  if (tx >= nodes_.size()) {
+    throw std::invalid_argument("Medium::transmit: unknown node");
+  }
+  transmissions_.push_back({tx, start_s, std::move(samples)});
+}
+
+void Medium::clear_transmissions() { transmissions_.clear(); }
+
+cvec Medium::receive(NodeId rx, double start_s, std::size_t n) {
+  if (rx >= nodes_.size()) {
+    throw std::invalid_argument("Medium::receive: unknown node");
+  }
+  const Node& rxn = nodes_[rx];
+  const double fs = params_.sample_rate_hz;
+  const double fs_rx = rxn.osc.sample_rate_hz();
+
+  // Start with the receiver's own thermal noise.
+  cvec y(n);
+  for (cplx& v : y) v = noise_rng_.cgaussian(rxn.noise_var);
+
+  for (const Transmission& t : transmissions_) {
+    if (t.tx == rx) continue;  // half-duplex: a node doesn't hear itself
+    const FadingChannel* ch = link(t.tx, rx);
+    if (ch == nullptr) continue;
+
+    const Node& txn = nodes_[t.tx];
+    const double fs_tx = txn.osc.sample_rate_hz();
+    const double delta_cfo = txn.osc.cfo_hz() - rxn.osc.cfo_hz();
+
+    // Multipath at nominal tap spacing, then the pair-specific time base:
+    // receiver sample m is taken at true time  t_m = start_s + m / fs_rx,
+    // and sees the transmit waveform at position (t_m - t0 - delay) * fs_tx.
+    const cvec conv = ch->apply(t.samples);
+    const double delay_s = ch->delay_samples() / fs;
+    const double t0 = t.start_s + delay_s;
+
+    // Quick reject: does this burst overlap the window at all?
+    const double burst_end = t0 + static_cast<double>(conv.size()) / fs_tx;
+    const double win_start = start_s;
+    const double win_end = start_s + static_cast<double>(n) / fs_rx;
+    if (burst_end < win_start || t0 > win_end) continue;
+
+    for (std::size_t m = 0; m < n; ++m) {
+      const double tm = start_s + static_cast<double>(m) / fs_rx;
+      const double pos = (tm - t0) * fs_tx;
+      if (pos < 0.0 || pos > static_cast<double>(conv.size() - 1)) continue;
+      const cplx s = interp_cubic(conv, pos);
+      if (s == cplx{}) continue;
+      // Oscillator rotations evaluated at true time.
+      const double det = kTwoPi * delta_cfo * tm;
+      const auto idx = static_cast<std::uint64_t>(std::max(0.0, tm * fs));
+      const double pn = txn.osc.phase_noise_at(idx) - rxn.osc.phase_noise_at(idx);
+      y[m] += s * phasor(det + pn);
+    }
+  }
+  return y;
+}
+
+cvec Medium::true_channel(NodeId tx, NodeId rx, std::size_t nfft) const {
+  const FadingChannel* ch = link(tx, rx);
+  if (ch == nullptr) {
+    throw std::invalid_argument("Medium::true_channel: no such link");
+  }
+  cvec h = ch->frequency_response(nfft);
+  // Fractional-delay phase ramp: delay d samples multiplies bin k by
+  // e^{-j 2 pi k d / nfft} (k interpreted as signed logical index).
+  const double d = ch->delay_samples();
+  for (std::size_t b = 0; b < nfft; ++b) {
+    const int k = (b <= nfft / 2) ? static_cast<int>(b)
+                                  : static_cast<int>(b) - static_cast<int>(nfft);
+    h[b] *= phasor(-kTwoPi * static_cast<double>(k) * d / static_cast<double>(nfft));
+  }
+  return h;
+}
+
+}  // namespace jmb::chan

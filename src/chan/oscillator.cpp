@@ -1,0 +1,72 @@
+#include "chan/oscillator.h"
+
+#include <cmath>
+
+namespace jmb::chan {
+
+namespace {
+
+// splitmix64: cheap stateless hash -> 64 uniform bits per (seed, counter).
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// One standard Gaussian from two hashed uniforms (Box-Muller). The seed is
+// pre-mixed so that distinct seeds yield independent streams even for
+// overlapping counter ranges (nodes must not share phase noise).
+double hashed_gaussian(std::uint64_t seed, std::uint64_t n) {
+  const std::uint64_t key = splitmix64(seed);
+  const std::uint64_t a = splitmix64(key ^ splitmix64(2 * n + 1));
+  const std::uint64_t b = splitmix64(key ^ splitmix64(2 * n + 2));
+  const double u1 = (static_cast<double>(a >> 11) + 0.5) * 0x1.0p-53;
+  const double u2 = (static_cast<double>(b >> 11) + 0.5) * 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+}  // namespace
+
+Oscillator::Oscillator(OscillatorParams p) : params_(p) {
+  // Wiener phase noise with linewidth B: Var[theta(t+dt) - theta(t)] =
+  // 2 pi B dt. Per nominal sample: sigma^2 = 2 pi B / fs.
+  sigma_per_sample_ =
+      std::sqrt(kTwoPi * params_.phase_noise_linewidth_hz / params_.sample_rate_hz);
+  checkpoints_[0] = 0.0;
+}
+
+double Oscillator::increment(std::uint64_t n) const {
+  return sigma_per_sample_ * hashed_gaussian(params_.seed, n);
+}
+
+double Oscillator::phase_noise_at(std::uint64_t n) const {
+  if (sigma_per_sample_ == 0.0) return 0.0;
+  // Start from the better of: the nearest checkpoint at or below n, or the
+  // previous query's position (receive loops walk near-monotonically).
+  auto it = checkpoints_.upper_bound(n);
+  --it;  // checkpoints_[0] always exists
+  std::uint64_t idx = it->first;
+  double phase = it->second;
+  if (last_idx_ <= n && last_idx_ > idx) {
+    idx = last_idx_;
+    phase = last_phase_;
+  }
+  while (idx < n) {
+    ++idx;
+    phase += increment(idx);
+    if (idx % kCheckpointStride == 0) checkpoints_[idx] = phase;
+  }
+  last_idx_ = n;
+  last_phase_ = phase;
+  return phase;
+}
+
+cplx Oscillator::rotation_at(double t_seconds) const {
+  const double det = kTwoPi * cfo_hz() * t_seconds;
+  const auto n = static_cast<std::uint64_t>(
+      std::max(0.0, t_seconds * params_.sample_rate_hz));
+  return phasor(det + phase_noise_at(n));
+}
+
+}  // namespace jmb::chan

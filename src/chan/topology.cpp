@@ -1,0 +1,113 @@
+#include "chan/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/types.h"
+
+namespace jmb::chan {
+
+double Position::distance_to(const Position& o) const {
+  const double dx = x - o.x, dy = y - o.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double propagation_delay_s(double distance_m) {
+  constexpr double kC = 299792458.0;
+  return distance_m / kC;
+}
+
+namespace {
+
+Link make_link(const Position& ap, const Position& cl,
+               const PathLossParams& pl, Rng& rng) {
+  Link link;
+  link.distance_m = std::max(ap.distance_to(cl), 0.5);
+  link.line_of_sight = !rng.bernoulli(pl.nlos_probability);
+  const double n = link.line_of_sight ? pl.exponent_los : pl.exponent_nlos;
+  const double loss_db = pl.ref_loss_db + 10.0 * n * std::log10(link.distance_m) +
+                         rng.gaussian(pl.shadowing_sigma_db);
+  const double rx_dbm = pl.tx_power_dbm - loss_db;
+  link.snr_db = rx_dbm - pl.noise_floor_dbm;
+  link.gain = from_db(-loss_db);
+  return link;
+}
+
+Position sample_perimeter(const RoomParams& room, Rng& rng) {
+  // APs sit on ledges: within 0.5 m of a wall.
+  const double margin = 0.5;
+  const int side = rng.uniform_int(0, 3);
+  Position p;
+  switch (side) {
+    case 0: p = {rng.uniform(0, room.width_m), rng.uniform(0, margin)}; break;
+    case 1: p = {rng.uniform(0, room.width_m), room.height_m - rng.uniform(0, margin)}; break;
+    case 2: p = {rng.uniform(0, margin), rng.uniform(0, room.height_m)}; break;
+    default: p = {room.width_m - rng.uniform(0, margin), rng.uniform(0, room.height_m)}; break;
+  }
+  return p;
+}
+
+}  // namespace
+
+Topology sample_topology(std::size_t n_aps, std::size_t n_clients,
+                         const RoomParams& room, Rng& rng) {
+  Topology topo;
+  topo.aps.reserve(n_aps);
+  for (std::size_t i = 0; i < n_aps; ++i) {
+    topo.aps.push_back(sample_perimeter(room, rng));
+  }
+  topo.clients.reserve(n_clients);
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    topo.clients.push_back({rng.uniform(1.0, room.width_m - 1.0),
+                            rng.uniform(1.0, room.height_m - 1.0)});
+  }
+  topo.links.resize(n_clients);
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    topo.links[c].reserve(n_aps);
+    for (std::size_t a = 0; a < n_aps; ++a) {
+      topo.links[c].push_back(make_link(topo.aps[a], topo.clients[c],
+                                        room.path_loss, rng));
+    }
+  }
+  return topo;
+}
+
+Topology sample_topology_in_band(std::size_t n_aps, std::size_t n_clients,
+                                 const RoomParams& room, Rng& rng,
+                                 double lo_db, double hi_db, int max_tries) {
+  Topology best;
+  double best_violation = 1e18;
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    Topology t = sample_topology(n_aps, n_clients, room, rng);
+    double violation = 0.0;
+    for (std::size_t c = 0; c < n_clients; ++c) {
+      double snr = -1e18;
+      for (const Link& l : t.links[c]) snr = std::max(snr, l.snr_db);
+      if (snr < lo_db) violation += lo_db - snr;
+      if (snr > hi_db) violation += snr - hi_db;
+    }
+    if (violation < best_violation) {
+      best_violation = violation;
+      best = std::move(t);
+      if (best_violation == 0.0) return best;
+    }
+  }
+  // Clamp the stragglers into the band by scaling all of a client's link
+  // gains (equivalent to moving the client slightly / adjusting tx power).
+  for (std::size_t c = 0; c < best.clients.size(); ++c) {
+    double snr = -1e18;
+    for (const Link& l : best.links[c]) snr = std::max(snr, l.snr_db);
+    double shift_db = 0.0;
+    if (snr < lo_db) shift_db = lo_db - snr;
+    if (snr > hi_db) shift_db = hi_db - snr;
+    if (shift_db != 0.0) {
+      for (Link& l : best.links[c]) {
+        l.snr_db += shift_db;
+        l.gain *= from_db(shift_db);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace jmb::chan

@@ -1,0 +1,71 @@
+// Conference-room geometry: AP positions on ledges around the perimeter,
+// clients scattered inside, log-distance path loss with lognormal
+// shadowing and a LOS/NLOS mix — reproducing the "significantly diverse
+// SNRs ... due to obstacles such as pillars, furniture, ledges" of the
+// paper's testbed (Section 10c, Fig. 5).
+#pragma once
+
+#include <vector>
+
+#include "dsp/rng.h"
+
+namespace jmb::chan {
+
+struct Position {
+  double x = 0.0;  ///< meters
+  double y = 0.0;
+
+  [[nodiscard]] double distance_to(const Position& o) const;
+};
+
+struct PathLossParams {
+  double ref_loss_db = 40.0;     ///< loss at 1 m (2.4 GHz indoor)
+  double exponent_los = 2.0;
+  double exponent_nlos = 3.2;
+  double shadowing_sigma_db = 3.0;
+  double nlos_probability = 0.35;
+  double tx_power_dbm = 10.0;
+  double noise_floor_dbm = -91.0;  ///< thermal + NF over 10 MHz
+};
+
+struct Link {
+  double gain = 0.0;      ///< linear power gain (signal power / tx power)
+  bool line_of_sight = true;
+  double distance_m = 0.0;
+  double snr_db = 0.0;    ///< at the configured tx power / noise floor
+};
+
+/// A sampled room layout: positions and the (AP x client) link budget.
+struct Topology {
+  std::vector<Position> aps;
+  std::vector<Position> clients;
+  /// links[client][ap]
+  std::vector<std::vector<Link>> links;
+};
+
+struct RoomParams {
+  double width_m = 18.0;
+  double height_m = 12.0;
+  PathLossParams path_loss;
+};
+
+/// Sample a random placement of n_aps APs (perimeter ledges) and n_clients
+/// clients (interior), with per-link path loss.
+[[nodiscard]] Topology sample_topology(std::size_t n_aps, std::size_t n_clients,
+                                       const RoomParams& room, Rng& rng);
+
+/// Resample client positions until every client's *best-AP* SNR falls in
+/// [lo_db, hi_db] — how the paper picks topologies per SNR range
+/// ("place nodes ... such that all clients obtain an effective SNR in the
+/// desired range"). Gives up after `max_tries` and returns the closest
+/// attempt, clamping link gains into the band.
+[[nodiscard]] Topology sample_topology_in_band(std::size_t n_aps,
+                                               std::size_t n_clients,
+                                               const RoomParams& room, Rng& rng,
+                                               double lo_db, double hi_db,
+                                               int max_tries = 200);
+
+/// Propagation delay over distance d (speed of light), in seconds.
+[[nodiscard]] double propagation_delay_s(double distance_m);
+
+}  // namespace jmb::chan

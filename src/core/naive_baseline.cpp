@@ -1,0 +1,28 @@
+#include "core/naive_baseline.h"
+
+#include <cmath>
+
+namespace jmb::core {
+
+double naive_phase_error(double elapsed_s, const NaiveSyncParams& p, Rng& rng) {
+  // One-shot CFO estimate error rotates linearly; Wiener phase noise adds
+  // a random walk with variance 2 pi B t.
+  const double cfo_err = rng.gaussian(p.cfo_estimation_error_hz);
+  const double drift = kTwoPi * cfo_err * elapsed_s;
+  const double pn =
+      rng.gaussian(std::sqrt(kTwoPi * p.phase_noise_linewidth_hz * elapsed_s));
+  return wrap_phase(drift + pn);
+}
+
+double jmb_phase_error(double time_since_header_s, double residual_cfo_hz,
+                       double resync_error_rad,
+                       double phase_noise_linewidth_hz, Rng& rng) {
+  const double resync = rng.gaussian(resync_error_rad);
+  const double drift =
+      kTwoPi * rng.gaussian(residual_cfo_hz) * time_since_header_s;
+  const double pn = rng.gaussian(
+      std::sqrt(kTwoPi * phase_noise_linewidth_hz * time_since_header_s));
+  return wrap_phase(resync + drift + pn);
+}
+
+}  // namespace jmb::core

@@ -1,0 +1,33 @@
+// The strawman the paper argues against (Sections 1 and 5.2): estimate the
+// lead-slave frequency offset once, then *predict* phase as
+// delta_phi = delta_omega_hat * t. Any estimation error accumulates
+// linearly in elapsed time — 10 Hz of error is 0.35 rad after 5.5 ms —
+// while JMB's per-packet direct measurement bounds the error to the
+// within-packet drift.
+#pragma once
+
+#include "dsp/rng.h"
+
+namespace jmb::core {
+
+struct NaiveSyncParams {
+  double cfo_estimation_error_hz = 10.0;  ///< std dev of the one-shot estimate
+  double phase_noise_linewidth_hz = 0.1;  ///< Wiener linewidth of the pair
+};
+
+/// Phase error (radians) of naive CFO-prediction synchronization after
+/// `elapsed_s` seconds since the one-time calibration, for one realization
+/// of estimation error + accumulated phase noise.
+[[nodiscard]] double naive_phase_error(double elapsed_s, const NaiveSyncParams& p,
+                                       Rng& rng);
+
+/// Phase error of JMB's scheme at the same elapsed time: error resets at
+/// every packet's sync header (direct measurement with `resync_error_rad`
+/// jitter) and only the within-packet residual-CFO drift accumulates,
+/// bounded by `time_since_header_s`.
+[[nodiscard]] double jmb_phase_error(double time_since_header_s,
+                                     double residual_cfo_hz,
+                                     double resync_error_rad,
+                                     double phase_noise_linewidth_hz, Rng& rng);
+
+}  // namespace jmb::core

@@ -1,0 +1,80 @@
+#include "core/precoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/pinv.h"
+
+namespace jmb::core {
+
+std::optional<ZfPrecoder> ZfPrecoder::build(const ChannelMatrixSet& h,
+                                            double per_antenna_power) {
+  if (h.n_subcarriers() == 0 || h.n_clients() == 0 || h.n_tx() == 0) {
+    throw std::invalid_argument("ZfPrecoder: empty channel set");
+  }
+  if (h.n_tx() < h.n_clients()) {
+    throw std::invalid_argument(
+        "ZfPrecoder: need at least as many AP antennas as clients");
+  }
+  ZfPrecoder p;
+  p.w_.reserve(h.n_subcarriers());
+  for (std::size_t k = 0; k < h.n_subcarriers(); ++k) {
+    auto w = pinv(h.at(k));
+    if (!w) return std::nullopt;
+    p.w_.push_back(std::move(*w));
+  }
+  // One global scale: with unit-power stream symbols, AP antenna i spends
+  // mean_k row_power(W_k, i) per subcarrier. Scale so the hungriest
+  // antenna hits its budget exactly.
+  double worst = 0.0;
+  for (std::size_t i = 0; i < h.n_tx(); ++i) {
+    double mean_row = 0.0;
+    for (const CMatrix& w : p.w_) mean_row += w.row_power(i);
+    mean_row /= static_cast<double>(p.w_.size());
+    worst = std::max(worst, mean_row);
+  }
+  if (worst <= 0.0) return std::nullopt;
+  p.scale_ = std::sqrt(per_antenna_power / worst);
+  for (CMatrix& w : p.w_) w *= cplx{p.scale_, 0.0};
+  return p;
+}
+
+MrtPrecoder MrtPrecoder::build(const std::vector<cvec>& h_per_sc,
+                               double per_antenna_power) {
+  if (h_per_sc.empty() || h_per_sc[0].empty()) {
+    throw std::invalid_argument("MrtPrecoder: empty channel");
+  }
+  const std::size_t n_tx = h_per_sc[0].size();
+  // Each AP transmits conj(h_i)/|h_i| per subcarrier (paper Section 8:
+  // h*_{1i}/||h_{1i}|| x_1) — full per-antenna power, phase-aligned at the
+  // client. Guard the degenerate zero-channel case.
+  MrtPrecoder p;
+  p.w_.reserve(h_per_sc.size());
+  const double amp = std::sqrt(per_antenna_power);
+  for (const cvec& h : h_per_sc) {
+    if (h.size() != n_tx) {
+      throw std::invalid_argument("MrtPrecoder: ragged channel set");
+    }
+    cvec w(n_tx);
+    for (std::size_t i = 0; i < n_tx; ++i) {
+      const double mag = std::abs(h[i]);
+      w[i] = (mag > 1e-15) ? std::conj(h[i]) / mag * amp : cplx{amp, 0.0};
+    }
+    p.w_.push_back(std::move(w));
+  }
+  return p;
+}
+
+cplx MrtPrecoder::combined_gain(std::size_t used_idx,
+                                const cvec& h_subcarrier) const {
+  const cvec& w = w_.at(used_idx);
+  if (w.size() != h_subcarrier.size()) {
+    throw std::invalid_argument("MrtPrecoder::combined_gain: size mismatch");
+  }
+  cplx acc{};
+  for (std::size_t i = 0; i < w.size(); ++i) acc += h_subcarrier[i] * w[i];
+  return acc;
+}
+
+}  // namespace jmb::core

@@ -1,0 +1,78 @@
+// Joint beamforming precoders (Section 4 and Section 8).
+//
+// Multiplexing: per-subcarrier zero-forcing, W_k = pinv(H_k), scaled by a
+// single scalar so no AP antenna exceeds its power budget ("the APs also
+// need to normalize H^{-1} to respect power constraints"). The effective
+// channel every client sees is scale * I.
+//
+// Diversity: distributed maximum-ratio transmission to one client,
+// w_i = h_i* / |h_i| per AP — SNR grows ~ N^2 with coherent combining.
+#pragma once
+
+#include <optional>
+
+#include "core/types.h"
+
+namespace jmb::core {
+
+/// Zero-forcing precoder across all used subcarriers.
+class ZfPrecoder {
+ public:
+  /// Build from the measured channel set. `per_antenna_power` is each AP
+  /// antenna's average transmit power budget per subcarrier. Returns
+  /// nullopt if any subcarrier's channel is (numerically) rank deficient.
+  [[nodiscard]] static std::optional<ZfPrecoder> build(
+      const ChannelMatrixSet& h, double per_antenna_power = 1.0);
+
+  /// W for one used subcarrier (n_tx x n_clients), scale included.
+  [[nodiscard]] const CMatrix& weights(std::size_t used_idx) const {
+    return w_[used_idx];
+  }
+
+  /// The common effective gain: clients receive scale * x (per subcarrier).
+  [[nodiscard]] double scale() const { return scale_; }
+
+  /// Predicted post-beamforming SNR (linear) at every client for a given
+  /// noise power — scale^2 / noise, identical across clients by design
+  /// ("each client in a MegaMIMO joint transmission gets the same rate").
+  [[nodiscard]] double predicted_snr(double noise_power) const {
+    return scale_ * scale_ / noise_power;
+  }
+
+  /// Per-subcarrier transmit vector for stream symbols x (one per client).
+  [[nodiscard]] cvec transmit_vector(std::size_t used_idx, const cvec& x) const {
+    return w_[used_idx] * x;
+  }
+
+  [[nodiscard]] std::size_t n_tx() const { return w_.empty() ? 0 : w_[0].rows(); }
+  [[nodiscard]] std::size_t n_streams() const {
+    return w_.empty() ? 0 : w_[0].cols();
+  }
+
+ private:
+  std::vector<CMatrix> w_;
+  double scale_ = 0.0;
+};
+
+/// Distributed MRT weights for a single client: w_k[i] =
+/// conj(h_k[i]) / max_i(rms |h[i]|), normalized so each AP antenna
+/// respects the per-antenna budget while transmitting at full gain.
+class MrtPrecoder {
+ public:
+  /// h: one row of channels, h[used_idx][tx antenna].
+  [[nodiscard]] static MrtPrecoder build(const std::vector<cvec>& h_per_sc,
+                                         double per_antenna_power = 1.0);
+
+  [[nodiscard]] const cvec& weights(std::size_t used_idx) const {
+    return w_[used_idx];
+  }
+
+  /// Post-combining signal amplitude gain per subcarrier: sum_i h_i w_i.
+  [[nodiscard]] cplx combined_gain(std::size_t used_idx,
+                                   const cvec& h_subcarrier) const;
+
+ private:
+  std::vector<cvec> w_;
+};
+
+}  // namespace jmb::core

@@ -1,0 +1,482 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.h"
+#include "phy/ofdm.h"
+#include "phy/preamble.h"
+#include "phy/sync.h"
+
+namespace jmb::core {
+
+namespace {
+
+/// Samples of slack kept before scheduled frames in receive buffers.
+constexpr std::size_t kMargin = 100;
+
+}  // namespace
+
+double JmbSystem::gain_for_snr_db(double snr_db, double noise_var) {
+  return noise_var * from_db(snr_db) / kOfdmTimePower;
+}
+
+JmbSystem::JmbSystem(SystemParams params,
+                     const std::vector<std::vector<double>>& link_gains)
+    : params_(params),
+      medium_({params.phy.sample_rate_hz}, params.seed ^ 0xfeedbeef),
+      rng_(params.seed),
+      h_(params.n_clients, params.n_aps),
+      tx_(params.phy),
+      rx_(params.phy) {
+  if (link_gains.size() != params.n_clients) {
+    throw std::invalid_argument("JmbSystem: link_gains rows != n_clients");
+  }
+  client_noise_var_ = params.noise_var;
+  // Register APs, then clients.
+  for (std::size_t a = 0; a < params.n_aps; ++a) {
+    ap_nodes_.push_back(medium_.add_node(
+        {.ppm = rng_.uniform(-params.ap_ppm_range, params.ap_ppm_range),
+         .carrier_hz = params.phy.carrier_hz,
+         .sample_rate_hz = params.phy.sample_rate_hz,
+         .phase_noise_linewidth_hz = params.phase_noise_linewidth_hz,
+         .seed = rng_.next_u64()},
+        params.noise_var));
+    // Deterministic per-AP transmit timing skew: the lead anchors t = 0.
+    ap_tx_offset_s_.push_back(
+        a == 0 ? 0.0
+               : rng_.uniform(-params.fixed_timing_offset_s,
+                              params.fixed_timing_offset_s));
+  }
+  for (std::size_t c = 0; c < params.n_clients; ++c) {
+    client_nodes_.push_back(medium_.add_node(
+        {.ppm = rng_.uniform(-params.client_ppm_range, params.client_ppm_range),
+         .carrier_hz = params.phy.carrier_hz,
+         .sample_rate_hz = params.phy.sample_rate_hz,
+         .phase_noise_linewidth_hz = params.phase_noise_linewidth_hz,
+         .seed = rng_.next_u64()},
+        params.noise_var));
+  }
+  // AP -> client links.
+  for (std::size_t c = 0; c < params.n_clients; ++c) {
+    if (link_gains[c].size() != params.n_aps) {
+      throw std::invalid_argument("JmbSystem: link_gains cols != n_aps");
+    }
+    for (std::size_t a = 0; a < params.n_aps; ++a) {
+      medium_.set_link(ap_nodes_[a], client_nodes_[c],
+                       {.gain = link_gains[c][a],
+                        .n_taps = params.n_taps,
+                        .tap_decay = params.tap_decay,
+                        .rice_k = params.rice_k,
+                        .delay_s = rng_.uniform(params.prop_delay_min_s,
+                                                params.prop_delay_max_s),
+                        .coherence_time_s = params.coherence_time_s,
+                        .sample_rate_hz = params.phy.sample_rate_hz,
+                        .seed = rng_.next_u64()});
+    }
+  }
+  // Lead -> slave links (strong: APs share the ceiling ledges). Rician
+  // with a hefty LOS term keeps the sync-header SNR predictably high.
+  const double ap_gain =
+      gain_for_snr_db(params.ap_ap_snr_db, params.noise_var);
+  for (std::size_t a = 1; a < params.n_aps; ++a) {
+    medium_.set_link(ap_nodes_[0], ap_nodes_[a],
+                     {.gain = ap_gain,
+                      .n_taps = 2,
+                      .tap_decay = 0.2,
+                      .rice_k = 10.0,
+                      .delay_s = rng_.uniform(5e-9, 40e-9),
+                      .coherence_time_s = params.coherence_time_s,
+                      .sample_rate_hz = params.phy.sample_rate_hz,
+                      .seed = rng_.next_u64()});
+    slave_sync_.emplace_back(PhaseSyncParams{params.phy.sample_rate_hz, 0.05});
+  }
+}
+
+void JmbSystem::advance_time(double dt_seconds) {
+  if (dt_seconds < 0) throw std::invalid_argument("advance_time: negative dt");
+  now_ += dt_seconds;
+}
+
+double JmbSystem::predicted_beamforming_snr_db() const {
+  if (!precoder_) throw std::logic_error("predicted_beamforming_snr_db: not ready");
+  // Subcarrier symbols of unit power arrive with amplitude scale; the
+  // client-side per-subcarrier noise is flat. Frequency-domain noise after
+  // an unnormalized 64-point FFT is 64x the per-sample noise power.
+  return to_db(precoder_->predicted_snr(client_noise_var_ * 64.0));
+}
+
+double JmbSystem::calibrate_to_effective_snr(double target_db) {
+  const double delta_db = predicted_beamforming_snr_db() - target_db;
+  client_noise_var_ *= from_db(delta_db);
+  for (chan::NodeId id : client_nodes_) {
+    medium_.set_noise_var(id, client_noise_var_);
+  }
+  return delta_db;
+}
+
+bool JmbSystem::run_measurement() {
+  medium_.clear_transmissions();
+  medium_.evolve_links_to(now_);
+  const double fs = params_.phy.sample_rate_hz;
+  const MeasurementSchedule sched{params_.n_aps, params_.measurement_rounds};
+  const double frame_t = now_;
+
+  medium_.transmit(ap_nodes_[0], frame_t, sched.ap_waveform(0));
+  for (std::size_t a = 1; a < params_.n_aps; ++a) {
+    const double jitter = rng_.gaussian(params_.trigger_jitter_s);
+    medium_.transmit(ap_nodes_[a], frame_t + ap_tx_offset_s_[a] + jitter,
+                     sched.ap_waveform(a));
+  }
+
+  // Slaves capture their reference channel from the lead's sync header and
+  // extrapolate it to the snapshot time the clients use (the center of the
+  // interleaved block) with their CFO estimate. The AP-AP link is strong,
+  // so the per-header CFO estimate already makes this extrapolation error
+  // negligible, and the long-term average tightens it further.
+  const double ref_dt = static_cast<double>(sched.reference_offset()) / fs;
+  for (std::size_t a = 1; a < params_.n_aps; ++a) {
+    const cvec buf = medium_.receive(ap_nodes_[a], frame_t - kMargin / fs,
+                                     kMargin + sched.frame_len() + 200);
+    const auto pm = rx_.measure_preamble(buf);
+    if (!pm) return false;
+    slave_sync_[a - 1].observe_cfo(pm->cfo_hz);
+    // The slave overhears the whole interleaved frame; processing the
+    // lead's symbols like a client yields a far finer CFO estimate (the
+    // LS fit spans the whole block) than a single preamble correlation —
+    // this is what bounds the within-packet phase drift (Section 5.3).
+    if (const auto own = process_measurement_frame(buf, sched, params_.phy)) {
+      slave_sync_[a - 1].set_cfo_estimate(own->per_ap[0].cfo_hz);
+    }
+    phy::ChannelEstimate ref = pm->chan;
+    ref.rotate(kTwoPi * slave_sync_[a - 1].cfo_estimate_hz() * ref_dt);
+    slave_sync_[a - 1].set_reference(ref, frame_t + ref_dt);
+  }
+
+  // Clients measure all AP channels, referenced to the sync header.
+  bool all_ok = true;
+  ChannelMatrixSet h(params_.n_clients, params_.n_aps);
+  for (std::size_t c = 0; c < params_.n_clients; ++c) {
+    const cvec buf =
+        medium_.receive(client_nodes_[c], frame_t - kMargin / fs,
+                        kMargin + sched.frame_len() + 200);
+    const auto cm = process_measurement_frame(buf, sched, params_.phy);
+    if (!cm) {
+      all_ok = false;
+      break;
+    }
+    const auto& used = used_subcarriers();
+    for (std::size_t a = 0; a < params_.n_aps; ++a) {
+      for (std::size_t k = 0; k < used.size(); ++k) {
+        h.at(k)(c, a) = cm->per_ap[a].channel.at(used[k]);
+      }
+    }
+  }
+  now_ = frame_t + static_cast<double>(sched.frame_len() + 400) / fs;
+  if (!all_ok) return false;
+  h_ = std::move(h);
+  precoder_ = ZfPrecoder::build(h_);
+  return precoder_.has_value();
+}
+
+JmbSystem::SyncOutcome JmbSystem::run_sync_header() {
+  const double fs = params_.phy.sample_rate_hz;
+  SyncOutcome out;
+  out.header_t = now_;
+  medium_.transmit(ap_nodes_[0], out.header_t, phy::preamble_time());
+  out.per_slave.resize(params_.n_aps - 1);
+  for (std::size_t a = 1; a < params_.n_aps; ++a) {
+    const cvec buf = medium_.receive(ap_nodes_[a], out.header_t - kMargin / fs,
+                                     kMargin + phy::kPreambleLen + 180);
+    const auto pm = rx_.measure_preamble(buf);
+    if (pm && slave_sync_[a - 1].has_reference()) {
+      out.per_slave[a - 1] =
+          slave_sync_[a - 1].on_sync_header(pm->chan, pm->cfo_hz, out.header_t);
+    }
+  }
+  out.tx_start = out.header_t +
+                 static_cast<double>(phy::kPreambleLen) / fs +
+                 params_.turnaround_s;
+  return out;
+}
+
+void JmbSystem::apply_correction(cvec& wave, const SlaveCorrection& corr,
+                                 double tx_start, double header_t) const {
+  const double fs = params_.phy.sample_rate_hz;
+  const double base_dt = tx_start - header_t;
+  for (std::size_t n = 0; n < wave.size(); ++n) {
+    wave[n] *= corr.at(base_dt + static_cast<double>(n) / fs);
+  }
+}
+
+JointResult JmbSystem::run_joint(
+    const std::vector<std::vector<cvec>>& streams,
+    const std::vector<CMatrix>* weights_override) {
+  if (!precoder_ && weights_override == nullptr) {
+    throw std::logic_error("run_joint: no precoder");
+  }
+  const std::size_t n_streams = streams.size();
+  const std::size_t n_sym = streams.empty() ? 0 : streams[0].size();
+  for (const auto& s : streams) {
+    if (s.size() != n_sym) throw std::invalid_argument("run_joint: ragged streams");
+  }
+  const double fs = params_.phy.sample_rate_hz;
+  const auto& used = used_subcarriers();
+
+  medium_.clear_transmissions();
+  medium_.evolve_links_to(now_);
+  const SyncOutcome sync = run_sync_header();
+
+  JointResult result;
+  result.precoder_scale = precoder_ ? precoder_->scale() : 0.0;
+
+  const auto weight_at = [&](std::size_t k) -> const CMatrix& {
+    return weights_override ? (*weights_override)[k] : precoder_->weights(k);
+  };
+
+  // Build each AP's waveform: jointly precoded LTF (double guard + 2
+  // symbols) followed by the precoded stream symbols.
+  const std::size_t wave_len = phy::kLtfLen + n_sym * phy::kSymbolLen;
+  for (std::size_t a = 0; a < params_.n_aps; ++a) {
+    // Precoded LTF spectrum for this AP: sum over streams of W(a, j) * L.
+    cvec ltf_spec(phy::kNfft, cplx{});
+    const cvec& l = phy::ltf_freq();
+    for (std::size_t k = 0; k < used.size(); ++k) {
+      const std::size_t bin = phy::bin_of(used[k]);
+      cplx w_sum{};
+      for (std::size_t j = 0; j < n_streams; ++j) w_sum += weight_at(k)(a, j);
+      ltf_spec[bin] = w_sum * l[bin];
+    }
+    cvec ltf_time = ifft(ltf_spec);
+    cvec wave;
+    wave.reserve(wave_len);
+    for (std::size_t i = 0; i < 32; ++i) {
+      wave.push_back(ltf_time[phy::kNfft - 32 + i]);
+    }
+    wave.insert(wave.end(), ltf_time.begin(), ltf_time.end());
+    wave.insert(wave.end(), ltf_time.begin(), ltf_time.end());
+
+    for (std::size_t s = 0; s < n_sym; ++s) {
+      cvec spec(phy::kNfft, cplx{});
+      for (std::size_t k = 0; k < used.size(); ++k) {
+        const std::size_t bin = phy::bin_of(used[k]);
+        cplx acc{};
+        for (std::size_t j = 0; j < n_streams; ++j) {
+          acc += weight_at(k)(a, j) * streams[j][s][bin];
+        }
+        spec[bin] = acc;
+      }
+      const cvec t = phy::ofdm_modulate(spec);
+      wave.insert(wave.end(), t.begin(), t.end());
+    }
+
+    if (a == 0) {
+      medium_.transmit(ap_nodes_[0], sync.tx_start, std::move(wave));
+      continue;
+    }
+    const auto& corr = sync.per_slave[a - 1];
+    if (!corr) continue;  // slave failed to sync: it sits this one out
+    ++result.slaves_synced;
+    if (!params_.disable_slave_correction) {
+      apply_correction(wave, *corr, sync.tx_start, sync.header_t);
+    }
+    const double jitter = rng_.gaussian(params_.trigger_jitter_s);
+    medium_.transmit(ap_nodes_[a], sync.tx_start + ap_tx_offset_s_[a] + jitter,
+                     std::move(wave));
+  }
+
+  // Clients receive and decode with the standard chain: CFO from the
+  // lead's sync header, channel from the jointly precoded LTF.
+  const std::size_t total =
+      kMargin + phy::kPreambleLen +
+      static_cast<std::size_t>(params_.turnaround_s * fs) + wave_len + 300;
+  result.per_client.resize(params_.n_clients);
+  for (std::size_t c = 0; c < params_.n_clients; ++c) {
+    const cvec buf =
+        medium_.receive(client_nodes_[c], sync.header_t - kMargin / fs, total);
+    const auto pm = rx_.measure_preamble(buf);
+    if (!pm) {
+      result.per_client[c].fail_reason = "sync header not detected";
+      continue;
+    }
+    const std::size_t header_pos =
+        pm->ltf_start >= 192 ? pm->ltf_start - 192 : pm->stf_start;
+    const std::size_t payload_start =
+        header_pos + phy::kPreambleLen +
+        static_cast<std::size_t>(params_.turnaround_s * fs);
+    result.per_client[c] = rx_.receive_payload(buf, payload_start, pm->cfo_hz);
+  }
+  now_ = sync.tx_start + static_cast<double>(wave_len + 400) / fs;
+  return result;
+}
+
+JointResult JmbSystem::transmit_joint(const std::vector<phy::ByteVec>& psdus,
+                                      const phy::Mcs& mcs) {
+  if (!precoder_) throw std::logic_error("transmit_joint: run_measurement first");
+  if (psdus.size() != params_.n_clients) {
+    throw std::invalid_argument("transmit_joint: need one PSDU per client");
+  }
+  std::vector<std::vector<cvec>> streams;
+  streams.reserve(psdus.size());
+  std::size_t n_sym = 0;
+  for (const auto& psdu : psdus) {
+    streams.push_back(tx_.build_freq_symbols(psdu, mcs));
+    n_sym = std::max(n_sym, streams.back().size());
+  }
+  for (auto& s : streams) {
+    // Equalize stream lengths with silent symbols (pilot-only padding
+    // would also work; zero is simplest and decodes identically since the
+    // SIGNAL field bounds the payload).
+    while (s.size() < n_sym) s.emplace_back(phy::kNfft, cplx{});
+  }
+  return run_joint(streams, nullptr);
+}
+
+phy::RxResult JmbSystem::transmit_diversity(std::size_t client,
+                                            const phy::ByteVec& psdu,
+                                            const phy::Mcs& mcs) {
+  if (client >= params_.n_clients) {
+    throw std::invalid_argument("transmit_diversity: bad client");
+  }
+  if (h_.n_subcarriers() == 0) {
+    throw std::logic_error("transmit_diversity: run_measurement first");
+  }
+  // MRT weights from the measured row of H.
+  const auto& used = used_subcarriers();
+  std::vector<cvec> row(used.size());
+  for (std::size_t k = 0; k < used.size(); ++k) row[k] = h_.at(k).row(client);
+  const MrtPrecoder mrt = MrtPrecoder::build(row);
+
+  std::vector<CMatrix> weights(used.size(), CMatrix(params_.n_aps, 1));
+  for (std::size_t k = 0; k < used.size(); ++k) {
+    weights[k].set_col(0, mrt.weights(k));
+  }
+  std::vector<std::vector<cvec>> streams{tx_.build_freq_symbols(psdu, mcs)};
+  JointResult jr = run_joint(streams, &weights);
+  return jr.per_client[client];
+}
+
+double JmbSystem::measure_inr(std::size_t nulled_client) {
+  if (!precoder_) throw std::logic_error("measure_inr: run_measurement first");
+  if (nulled_client >= params_.n_clients) {
+    throw std::invalid_argument("measure_inr: bad client");
+  }
+  // Random unit-power QPSK payloads on every stream except the nulled one.
+  constexpr std::size_t kProbeSymbols = 24;
+  std::vector<std::vector<cvec>> streams(params_.n_clients);
+  for (std::size_t j = 0; j < params_.n_clients; ++j) {
+    for (std::size_t s = 0; s < kProbeSymbols; ++s) {
+      if (j == nulled_client) {
+        streams[j].emplace_back(phy::kNfft, cplx{});
+        continue;
+      }
+      cvec data(phy::kNumDataCarriers);
+      const double amp = 1.0 / std::sqrt(2.0);
+      for (cplx& v : data) {
+        v = cplx{rng_.bernoulli() ? amp : -amp, rng_.bernoulli() ? amp : -amp};
+      }
+      streams[j].push_back(phy::map_subcarriers(data, s));
+    }
+  }
+  const double fs = params_.phy.sample_rate_hz;
+  const double header_t = now_;
+  const JointResult jr = run_joint(streams, nullptr);
+  (void)jr;
+
+  // Measure power at the nulled client strictly inside the symbol portion
+  // of the joint waveform (skip the LTF which is also nulled, but avoid
+  // edge transients).
+  const double tx_start = header_t + static_cast<double>(phy::kPreambleLen) / fs +
+                          params_.turnaround_s;
+  const double probe_at = tx_start + static_cast<double>(phy::kLtfLen + 80) / fs;
+  const std::size_t n = (kProbeSymbols - 2) * phy::kSymbolLen;
+  // NOTE: run_joint cleared and re-scheduled transmissions; they are still
+  // registered with the medium, so re-rendering this window is valid.
+  const cvec heard = medium_.receive(client_nodes_[nulled_client], probe_at, n);
+  const double p = mean_power(heard);
+  return to_db(std::max(p, 1e-12) / client_noise_var_);
+}
+
+rvec JmbSystem::measure_alignment_series(std::size_t n_rounds, double gap_s) {
+  if (params_.n_aps < 2 || params_.n_clients < 1) {
+    throw std::logic_error("measure_alignment_series: need >= 2 APs and a client");
+  }
+  if (!slave_sync_[0].has_reference()) {
+    throw std::logic_error("measure_alignment_series: run_measurement first");
+  }
+  const double fs = params_.phy.sample_rate_hz;
+  const cvec sym = phy::ofdm_modulate(phy::ltf_freq());  // CP + LTF
+  constexpr std::size_t kPairs = 2;
+
+  rvec deviations;
+  std::optional<double> reference_delta;
+  for (std::size_t round = 0; round < n_rounds; ++round) {
+    medium_.clear_transmissions();
+    medium_.evolve_links_to(now_);
+    const SyncOutcome sync = run_sync_header();
+    if (!sync.per_slave[0]) {
+      advance_time(gap_s);
+      continue;
+    }
+    // Alternating symbols: lead at even slots, slave at odd slots.
+    cvec lead_wave, slave_wave;
+    for (std::size_t p = 0; p < kPairs; ++p) {
+      lead_wave.insert(lead_wave.end(), sym.begin(), sym.end());
+      lead_wave.insert(lead_wave.end(), phy::kSymbolLen, cplx{});
+      slave_wave.insert(slave_wave.end(), phy::kSymbolLen, cplx{});
+      slave_wave.insert(slave_wave.end(), sym.begin(), sym.end());
+    }
+    apply_correction(slave_wave, *sync.per_slave[0], sync.tx_start, sync.header_t);
+    medium_.transmit(ap_nodes_[0], sync.tx_start, lead_wave);
+    const double jitter = rng_.gaussian(params_.trigger_jitter_s);
+    medium_.transmit(ap_nodes_[1], sync.tx_start + ap_tx_offset_s_[1] + jitter,
+                     slave_wave);
+
+    // Client: estimate both channels per pair and form the relative phase.
+    const std::size_t total = kMargin + phy::kPreambleLen +
+                              static_cast<std::size_t>(params_.turnaround_s * fs) +
+                              lead_wave.size() + 200;
+    const cvec buf = medium_.receive(client_nodes_[0],
+                                     sync.header_t - kMargin / fs, total);
+    const auto pm = rx_.measure_preamble(buf);
+    if (!pm) {
+      now_ = sync.tx_start + static_cast<double>(lead_wave.size()) / fs;
+      advance_time(gap_s);
+      continue;
+    }
+    const std::size_t header_pos =
+        pm->ltf_start >= 192 ? pm->ltf_start - 192 : pm->stf_start;
+    const std::size_t wave_at =
+        header_pos + phy::kPreambleLen +
+        static_cast<std::size_t>(params_.turnaround_s * fs);
+    const cvec corrected = phy::correct_cfo(buf, pm->cfo_hz, fs);
+
+    cplx delta_acc{};
+    for (std::size_t p = 0; p < kPairs; ++p) {
+      const std::size_t lead_at = wave_at + 2 * p * phy::kSymbolLen + phy::kCpLen;
+      const std::size_t slave_at = lead_at + phy::kSymbolLen;
+      if (corrected.size() < slave_at + phy::kNfft) break;
+      cvec fl(corrected.begin() + static_cast<std::ptrdiff_t>(lead_at),
+              corrected.begin() + static_cast<std::ptrdiff_t>(lead_at + phy::kNfft));
+      cvec fsv(corrected.begin() + static_cast<std::ptrdiff_t>(slave_at),
+               corrected.begin() + static_cast<std::ptrdiff_t>(slave_at + phy::kNfft));
+      fft_inplace(fl);
+      fft_inplace(fsv);
+      const phy::ChannelEstimate el = phy::estimate_from_ltf(fl);
+      const phy::ChannelEstimate es = phy::estimate_from_ltf(fsv);
+      delta_acc += es.mean_ratio(el);
+    }
+    const double delta = std::arg(delta_acc);
+    if (!reference_delta) {
+      reference_delta = delta;
+    } else {
+      deviations.push_back(std::abs(wrap_phase(delta - *reference_delta)));
+    }
+    now_ = sync.tx_start + static_cast<double>(lead_wave.size() + 200) / fs;
+    advance_time(gap_s);
+  }
+  return deviations;
+}
+
+}  // namespace jmb::core

@@ -1,0 +1,24 @@
+// Fractional-delay resampling, used by the channel substrate to apply
+// sampling-frequency offset (SFO): a receiver whose ADC clock runs at
+// (1 + ppm*1e-6) times the transmitter's DAC clock effectively samples the
+// waveform at slowly-drifting fractional positions.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/types.h"
+
+namespace jmb {
+
+/// Evaluate x at fractional position `pos` (in samples) with cubic Lagrange
+/// interpolation over the four nearest neighbours. Positions outside the
+/// valid support return 0 (silence before/after a burst).
+[[nodiscard]] cplx interp_cubic(const cvec& x, double pos);
+
+/// Resample a burst by a clock-ratio: output[n] = x(n * ratio + offset).
+/// ratio = 1 + sfo_ppm * 1e-6 models a receiver clock that runs fast (>1)
+/// or slow (<1) relative to the transmitter; `offset` is an initial
+/// fractional timing offset in samples.
+[[nodiscard]] cvec resample(const cvec& x, double ratio, double offset = 0.0);
+
+}  // namespace jmb

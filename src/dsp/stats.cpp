@@ -1,0 +1,90 @@
+#include "dsp/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace jmb {
+
+double mean(const rvec& x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc / static_cast<double>(x.size());
+}
+
+double variance(const rvec& x) {
+  if (x.size() < 2) return 0.0;
+  const double m = mean(x);
+  double acc = 0.0;
+  for (double v : x) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(x.size() - 1);
+}
+
+double stddev(const rvec& x) { return std::sqrt(variance(x)); }
+
+double percentile(rvec x, double q) {
+  if (x.empty()) throw std::invalid_argument("percentile: empty series");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q outside [0,1]");
+  std::sort(x.begin(), x.end());
+  const double pos = q * static_cast<double>(x.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, x.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return x[lo] + (x[hi] - x[lo]) * frac;
+}
+
+double median(rvec x) { return percentile(std::move(x), 0.5); }
+
+std::vector<CdfPoint> empirical_cdf(rvec x) {
+  std::sort(x.begin(), x.end());
+  std::vector<CdfPoint> out;
+  out.reserve(x.size());
+  const double n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out.push_back({x[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("Ewma: alpha must be in (0,1]");
+  }
+}
+
+void Ewma::add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ += alpha_ * (x - value_);
+  }
+}
+
+void Ewma::reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+}  // namespace jmb

@@ -1,0 +1,66 @@
+// Fundamental sample types and dB helpers shared across the library.
+#pragma once
+
+#include <complex>
+#include <cmath>
+#include <vector>
+
+namespace jmb {
+
+/// Complex baseband sample. Double precision throughout: the paper's claims
+/// hinge on phase errors of ~0.01 rad, well below float accumulation noise
+/// when chaining FFTs, matrix inverses and long correlations.
+using cplx = std::complex<double>;
+
+/// A contiguous run of complex samples (one antenna / one subcarrier set).
+using cvec = std::vector<cplx>;
+
+/// A real-valued series (magnitudes, SNRs, phases, ...).
+using rvec = std::vector<double>;
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kTwoPi = 2.0 * kPi;
+
+/// Power ratio -> decibels.
+[[nodiscard]] inline double to_db(double power_ratio) {
+  return 10.0 * std::log10(power_ratio);
+}
+
+/// Decibels -> power ratio.
+[[nodiscard]] inline double from_db(double db) {
+  return std::pow(10.0, db / 10.0);
+}
+
+/// Amplitude ratio -> decibels.
+[[nodiscard]] inline double amp_to_db(double amp_ratio) {
+  return 20.0 * std::log10(amp_ratio);
+}
+
+/// Wrap an angle to (-pi, pi].
+[[nodiscard]] inline double wrap_phase(double phi) {
+  phi = std::fmod(phi + kPi, kTwoPi);
+  if (phi < 0) phi += kTwoPi;
+  return phi - kPi;
+}
+
+/// Mean power (|x|^2 averaged) of a sample run; 0 for an empty run.
+[[nodiscard]] inline double mean_power(const cvec& x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (const cplx& v : x) acc += std::norm(v);
+  return acc / static_cast<double>(x.size());
+}
+
+/// Total energy (sum of |x|^2) of a sample run.
+[[nodiscard]] inline double energy(const cvec& x) {
+  double acc = 0.0;
+  for (const cplx& v : x) acc += std::norm(v);
+  return acc;
+}
+
+/// e^{j*phi} as a unit phasor.
+[[nodiscard]] inline cplx phasor(double phi) {
+  return {std::cos(phi), std::sin(phi)};
+}
+
+}  // namespace jmb

@@ -1,0 +1,195 @@
+#include "linalg/cmatrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace jmb {
+
+CMatrix::CMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+CMatrix::CMatrix(std::initializer_list<std::initializer_list<cplx>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("CMatrix: ragged initializer");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+CMatrix CMatrix::identity(std::size_t n) {
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+CMatrix CMatrix::diagonal(const cvec& d) {
+  CMatrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+CMatrix CMatrix::column(const cvec& v) {
+  CMatrix m(v.size(), 1);
+  for (std::size_t i = 0; i < v.size(); ++i) m(i, 0) = v[i];
+  return m;
+}
+
+cplx& CMatrix::operator()(std::size_t r, std::size_t c) {
+  return data_[r * cols_ + c];
+}
+
+const cplx& CMatrix::operator()(std::size_t r, std::size_t c) const {
+  return data_[r * cols_ + c];
+}
+
+CMatrix CMatrix::hermitian() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      out(c, r) = std::conj((*this)(r, c));
+  return out;
+}
+
+CMatrix CMatrix::transpose() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+CMatrix CMatrix::conj() const {
+  CMatrix out = *this;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(r, c) = std::conj(out(r, c));
+  return out;
+}
+
+CMatrix& CMatrix::operator+=(const CMatrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("CMatrix+: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+CMatrix& CMatrix::operator-=(const CMatrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("CMatrix-: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+CMatrix& CMatrix::operator*=(cplx s) {
+  for (cplx& v : data_) v *= s;
+  return *this;
+}
+
+CMatrix CMatrix::operator*(const CMatrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    throw std::invalid_argument("CMatrix*: inner dimension mismatch");
+  }
+  CMatrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx a = (*this)(r, k);
+      if (a == cplx{}) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out(r, c) += a * rhs(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+cvec CMatrix::operator*(const cvec& v) const {
+  if (cols_ != v.size()) {
+    throw std::invalid_argument("CMatrix*vec: dimension mismatch");
+  }
+  cvec out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    cplx acc{};
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+double CMatrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (const cplx& v : data_) acc += std::norm(v);
+  return std::sqrt(acc);
+}
+
+double CMatrix::max_abs() const {
+  double m = 0.0;
+  for (const cplx& v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double CMatrix::row_power(std::size_t r) const {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) acc += std::norm((*this)(r, c));
+  return acc;
+}
+
+double CMatrix::col_power(std::size_t c) const {
+  double acc = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) acc += std::norm((*this)(r, c));
+  return acc;
+}
+
+cvec CMatrix::row(std::size_t r) const {
+  cvec out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
+  return out;
+}
+
+cvec CMatrix::col(std::size_t c) const {
+  cvec out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void CMatrix::set_row(std::size_t r, const cvec& v) {
+  if (v.size() != cols_) throw std::invalid_argument("set_row: size mismatch");
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+void CMatrix::set_col(std::size_t c, const cvec& v) {
+  if (v.size() != rows_) throw std::invalid_argument("set_col: size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+double CMatrix::max_abs_diff(const CMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  }
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+std::string CMatrix::str() const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const cplx& v = (*this)(r, c);
+      os << "(" << v.real() << (v.imag() >= 0 ? "+" : "") << v.imag() << "j)";
+      if (c + 1 < cols_) os << ", ";
+    }
+    os << (r + 1 == rows_ ? "]" : ";\n");
+  }
+  return os.str();
+}
+
+}  // namespace jmb

@@ -1,0 +1,102 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jmb {
+
+namespace {
+// Relative threshold below which a pivot counts as zero.
+constexpr double kPivotEps = 1e-13;
+}  // namespace
+
+Lu::Lu(const CMatrix& a) : lu_(a), piv_(a.rows()) {
+  if (!a.is_square()) throw std::invalid_argument("Lu: matrix must be square");
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) piv_[i] = i;
+
+  const double scale = std::max(a.max_abs(), 1e-300);
+  ok_ = true;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: find the largest magnitude in column k at/below row k.
+    std::size_t p = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = std::abs(lu_(r, k));
+      if (m > best) {
+        best = m;
+        p = r;
+      }
+    }
+    if (best <= kPivotEps * scale) {
+      ok_ = false;
+      return;
+    }
+    if (p != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(p, c), lu_(k, c));
+      std::swap(piv_[p], piv_[k]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    // Eliminate below the pivot.
+    const cplx inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const cplx f = lu_(r, k) * inv_pivot;
+      lu_(r, k) = f;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= f * lu_(k, c);
+    }
+  }
+}
+
+cplx Lu::determinant() const {
+  if (!ok_) return {0.0, 0.0};
+  cplx det = static_cast<double>(pivot_sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+cvec Lu::solve(const cvec& b) const {
+  if (!ok_) throw std::logic_error("Lu::solve on singular matrix");
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw std::invalid_argument("Lu::solve: size mismatch");
+
+  // Apply permutation, then forward substitution (L has unit diagonal).
+  cvec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cplx acc = b[piv_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
+    y[i] = acc;
+  }
+  // Back substitution with U.
+  cvec x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    cplx acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+CMatrix Lu::solve(const CMatrix& b) const {
+  if (b.rows() != lu_.rows()) {
+    throw std::invalid_argument("Lu::solve: row mismatch");
+  }
+  CMatrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) x.set_col(c, solve(b.col(c)));
+  return x;
+}
+
+CMatrix Lu::inverse() const { return solve(CMatrix::identity(lu_.rows())); }
+
+std::optional<CMatrix> inverse(const CMatrix& a) {
+  const Lu lu(a);
+  if (!lu.ok()) return std::nullopt;
+  return lu.inverse();
+}
+
+std::optional<cvec> solve(const CMatrix& a, const cvec& b) {
+  const Lu lu(a);
+  if (!lu.ok()) return std::nullopt;
+  return lu.solve(b);
+}
+
+}  // namespace jmb

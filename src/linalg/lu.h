@@ -1,0 +1,46 @@
+// LU factorization with partial pivoting: solves and inverts the square
+// per-subcarrier channel matrices that zero-forcing beamforming needs.
+#pragma once
+
+#include <optional>
+
+#include "linalg/cmatrix.h"
+
+namespace jmb {
+
+/// LU decomposition of a square matrix with partial (row) pivoting:
+/// P*A = L*U, stored compactly. Construction never throws on singular
+/// input; check ok() before solving.
+class Lu {
+ public:
+  explicit Lu(const CMatrix& a);
+
+  /// False if a pivot collapsed to (numerical) zero — A is singular.
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  /// |det(A)|'s magnitude and phase, from the product of pivots.
+  [[nodiscard]] cplx determinant() const;
+
+  /// Solve A x = b. Requires ok().
+  [[nodiscard]] cvec solve(const cvec& b) const;
+
+  /// Solve A X = B column by column. Requires ok().
+  [[nodiscard]] CMatrix solve(const CMatrix& b) const;
+
+  /// A^{-1}. Requires ok().
+  [[nodiscard]] CMatrix inverse() const;
+
+ private:
+  CMatrix lu_;                   // packed L (unit diagonal) and U
+  std::vector<std::size_t> piv_; // row permutation
+  int pivot_sign_ = 1;
+  bool ok_ = false;
+};
+
+/// Convenience: A^{-1} or nullopt if singular.
+[[nodiscard]] std::optional<CMatrix> inverse(const CMatrix& a);
+
+/// Convenience: solve A x = b or nullopt if singular.
+[[nodiscard]] std::optional<cvec> solve(const CMatrix& a, const cvec& b);
+
+}  // namespace jmb

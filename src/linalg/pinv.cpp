@@ -1,0 +1,91 @@
+#include "linalg/pinv.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/lu.h"
+
+namespace jmb {
+
+std::optional<CMatrix> pinv(const CMatrix& a, double ridge) {
+  const CMatrix ah = a.hermitian();
+  if (a.rows() <= a.cols()) {
+    CMatrix gram = a * ah;  // rows x rows
+    for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
+    const auto gram_inv = inverse(gram);
+    if (!gram_inv) return std::nullopt;
+    return ah * (*gram_inv);
+  }
+  CMatrix gram = ah * a;  // cols x cols
+  for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
+  const auto gram_inv = inverse(gram);
+  if (!gram_inv) return std::nullopt;
+  return (*gram_inv) * ah;
+}
+
+namespace {
+
+double rayleigh_norm(const cvec& v) {
+  double acc = 0.0;
+  for (const cplx& x : v) acc += std::norm(x);
+  return std::sqrt(acc);
+}
+
+void normalize(cvec& v) {
+  const double n = rayleigh_norm(v);
+  if (n > 0) {
+    for (cplx& x : v) x /= n;
+  }
+}
+
+}  // namespace
+
+double largest_singular_value(const CMatrix& a, int iters) {
+  if (a.empty()) return 0.0;
+  const CMatrix g = a.hermitian() * a;  // Hermitian PSD, eigenvalues sigma^2
+  cvec v(g.rows());
+  // Deterministic start vector with spread phases to avoid pathological
+  // orthogonality to the top eigenvector.
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = phasor(0.7 * static_cast<double>(i) + 0.3);
+  }
+  normalize(v);
+  double lambda = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    cvec w = g * v;
+    lambda = rayleigh_norm(w);
+    if (lambda == 0.0) return 0.0;
+    normalize(w);
+    v = std::move(w);
+  }
+  return std::sqrt(lambda);
+}
+
+double smallest_singular_value(const CMatrix& a, int iters) {
+  if (a.empty()) return 0.0;
+  const CMatrix g = a.hermitian() * a;
+  const Lu lu(g);
+  if (!lu.ok()) return 0.0;
+  cvec v(g.rows());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = phasor(1.1 * static_cast<double>(i) + 0.5);
+  }
+  normalize(v);
+  double mu = 0.0;  // dominant eigenvalue of G^{-1} = 1/lambda_min(G)
+  for (int it = 0; it < iters; ++it) {
+    cvec w = lu.solve(v);
+    mu = rayleigh_norm(w);
+    if (mu == 0.0) return 0.0;
+    normalize(w);
+    v = std::move(w);
+  }
+  return std::sqrt(1.0 / mu);
+}
+
+double condition_number(const CMatrix& a) {
+  const double smin = smallest_singular_value(a);
+  if (smin == 0.0) return std::numeric_limits<double>::infinity();
+  return largest_singular_value(a) / smin;
+}
+
+}  // namespace jmb

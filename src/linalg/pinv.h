@@ -1,0 +1,32 @@
+// Pseudo-inverse and conditioning diagnostics.
+//
+// Zero-forcing with more total AP antennas than client antennas uses the
+// right pseudo-inverse H^H (H H^H)^{-1}; the condition number feeds the
+// paper's discussion of the K term in the beamforming rate N log(SNR/K).
+#pragma once
+
+#include <optional>
+
+#include "linalg/cmatrix.h"
+
+namespace jmb {
+
+/// Moore-Penrose pseudo-inverse.
+///  - rows <= cols (fat, the distributed-MIMO downlink case):
+///      A^+ = A^H (A A^H + eps I)^{-1}  (right inverse; A A^+ = I)
+///  - rows >  cols (tall): A^+ = (A^H A + eps I)^{-1} A^H (left inverse).
+/// `ridge` adds Tikhonov regularization; 0 gives the exact pseudo-inverse
+/// for full-rank A, nullopt if the Gram matrix is singular.
+[[nodiscard]] std::optional<CMatrix> pinv(const CMatrix& a, double ridge = 0.0);
+
+/// Largest singular value via power iteration on A^H A.
+[[nodiscard]] double largest_singular_value(const CMatrix& a, int iters = 60);
+
+/// Smallest singular value via inverse power iteration on A^H A
+/// (0 if the Gram matrix is singular).
+[[nodiscard]] double smallest_singular_value(const CMatrix& a, int iters = 60);
+
+/// 2-norm condition number sigma_max / sigma_min (inf if singular).
+[[nodiscard]] double condition_number(const CMatrix& a);
+
+}  // namespace jmb

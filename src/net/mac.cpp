@@ -1,0 +1,168 @@
+#include "net/mac.h"
+
+#include <algorithm>
+
+#include "net/scheduler.h"
+#include "rate/effective_snr.h"
+#include "rate/per.h"
+
+namespace jmb::net {
+
+namespace {
+
+void finalize(MacReport& report, const MacParams& params) {
+  report.duration_s = params.duration_s;
+  report.total_goodput_mbps = 0.0;
+  for (ClientStats& c : report.per_client) {
+    c.goodput_mbps = static_cast<double>(c.delivered) *
+                     static_cast<double>(params.psdu_bytes) * 8.0 /
+                     params.duration_s / 1e6;
+    report.total_goodput_mbps += c.goodput_mbps;
+  }
+}
+
+}  // namespace
+
+MacReport run_baseline_mac(std::size_t n_clients, const LinkStateFn& link_state,
+                           const MacParams& params) {
+  MacReport report;
+  report.per_client.resize(n_clients);
+  Rng rng(params.seed);
+  double t = 0.0;
+  std::size_t turn = 0;  // equal medium share: round-robin over clients
+
+  DownlinkQueue queue;
+  std::uint64_t next_id = 0;
+
+  while (t < params.duration_s) {
+    const std::size_t client = turn % n_clients;
+    ++turn;
+    if (params.saturated) {
+      queue.push({client, params.psdu_bytes, 0, t, 0, next_id++});
+    }
+    auto pkt = queue.pop();
+    if (!pkt) break;  // non-saturated mode with an empty queue: done
+
+    const LinkState ls = link_state(pkt->client);
+    const auto rate_idx = rate::select_rate(ls.subcarrier_snr);
+    if (!rate_idx) {
+      // Client out of range: attempt at base rate fails; count and move on.
+      t += rate::frame_airtime_s(pkt->bytes, phy::rate_set()[0],
+                                 params.airtime.sample_rate_hz);
+      ++report.per_client[pkt->client].failed_attempts;
+      ++report.per_client[pkt->client].dropped;
+      continue;
+    }
+    const phy::Mcs& mcs = phy::rate_set()[*rate_idx];
+    const double airtime =
+        rate::frame_airtime_s(pkt->bytes, mcs, params.airtime.sample_rate_hz);
+    t += airtime;
+    report.data_airtime_s += airtime;
+
+    const double per =
+        rate::frame_error_prob(ls.subcarrier_snr, *rate_idx, pkt->bytes);
+    if (rng.uniform() >= per) {
+      ++report.per_client[pkt->client].delivered;
+    } else {
+      ++report.per_client[pkt->client].failed_attempts;
+      if (++pkt->retries <= params.max_retries) {
+        queue.push_front(*pkt);
+      } else {
+        ++report.per_client[pkt->client].dropped;
+      }
+    }
+  }
+  finalize(report, params);
+  return report;
+}
+
+MacReport run_jmb_mac(std::size_t n_aps, std::size_t n_clients,
+                      std::size_t n_streams, const LinkStateFn& link_state,
+                      const MacParams& params) {
+  MacReport report;
+  report.per_client.resize(n_clients);
+  Rng rng(params.seed);
+  DownlinkQueue queue;
+  std::uint64_t next_id = 0;
+  std::size_t rr = 0;
+
+  double t = 0.0;
+  double next_measurement = 0.0;
+
+  while (t < params.duration_s) {
+    if (t >= next_measurement) {
+      const double meas =
+          rate::measurement_airtime_s(n_aps, n_clients, params.airtime);
+      t += meas;
+      report.measurement_airtime_s += meas;
+      next_measurement = t + params.coherence_time_s;
+      continue;
+    }
+    if (params.saturated) {
+      // Keep the queue deep enough for a full joint transmission.
+      while (queue.size() < n_streams) {
+        queue.push({rr % n_clients, params.psdu_bytes, 0, t, 0, next_id++});
+        ++rr;
+      }
+    }
+    std::vector<Packet> batch = queue.pop_joint(n_streams);
+    if (batch.empty()) break;
+    ++report.joint_transmissions;
+
+    // Rate selection per Section 9: the APs know the full channel, the
+    // effective channel is k*I, so every client in the joint transmission
+    // runs at the same rate, chosen from the worst client's effective SNR.
+    std::vector<LinkState> states;
+    states.reserve(batch.size());
+    std::optional<std::size_t> rate_idx;
+    for (const Packet& p : batch) {
+      states.push_back(link_state(p.client));
+      const auto r = rate::select_rate(states.back().subcarrier_snr);
+      if (!rate_idx || (r && *r < *rate_idx)) rate_idx = r;
+      if (!r) rate_idx = std::nullopt;
+      if (!rate_idx) break;
+    }
+    if (!rate_idx) {
+      // Someone unreachable: attempt costs base-rate airtime; all fail.
+      t += rate::joint_frame_airtime_s(params.psdu_bytes, phy::rate_set()[0],
+                                       params.airtime);
+      for (Packet& p : batch) {
+        ++report.per_client[p.client].failed_attempts;
+        if (++p.retries <= params.max_retries) {
+          queue.push_front(p);
+        } else {
+          ++report.per_client[p.client].dropped;
+        }
+      }
+      continue;
+    }
+
+    const phy::Mcs& mcs = phy::rate_set()[*rate_idx];
+    const double airtime =
+        rate::joint_frame_airtime_s(params.psdu_bytes, mcs, params.airtime);
+    t += airtime;
+    report.data_airtime_s += airtime;
+
+    // Losses are decoupled across clients (Section 9): each stream succeeds
+    // or fails on its own effective SNR.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Packet& p = batch[i];
+      const double per = rate::frame_error_prob(states[i].subcarrier_snr,
+                                                *rate_idx, p.bytes);
+      if (rng.uniform() >= per) {
+        ++report.per_client[p.client].delivered;
+      } else {
+        ++report.per_client[p.client].failed_attempts;
+        if (++p.retries <= params.max_retries) {
+          queue.push_front(p);
+        } else {
+          ++report.per_client[p.client].dropped;
+        }
+      }
+    }
+  }
+  finalize(report, params);
+  return report;
+}
+
+}  // namespace jmb::net

@@ -1,0 +1,69 @@
+// Link-layer simulations: the 802.11 equal-share baseline and the JMB MAC
+// (shared queue, lead election, joint transmissions, channel-measurement
+// epochs, asynchronous ACKs with retransmission).
+//
+// Channel state enters through a callback so these simulations compose
+// with either the closed-form LinkModel or measurements from the
+// sample-level system.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dsp/rng.h"
+#include "net/queue.h"
+#include "rate/airtime.h"
+
+namespace jmb::net {
+
+/// Per-client link state for one upcoming transmission.
+struct LinkState {
+  rvec subcarrier_snr;  ///< post-equalization (baseline) or post-beamforming (JMB)
+};
+
+/// client index -> link state at the current instant.
+using LinkStateFn = std::function<LinkState(std::size_t client)>;
+
+struct MacParams {
+  double duration_s = 1.0;
+  std::size_t psdu_bytes = 1500;
+  double coherence_time_s = 0.25;  ///< measurement epoch spacing for JMB
+  int max_retries = 10;
+  rate::AirtimeParams airtime;
+  std::uint64_t seed = 1;
+  bool saturated = true;  ///< backlogged traffic to every client
+};
+
+struct ClientStats {
+  std::size_t delivered = 0;
+  std::size_t failed_attempts = 0;
+  std::size_t dropped = 0;
+  double goodput_mbps = 0.0;
+};
+
+struct MacReport {
+  std::vector<ClientStats> per_client;
+  double total_goodput_mbps = 0.0;
+  double data_airtime_s = 0.0;
+  double measurement_airtime_s = 0.0;
+  double duration_s = 0.0;
+  std::size_t joint_transmissions = 0;  ///< 0 for the baseline
+};
+
+/// Baseline 802.11: one AP talks at a time; each client gets an equal
+/// share of the medium (the paper's USRP baseline methodology). Rate per
+/// client is picked by effective SNR from its best AP.
+[[nodiscard]] MacReport run_baseline_mac(std::size_t n_clients,
+                                         const LinkStateFn& link_state,
+                                         const MacParams& params);
+
+/// JMB: every transmission serves up to `n_streams` clients jointly.
+/// A channel-measurement phase (airtime from measurement_airtime_s) runs
+/// once per coherence interval. Lead election follows the head packet's
+/// designated AP (tracked for reporting; it does not change airtime).
+[[nodiscard]] MacReport run_jmb_mac(std::size_t n_aps, std::size_t n_clients,
+                                    std::size_t n_streams,
+                                    const LinkStateFn& link_state,
+                                    const MacParams& params);
+
+}  // namespace jmb::net

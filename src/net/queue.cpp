@@ -1,0 +1,42 @@
+#include "net/queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jmb::net {
+
+void DownlinkQueue::push(Packet p) { q_.push_back(p); }
+
+void DownlinkQueue::push_front(Packet p) { q_.push_front(p); }
+
+const Packet& DownlinkQueue::head() const {
+  if (q_.empty()) throw std::logic_error("DownlinkQueue::head: empty");
+  return q_.front();
+}
+
+std::vector<Packet> DownlinkQueue::pop_joint(std::size_t max_streams) {
+  std::vector<Packet> out;
+  if (q_.empty() || max_streams == 0) return out;
+  std::vector<std::size_t> taken_clients;
+  for (auto it = q_.begin(); it != q_.end() && out.size() < max_streams;) {
+    const bool seen = std::find(taken_clients.begin(), taken_clients.end(),
+                                it->client) != taken_clients.end();
+    if (!seen) {
+      taken_clients.push_back(it->client);
+      out.push_back(*it);
+      it = q_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::optional<Packet> DownlinkQueue::pop() {
+  if (q_.empty()) return std::nullopt;
+  Packet p = q_.front();
+  q_.pop_front();
+  return p;
+}
+
+}  // namespace jmb::net

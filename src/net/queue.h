@@ -1,0 +1,49 @@
+// The shared downlink queue of Section 9: all downlink packets reach every
+// AP over the Ethernet backhaul, so all APs see one queue. Each packet has
+// a designated AP (the strongest to its client), which becomes the lead for
+// the transmission that carries it; the lead then picks extra packets for
+// joint transmission, one per additional client.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace jmb::net {
+
+struct Packet {
+  std::size_t client = 0;        ///< destination client index
+  std::size_t bytes = 1500;
+  std::size_t designated_ap = 0; ///< strongest AP to this client
+  double enqueue_s = 0.0;
+  int retries = 0;
+  std::uint64_t id = 0;
+};
+
+class DownlinkQueue {
+ public:
+  void push(Packet p);
+  /// Failed packets return to the front (they keep their place, as in
+  /// "APs keep packets in the queue until they are ACKed").
+  void push_front(Packet p);
+
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  [[nodiscard]] const Packet& head() const;
+
+  /// Pop the head packet plus up to max_streams-1 further packets for
+  /// *distinct other clients* (first match per client, preserving order) —
+  /// the joint-transmission selection of Section 9. The head's designated
+  /// AP leads the transmission.
+  [[nodiscard]] std::vector<Packet> pop_joint(std::size_t max_streams);
+
+  /// Pop just the head (baseline 802.11 behaviour).
+  [[nodiscard]] std::optional<Packet> pop();
+
+ private:
+  std::deque<Packet> q_;
+};
+
+}  // namespace jmb::net

@@ -1,0 +1,30 @@
+#include "net/scheduler.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace jmb::net {
+
+void EventScheduler::at(double t, Handler fn) {
+  if (t < now_) {
+    throw std::invalid_argument("EventScheduler::at: time in the past");
+  }
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+std::size_t EventScheduler::run_until(double until) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.top().t <= until) {
+    // Copy out before pop: the handler may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ev.fn();
+    ++fired;
+  }
+  if (queue_.empty() && now_ < until && std::isfinite(until)) now_ = until;
+  return fired;
+}
+
+}  // namespace jmb::net

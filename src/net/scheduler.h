@@ -1,0 +1,55 @@
+// Minimal discrete-event scheduler for link-layer simulations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace jmb::net {
+
+/// Virtual-time event loop. Events fire in timestamp order; ties break by
+/// insertion order (FIFO), which keeps simulations deterministic.
+class EventScheduler {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedule `fn` at absolute virtual time t (seconds). t must be >= now.
+  void at(double t, Handler fn);
+
+  /// Schedule `fn` after a delay from now.
+  void after(double delay, Handler fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Current virtual time.
+  [[nodiscard]] double now() const { return now_; }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Run events until the queue empties or virtual time would exceed
+  /// `until` (events after `until` stay queued). Returns events fired.
+  std::size_t run_until(double until);
+
+  /// Run everything (leaves the clock at the last event fired).
+  std::size_t run() { return run_until(std::numeric_limits<double>::infinity()); }
+
+ private:
+  struct Event {
+    double t;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace jmb::net

@@ -1,0 +1,18 @@
+// Byte/bit conversions (802.11 serializes bytes LSB-first).
+#pragma once
+
+#include "phy/crc32.h"      // ByteVec
+#include "phy/scrambler.h"  // BitVec
+
+namespace jmb::phy {
+
+/// Bytes -> bits, LSB of each byte first.
+[[nodiscard]] BitVec bytes_to_bits(const ByteVec& bytes);
+
+/// Bits -> bytes; size must be a multiple of 8.
+[[nodiscard]] ByteVec bits_to_bytes(const BitVec& bits);
+
+/// Number of differing bits (diagnostics / BER counting).
+[[nodiscard]] std::size_t hamming_distance(const BitVec& a, const BitVec& b);
+
+}  // namespace jmb::phy

@@ -1,0 +1,69 @@
+// Per-subcarrier least-squares channel estimation from LTF symbols, and the
+// pilot-based phase tracker that follows residual CFO/SFO through a packet.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "dsp/types.h"
+#include "phy/params.h"
+
+namespace jmb::phy {
+
+/// Frequency response on the 52 used subcarriers, indexed by FFT bin.
+/// Unused bins are 0. Invariant: h.size() == kNfft.
+struct ChannelEstimate {
+  cvec h = cvec(kNfft);
+
+  [[nodiscard]] cplx at(int logical) const { return h[bin_of(logical)]; }
+  void set(int logical, cplx v) { h[bin_of(logical)] = v; }
+
+  /// Mean gain power over the used subcarriers.
+  [[nodiscard]] double mean_gain_power() const;
+
+  /// Average phase (power-weighted) over used subcarriers — the scalar
+  /// phase JMB slaves compare between h_lead(t) and h_lead(0).
+  [[nodiscard]] double mean_phase() const;
+
+  /// Rotate every subcarrier by e^{j phi}.
+  void rotate(double phi);
+
+  /// Per-subcarrier complex ratio (this / other) averaged over used
+  /// subcarriers — the direct phase-offset measurement of Section 5.2.
+  [[nodiscard]] cplx mean_ratio(const ChannelEstimate& other) const;
+};
+
+/// LS estimate from one 64-sample LTF FFT: divide by the known sequence.
+[[nodiscard]] ChannelEstimate estimate_from_ltf(const cvec& freq_symbol);
+
+/// Average of per-symbol estimates (reduces noise ~ 1/sqrt(n)).
+[[nodiscard]] ChannelEstimate average_estimates(
+    const std::vector<ChannelEstimate>& estimates);
+
+/// Denoise an estimate by least-squares projection onto a short
+/// time-domain support: the true channel has only a few taps (plus the
+/// FFT-window back-off and fractional delays), so restricting the
+/// impulse response to `support` samples removes (52 - support)/52 of
+/// the estimation noise without biasing real multipath.
+[[nodiscard]] ChannelEstimate denoise_time_support(const ChannelEstimate& est,
+                                                   std::size_t support = 20);
+
+/// Pilot-based tracking of common phase error (residual CFO) and phase
+/// slope across subcarriers (timing drift / SFO), per OFDM symbol.
+struct PilotPhase {
+  double common = 0.0;  ///< radians applied to all subcarriers
+  double slope = 0.0;   ///< radians per subcarrier index
+};
+
+/// Estimate CPE + slope from the received pilots of one equalized symbol.
+/// `freq_symbol` is the raw FFT output; `chan` the channel estimate;
+/// `symbol_index` selects the pilot polarity.
+[[nodiscard]] PilotPhase track_pilots(const cvec& freq_symbol,
+                                      const ChannelEstimate& chan,
+                                      std::size_t symbol_index);
+
+/// Undo a PilotPhase on the 48 extracted data symbols (indexed in
+/// data_carriers() order).
+void apply_phase_correction(cvec& data48, const PilotPhase& pp);
+
+}  // namespace jmb::phy

@@ -1,0 +1,64 @@
+#include "phy/crc32.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace jmb::phy {
+
+namespace {
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return kTable;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const ByteVec& data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) {
+    c = crc_table()[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+ByteVec append_crc32(ByteVec data) {
+  const std::uint32_t c = crc32(data);
+  data.push_back(static_cast<std::uint8_t>(c & 0xFF));
+  data.push_back(static_cast<std::uint8_t>((c >> 8) & 0xFF));
+  data.push_back(static_cast<std::uint8_t>((c >> 16) & 0xFF));
+  data.push_back(static_cast<std::uint8_t>((c >> 24) & 0xFF));
+  return data;
+}
+
+bool check_crc32(const ByteVec& data_with_fcs) {
+  if (data_with_fcs.size() < 4) return false;
+  ByteVec body(data_with_fcs.begin(), data_with_fcs.end() - 4);
+  const std::uint32_t expect = crc32(body);
+  const std::size_t n = data_with_fcs.size();
+  const std::uint32_t got = static_cast<std::uint32_t>(data_with_fcs[n - 4]) |
+                            (static_cast<std::uint32_t>(data_with_fcs[n - 3]) << 8) |
+                            (static_cast<std::uint32_t>(data_with_fcs[n - 2]) << 16) |
+                            (static_cast<std::uint32_t>(data_with_fcs[n - 1]) << 24);
+  return expect == got;
+}
+
+ByteVec strip_crc32(ByteVec data_with_fcs) {
+  if (data_with_fcs.size() < 4) {
+    throw std::invalid_argument("strip_crc32: too short");
+  }
+  data_with_fcs.resize(data_with_fcs.size() - 4);
+  return data_with_fcs;
+}
+
+}  // namespace jmb::phy

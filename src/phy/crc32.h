@@ -1,0 +1,24 @@
+// IEEE 802.3 CRC-32, the FCS appended to every MPDU so the receiver (and
+// the link layer's retransmission logic) can tell good packets from bad.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace jmb::phy {
+
+using ByteVec = std::vector<std::uint8_t>;
+
+/// CRC-32 (reflected, poly 0xEDB88320, init/final 0xFFFFFFFF).
+[[nodiscard]] std::uint32_t crc32(const ByteVec& data);
+
+/// data + 4-byte little-endian FCS.
+[[nodiscard]] ByteVec append_crc32(ByteVec data);
+
+/// True iff the trailing 4 bytes are a valid FCS for the preceding bytes.
+[[nodiscard]] bool check_crc32(const ByteVec& data_with_fcs);
+
+/// Strip a verified FCS; call only after check_crc32 returned true.
+[[nodiscard]] ByteVec strip_crc32(ByteVec data_with_fcs);
+
+}  // namespace jmb::phy

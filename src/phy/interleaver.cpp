@@ -1,0 +1,55 @@
+#include "phy/interleaver.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jmb::phy {
+
+std::vector<std::size_t> interleave_permutation(const Mcs& mcs) {
+  const std::size_t n_cbps = mcs.n_cbps();
+  const std::size_t n_bpsc = mcs.n_bpsc();
+  const std::size_t s = std::max<std::size_t>(n_bpsc / 2, 1);
+  std::vector<std::size_t> perm(n_cbps);
+  for (std::size_t k = 0; k < n_cbps; ++k) {
+    // First permutation (17-17).
+    const std::size_t i = (n_cbps / 16) * (k % 16) + k / 16;
+    // Second permutation (17-18).
+    const std::size_t j =
+        s * (i / s) + (i + n_cbps - (16 * i) / n_cbps) % s;
+    perm[k] = j;
+  }
+  return perm;
+}
+
+BitVec interleave(const BitVec& bits, const Mcs& mcs) {
+  if (bits.size() != mcs.n_cbps()) {
+    throw std::invalid_argument("interleave: need exactly n_cbps bits");
+  }
+  const auto perm = interleave_permutation(mcs);
+  BitVec out(bits.size());
+  for (std::size_t k = 0; k < bits.size(); ++k) out[perm[k]] = bits[k];
+  return out;
+}
+
+BitVec deinterleave(const BitVec& bits, const Mcs& mcs) {
+  if (bits.size() != mcs.n_cbps()) {
+    throw std::invalid_argument("deinterleave: need exactly n_cbps bits");
+  }
+  const auto perm = interleave_permutation(mcs);
+  BitVec out(bits.size());
+  for (std::size_t k = 0; k < bits.size(); ++k) out[k] = bits[perm[k]];
+  return out;
+}
+
+std::vector<double> deinterleave_soft(const std::vector<double>& llr,
+                                      const Mcs& mcs) {
+  if (llr.size() != mcs.n_cbps()) {
+    throw std::invalid_argument("deinterleave_soft: need exactly n_cbps values");
+  }
+  const auto perm = interleave_permutation(mcs);
+  std::vector<double> out(llr.size());
+  for (std::size_t k = 0; k < llr.size(); ++k) out[k] = llr[perm[k]];
+  return out;
+}
+
+}  // namespace jmb::phy

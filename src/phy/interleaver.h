@@ -1,0 +1,26 @@
+// 802.11a block interleaver (17.3.5.7): two permutations over one OFDM
+// symbol's worth of coded bits, spreading adjacent bits across subcarriers
+// and across constellation bit positions.
+#pragma once
+
+#include <vector>
+
+#include "phy/params.h"
+#include "phy/scrambler.h"  // BitVec
+
+namespace jmb::phy {
+
+/// Interleave one OFDM symbol of coded bits (size must equal n_cbps).
+[[nodiscard]] BitVec interleave(const BitVec& bits, const Mcs& mcs);
+
+/// Inverse permutation on hard bits.
+[[nodiscard]] BitVec deinterleave(const BitVec& bits, const Mcs& mcs);
+
+/// Inverse permutation on soft values (LLRs), same indices.
+[[nodiscard]] std::vector<double> deinterleave_soft(
+    const std::vector<double>& llr, const Mcs& mcs);
+
+/// The composite permutation: out[perm[k]] = in[k] for interleave.
+[[nodiscard]] std::vector<std::size_t> interleave_permutation(const Mcs& mcs);
+
+}  // namespace jmb::phy

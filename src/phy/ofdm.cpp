@@ -1,0 +1,75 @@
+#include "phy/ofdm.h"
+
+#include <stdexcept>
+
+#include "dsp/fft.h"
+
+namespace jmb::phy {
+
+cvec map_subcarriers(const cvec& data48, std::size_t symbol_index) {
+  if (data48.size() != kNumDataCarriers) {
+    throw std::invalid_argument("map_subcarriers: need 48 data symbols");
+  }
+  cvec freq(kNfft);
+  const auto& dc = data_carriers();
+  for (std::size_t i = 0; i < kNumDataCarriers; ++i) {
+    freq[bin_of(dc[i])] = data48[i];
+  }
+  const double pol = pilot_polarity(symbol_index);
+  const auto& pc = pilot_carriers();
+  const auto& pb = pilot_base();
+  for (std::size_t i = 0; i < kNumPilots; ++i) {
+    freq[bin_of(pc[i])] = pol * pb[i];
+  }
+  return freq;
+}
+
+cvec ofdm_modulate(const cvec& freq_symbol) {
+  if (freq_symbol.size() != kNfft) {
+    throw std::invalid_argument("ofdm_modulate: need kNfft frequency values");
+  }
+  const cvec time = ifft(freq_symbol);
+  cvec out(kSymbolLen);
+  for (std::size_t i = 0; i < kCpLen; ++i) out[i] = time[kNfft - kCpLen + i];
+  for (std::size_t i = 0; i < kNfft; ++i) out[kCpLen + i] = time[i];
+  return out;
+}
+
+cvec ofdm_demodulate(const cvec& time_symbol, std::size_t cp_skip) {
+  if (time_symbol.size() < kSymbolLen) {
+    throw std::invalid_argument("ofdm_demodulate: need kSymbolLen samples");
+  }
+  if (cp_skip > kCpLen) {
+    throw std::invalid_argument("ofdm_demodulate: cp_skip beyond the CP");
+  }
+  cvec window(time_symbol.begin() + static_cast<std::ptrdiff_t>(cp_skip),
+              time_symbol.begin() + static_cast<std::ptrdiff_t>(cp_skip + kNfft));
+  fft_inplace(window);
+  return window;
+}
+
+cvec extract_data(const cvec& freq_symbol) {
+  if (freq_symbol.size() != kNfft) {
+    throw std::invalid_argument("extract_data: need kNfft values");
+  }
+  cvec out(kNumDataCarriers);
+  const auto& dc = data_carriers();
+  for (std::size_t i = 0; i < kNumDataCarriers; ++i) {
+    out[i] = freq_symbol[bin_of(dc[i])];
+  }
+  return out;
+}
+
+cvec extract_pilots(const cvec& freq_symbol) {
+  if (freq_symbol.size() != kNfft) {
+    throw std::invalid_argument("extract_pilots: need kNfft values");
+  }
+  cvec out(kNumPilots);
+  const auto& pc = pilot_carriers();
+  for (std::size_t i = 0; i < kNumPilots; ++i) {
+    out[i] = freq_symbol[bin_of(pc[i])];
+  }
+  return out;
+}
+
+}  // namespace jmb::phy

@@ -1,0 +1,29 @@
+// OFDM symbol assembly: subcarrier mapping, IFFT + cyclic prefix on the
+// transmit side; FFT + subcarrier extraction on the receive side.
+#pragma once
+
+#include "dsp/types.h"
+#include "phy/params.h"
+
+namespace jmb::phy {
+
+/// Place 48 data symbols and the 4 pilots (with per-symbol polarity) onto
+/// logical subcarriers, returning the kNfft-point frequency-domain symbol.
+[[nodiscard]] cvec map_subcarriers(const cvec& data48, std::size_t symbol_index);
+
+/// IFFT + cyclic prefix: kNfft-point frequency symbol -> kSymbolLen samples.
+[[nodiscard]] cvec ofdm_modulate(const cvec& freq_symbol);
+
+/// Strip CP and FFT: kSymbolLen samples -> kNfft frequency-domain values.
+/// `cp_skip` positions the FFT window inside the CP (a small back-off makes
+/// the receiver robust to +-few-sample timing error at the cost of a phase
+/// ramp the channel estimate absorbs).
+[[nodiscard]] cvec ofdm_demodulate(const cvec& time_symbol, std::size_t cp_skip = kCpLen);
+
+/// Extract the 48 data subcarriers from a frequency-domain symbol.
+[[nodiscard]] cvec extract_data(const cvec& freq_symbol);
+
+/// Extract the 4 pilot subcarriers.
+[[nodiscard]] cvec extract_pilots(const cvec& freq_symbol);
+
+}  // namespace jmb::phy

@@ -1,0 +1,100 @@
+#include "phy/preamble.h"
+
+#include <cmath>
+
+#include "dsp/fft.h"
+
+namespace jmb::phy {
+
+namespace {
+
+// 802.11a 17.3.3: S_{-26..26}, nonzero every 4th subcarrier.
+cvec build_stf_freq() {
+  cvec s(kNfft);
+  const double scale = std::sqrt(13.0 / 6.0);
+  const cplx p{scale, scale};    // (1+j) * sqrt(13/6)
+  const cplx n = -p;             // (-1-j) * sqrt(13/6)
+  s[bin_of(-24)] = p;
+  s[bin_of(-20)] = n;
+  s[bin_of(-16)] = p;
+  s[bin_of(-12)] = n;
+  s[bin_of(-8)] = n;
+  s[bin_of(-4)] = p;
+  s[bin_of(4)] = n;
+  s[bin_of(8)] = n;
+  s[bin_of(12)] = p;
+  s[bin_of(16)] = p;
+  s[bin_of(20)] = p;
+  s[bin_of(24)] = p;
+  return s;
+}
+
+// 802.11a 17.3.3: L_{-26..26}.
+cvec build_ltf_freq() {
+  static const int kL[53] = {
+      1, 1,  -1, -1, 1,  1,  -1, 1,  -1, 1,  1,  1,  1,  1, 1, -1, -1, 1,
+      1, -1, 1,  -1, 1,  1,  1,  1,  0,  1,  -1, -1, 1,  1, -1, 1, -1, 1,
+      -1, -1, -1, -1, -1, 1,  1,  -1, -1, 1,  -1, 1,  -1, 1, 1,  1,  1};
+  cvec l(kNfft);
+  for (int k = -26; k <= 26; ++k) {
+    l[bin_of(k)] = static_cast<double>(kL[k + 26]);
+  }
+  return l;
+}
+
+}  // namespace
+
+const cvec& stf_freq() {
+  static const cvec kS = build_stf_freq();
+  return kS;
+}
+
+const cvec& ltf_freq() {
+  static const cvec kL = build_ltf_freq();
+  return kL;
+}
+
+const cvec& stf_time() {
+  static const cvec kStf = [] {
+    // IFFT of the sparse STF spectrum is periodic with period 16; tile the
+    // first 16 samples ten times. No standard power normalization beyond
+    // the sqrt(13/6) already in the spectrum.
+    const cvec full = ifft(stf_freq());
+    cvec out(kStfLen);
+    for (std::size_t i = 0; i < kStfLen; ++i) out[i] = full[i % 16];
+    return out;
+  }();
+  return kStf;
+}
+
+const cvec& ltf_symbol_time() {
+  static const cvec kSym = ifft(ltf_freq());
+  return kSym;
+}
+
+const cvec& ltf_time() {
+  static const cvec kLtf = [] {
+    const cvec& sym = ltf_symbol_time();
+    cvec out(kLtfLen);
+    // Double-length guard: the last 32 samples of the symbol.
+    for (std::size_t i = 0; i < 32; ++i) out[i] = sym[kNfft - 32 + i];
+    for (std::size_t i = 0; i < kNfft; ++i) {
+      out[32 + i] = sym[i];
+      out[32 + kNfft + i] = sym[i];
+    }
+    return out;
+  }();
+  return kLtf;
+}
+
+cvec preamble_time() {
+  cvec out;
+  out.reserve(kPreambleLen);
+  const cvec& s = stf_time();
+  const cvec& l = ltf_time();
+  out.insert(out.end(), s.begin(), s.end());
+  out.insert(out.end(), l.begin(), l.end());
+  return out;
+}
+
+}  // namespace jmb::phy

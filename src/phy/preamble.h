@@ -1,0 +1,33 @@
+// 802.11a preamble (17.3.3): the short training field used for packet
+// detection and coarse CFO, and the long training field used for fine CFO
+// and channel estimation. The LTF symbol doubles as JMB's "channel
+// measurement symbol" — slave APs interleave time-shifted copies of it so
+// clients can measure every AP's channel against one reference time.
+#pragma once
+
+#include "dsp/types.h"
+#include "phy/params.h"
+
+namespace jmb::phy {
+
+/// Frequency-domain STF values on logical subcarriers -32..31 (bin order
+/// 0..63 after bin_of mapping), including the sqrt(13/6) scaling.
+[[nodiscard]] const cvec& stf_freq();
+
+/// Frequency-domain LTF values (+-1 on -26..26 except DC).
+[[nodiscard]] const cvec& ltf_freq();
+
+/// 160-sample time-domain STF (10 repetitions of a 16-sample pattern).
+[[nodiscard]] const cvec& stf_time();
+
+/// 160-sample time-domain LTF (32-sample guard + 2 x 64-sample symbols).
+[[nodiscard]] const cvec& ltf_time();
+
+/// One bare 64-sample LTF symbol (no guard) — the unit JMB interleaves
+/// during channel measurement.
+[[nodiscard]] const cvec& ltf_symbol_time();
+
+/// Full 320-sample preamble (STF then LTF).
+[[nodiscard]] cvec preamble_time();
+
+}  // namespace jmb::phy

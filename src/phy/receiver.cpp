@@ -1,0 +1,244 @@
+#include "phy/receiver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "phy/modulation.h"
+#include "phy/ofdm.h"
+#include "phy/sync.h"
+
+namespace jmb::phy {
+
+namespace {
+
+// FFT of a bare 64-sample window starting at `pos` (no CP handling).
+cvec fft_window(const cvec& x, std::size_t pos) {
+  cvec w(x.begin() + static_cast<std::ptrdiff_t>(pos),
+         x.begin() + static_cast<std::ptrdiff_t>(pos + kNfft));
+  fft_inplace(w);
+  return w;
+}
+
+// Noise variance estimate from the two (ideally identical) LTF symbols.
+double ltf_noise_var(const cvec& f1, const cvec& f2) {
+  double acc = 0.0;
+  int n = 0;
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    const std::size_t b = bin_of(k);
+    acc += std::norm(f1[b] - f2[b]);
+    ++n;
+  }
+  // Var(f1 - f2) = 2 * noise_var per subcarrier.
+  return std::max(acc / (2.0 * n), 1e-12);
+}
+
+struct SymbolDecode {
+  cvec data48;         // equalized, phase-corrected data symbols
+  rvec noise48;        // post-equalization noise variance per data carrier
+};
+
+// Demodulate/equalize one OFDM symbol whose 80 samples start at `sym_start`.
+SymbolDecode decode_symbol(const cvec& corrected, std::size_t sym_start,
+                           std::size_t backoff, const ChannelEstimate& chan,
+                           double noise_var, std::size_t symbol_index) {
+  const std::size_t win = sym_start + kCpLen - backoff;
+  const cvec f = fft_window(corrected, win);
+  const PilotPhase pp = track_pilots(f, chan, symbol_index);
+
+  SymbolDecode out;
+  out.data48.resize(kNumDataCarriers);
+  out.noise48.resize(kNumDataCarriers);
+  const auto& dc = data_carriers();
+  for (std::size_t i = 0; i < kNumDataCarriers; ++i) {
+    const std::size_t b = bin_of(dc[i]);
+    const cplx h = chan.h[b];
+    const double hp = std::max(std::norm(h), 1e-12);
+    out.data48[i] = f[b] / h;
+    out.noise48[i] = noise_var / hp;
+  }
+  apply_phase_correction(out.data48, pp);
+  return out;
+}
+
+// Shared back half of reception: channel-estimate in pm, symbols start
+// right after the two LTF repetitions at pm.ltf_start.
+RxResult decode_after_ltf(const cvec& corrected, const PreambleMeasurement& pm,
+                          std::size_t timing_backoff) {
+  RxResult res;
+  res.preamble = pm;
+  const std::size_t backoff = std::min(pm.ltf_start, timing_backoff);
+  const std::size_t payload = pm.ltf_start + 2 * kNfft;
+
+  if (corrected.size() < payload + kSymbolLen) {
+    res.fail_reason = "buffer too short for SIGNAL";
+    return res;
+  }
+  const SymbolDecode sig_sym =
+      decode_symbol(corrected, payload, backoff, pm.chan, pm.noise_var, 0);
+  const auto sig = decode_signal_symbol(
+      sig_sym.data48,
+      std::max(pm.noise_var / std::max(pm.chan.mean_gain_power(), 1e-12), 1e-12));
+  if (!sig) {
+    res.fail_reason = "SIGNAL decode failed";
+    return res;
+  }
+  res.sig = *sig;
+  res.header_ok = true;
+
+  const Mcs& mcs = rate_set()[sig->rate_index];
+  const std::size_t n_sym = n_data_symbols(sig->length, mcs);
+  if (corrected.size() < payload + (1 + n_sym) * kSymbolLen) {
+    res.fail_reason = "buffer too short for payload";
+    return res;
+  }
+
+  std::vector<std::vector<double>> llr_per_symbol;
+  llr_per_symbol.reserve(n_sym);
+  double evm_err = 0.0, evm_sig = 0.0;
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    const std::size_t sym_start = payload + (1 + s) * kSymbolLen;
+    const SymbolDecode d = decode_symbol(corrected, sym_start, backoff,
+                                         pm.chan, pm.noise_var, s + 1);
+    llr_per_symbol.push_back(
+        demodulate_soft(d.data48, mcs.modulation, d.noise48));
+    // EVM against the nearest constellation points.
+    const BitVec hard = demodulate_hard(d.data48, mcs.modulation);
+    const cvec nearest = modulate(hard, mcs.modulation);
+    for (std::size_t i = 0; i < d.data48.size(); ++i) {
+      evm_err += std::norm(d.data48[i] - nearest[i]);
+      evm_sig += std::norm(nearest[i]);
+    }
+  }
+  res.evm_snr_db = to_db(evm_sig / std::max(evm_err, 1e-12));
+
+  const auto psdu = decode_psdu(llr_per_symbol, *sig);
+  if (!psdu) {
+    res.fail_reason = "payload decode failed";
+    return res;
+  }
+  res.psdu = *psdu;
+  res.ok = true;
+  return res;
+}
+
+}  // namespace
+
+std::optional<PreambleMeasurement> Receiver::measure_preamble(
+    const cvec& rx, std::size_t search_from) const {
+  const auto det = detect_packet(rx, search_from);
+  std::size_t stf = 0;
+  double coarse = 0.0;
+  cvec corrected;
+  std::optional<std::size_t> ltf;
+  if (det) {
+    stf = det->stf_start;
+    if (rx.size() < stf + kPreambleLen + kSymbolLen) return std::nullopt;
+    // Coarse CFO from the STF body (skip the detection edge).
+    cvec stf_win(rx.begin() + static_cast<std::ptrdiff_t>(stf + 8),
+                 rx.begin() + static_cast<std::ptrdiff_t>(stf + 152));
+    coarse = coarse_cfo_hz(stf_win, cfg_.sample_rate_hz);
+    corrected = correct_cfo(rx, coarse, cfg_.sample_rate_hz);
+    // The first LTF symbol nominally starts at stf + 192; search around it.
+    ltf = locate_ltf(corrected, stf + 150, std::min(rx.size(), stf + 240));
+  } else {
+    // Low-SNR fallback: the STF autocorrelation plateau drowns near the
+    // detection threshold, but a coherent cross-correlation against the
+    // known 64-sample LTF has ~18 dB of processing gain. Locate the LTF
+    // anywhere in the buffer, then estimate CFO from its repetition.
+    auto raw_ltf = locate_ltf_earliest(rx, search_from, rx.size());
+    if (!raw_ltf || *raw_ltf < 192 + kNfft) return std::nullopt;
+    // The correlator may have locked onto the (identical) second
+    // repetition: if the position 64 samples earlier also looks like an
+    // LTF while 64 later does not, shift back.
+    if (ltf_metric_at(rx, *raw_ltf - kNfft) >
+        ltf_metric_at(rx, *raw_ltf + kNfft)) {
+      *raw_ltf -= kNfft;
+    }
+    if (rx.size() < *raw_ltf + 2 * kNfft + kSymbolLen) return std::nullopt;
+    cvec two(rx.begin() + static_cast<std::ptrdiff_t>(*raw_ltf),
+             rx.begin() + static_cast<std::ptrdiff_t>(*raw_ltf + 2 * kNfft));
+    coarse = fine_cfo_hz(two, cfg_.sample_rate_hz);
+    corrected = correct_cfo(rx, coarse, cfg_.sample_rate_hz);
+    // Refine the location post-correction; it may land on the (identical)
+    // second repetition, which the symmetric +-window below tolerates.
+    ltf = locate_ltf(corrected, *raw_ltf - std::min<std::size_t>(*raw_ltf, 8),
+                     std::min(rx.size(), *raw_ltf + 8));
+    if (!ltf) ltf = raw_ltf;
+    stf = *ltf - 192;
+  }
+  if (!ltf) return std::nullopt;
+  const std::size_t ltf_start = *ltf;
+  if (rx.size() < ltf_start + 2 * kNfft) return std::nullopt;
+
+  cvec ltf_win(corrected.begin() + static_cast<std::ptrdiff_t>(ltf_start),
+               corrected.begin() + static_cast<std::ptrdiff_t>(ltf_start + 2 * kNfft));
+  const double fine = fine_cfo_hz(ltf_win, cfg_.sample_rate_hz);
+  const double total_cfo = coarse + fine;
+
+  corrected = correct_cfo(rx, total_cfo, cfg_.sample_rate_hz);
+
+  const std::size_t w1 = ltf_start - std::min(ltf_start, kTimingBackoff);
+  const cvec f1 = fft_window(corrected, w1);
+  const cvec f2 = fft_window(corrected, w1 + kNfft);
+
+  PreambleMeasurement pm;
+  pm.stf_start = stf;
+  pm.ltf_start = ltf_start;
+  pm.cfo_hz = total_cfo;
+  pm.noise_var = ltf_noise_var(f1, f2);
+  pm.chan = average_estimates({estimate_from_ltf(f1), estimate_from_ltf(f2)});
+  pm.snr_db = to_db(std::max(pm.chan.mean_gain_power(), 1e-12) / pm.noise_var);
+  return pm;
+}
+
+RxResult Receiver::receive(const cvec& rx, std::size_t search_from) const {
+  const auto pm = measure_preamble(rx, search_from);
+  if (!pm) {
+    RxResult res;
+    res.fail_reason = "no preamble detected";
+    return res;
+  }
+  const cvec corrected = correct_cfo(rx, pm->cfo_hz, cfg_.sample_rate_hz);
+  // Payload symbols start right after the second LTF repetition; the FFT
+  // windows inside use the same back-off as the channel-estimate windows.
+  return decode_after_ltf(corrected, *pm, kTimingBackoff);
+}
+
+RxResult Receiver::receive_payload(const cvec& rx, std::size_t payload_start,
+                                   double cfo_hz) const {
+  RxResult res;
+  const cvec corrected = correct_cfo(rx, cfo_hz, cfg_.sample_rate_hz);
+
+  // The payload begins with its own double-guard LTF: 32-sample GI2 then
+  // two 64-sample symbols. Search a window wide enough for a few samples
+  // of timing slop but short enough that the identical second repetition
+  // (at +96) can never win the correlation.
+  const auto ltf = locate_ltf(corrected, payload_start,
+                              std::min(rx.size(), payload_start + kNfft));
+  if (!ltf) {
+    res.fail_reason = "payload LTF not found";
+    return res;
+  }
+  const std::size_t ltf_start = *ltf;
+  if (corrected.size() < ltf_start + 2 * kNfft + kSymbolLen) {
+    res.fail_reason = "buffer too short for payload LTF";
+    return res;
+  }
+  const std::size_t backoff = std::min(ltf_start, kTimingBackoff);
+  const std::size_t w1 = ltf_start - backoff;
+  const cvec f1 = fft_window(corrected, w1);
+  const cvec f2 = fft_window(corrected, w1 + kNfft);
+
+  PreambleMeasurement pm;
+  pm.stf_start = payload_start;
+  pm.ltf_start = ltf_start;
+  pm.cfo_hz = cfo_hz;
+  pm.noise_var = ltf_noise_var(f1, f2);
+  pm.chan = average_estimates({estimate_from_ltf(f1), estimate_from_ltf(f2)});
+  pm.snr_db = to_db(std::max(pm.chan.mean_gain_power(), 1e-12) / pm.noise_var);
+  return decode_after_ltf(corrected, pm, kTimingBackoff);
+}
+
+}  // namespace jmb::phy

@@ -1,0 +1,33 @@
+#include "phy/scrambler.h"
+
+#include <stdexcept>
+
+namespace jmb::phy {
+
+Scrambler::Scrambler(unsigned seed) : state_(seed & 0x7F) {
+  if (state_ == 0) {
+    throw std::invalid_argument("Scrambler: seed must be a nonzero 7-bit value");
+  }
+}
+
+std::uint8_t Scrambler::next_bit() {
+  // Feedback is x7 xor x4 (bit 6 xor bit 3 of the register).
+  const unsigned fb = ((state_ >> 6) ^ (state_ >> 3)) & 1u;
+  state_ = ((state_ << 1) | fb) & 0x7F;
+  return static_cast<std::uint8_t>(fb);
+}
+
+BitVec Scrambler::scramble(const BitVec& bits) {
+  BitVec out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>((bits[i] ^ next_bit()) & 1u);
+  }
+  return out;
+}
+
+BitVec scramble_bits(const BitVec& bits, unsigned seed) {
+  Scrambler s(seed);
+  return s.scramble(bits);
+}
+
+}  // namespace jmb::phy

@@ -1,0 +1,43 @@
+#include "phy/transmitter.h"
+
+#include "phy/ofdm.h"
+#include "phy/preamble.h"
+
+namespace jmb::phy {
+
+std::vector<cvec> Transmitter::build_freq_symbols(const ByteVec& psdu,
+                                                  const Mcs& mcs,
+                                                  unsigned scrambler_seed) const {
+  std::vector<cvec> out;
+  const SignalField sig{rate_index(mcs), psdu.size()};
+  out.push_back(map_subcarriers(build_signal_symbol(sig), 0));
+  const std::vector<cvec> data = encode_psdu(psdu, mcs, scrambler_seed);
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    out.push_back(map_subcarriers(data[s], s + 1));
+  }
+  return out;
+}
+
+cvec Transmitter::synthesize(const std::vector<cvec>& freq_symbols) {
+  cvec out;
+  out.reserve(freq_symbols.size() * kSymbolLen);
+  for (const cvec& f : freq_symbols) {
+    const cvec t = ofdm_modulate(f);
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  return out;
+}
+
+TxFrame Transmitter::build_frame(const ByteVec& psdu, const Mcs& mcs,
+                                 unsigned scrambler_seed) const {
+  TxFrame frame;
+  frame.mcs = mcs;
+  frame.psdu_len = psdu.size();
+  frame.freq_symbols = build_freq_symbols(psdu, mcs, scrambler_seed);
+  frame.samples = preamble_time();
+  const cvec payload = synthesize(frame.freq_symbols);
+  frame.samples.insert(frame.samples.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+}  // namespace jmb::phy

@@ -1,0 +1,126 @@
+#include "phy/viterbi.h"
+
+#include <array>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace jmb::phy {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Static trellis: for each (state, input) the successor state and the two
+// mother-code output bits, matching conv_encode()'s shift convention
+// (current bit enters at the high end of the 7-bit window).
+struct Trellis {
+  // next[state][bit], outA[state][bit], outB[state][bit]
+  std::array<std::array<std::uint8_t, 2>, kNumStates> next{};
+  std::array<std::array<std::uint8_t, 2>, kNumStates> out_a{};
+  std::array<std::array<std::uint8_t, 2>, kNumStates> out_b{};
+};
+
+std::uint8_t parity7(unsigned x) {
+  return static_cast<std::uint8_t>(std::popcount(x & 0x7Fu) & 1);
+}
+
+const Trellis& trellis() {
+  static const Trellis kT = [] {
+    Trellis t;
+    for (unsigned s = 0; s < kNumStates; ++s) {
+      for (unsigned b = 0; b < 2; ++b) {
+        const unsigned window = (b << 6) | s;
+        t.next[s][b] = static_cast<std::uint8_t>(window >> 1);
+        t.out_a[s][b] = parity7(window & kGenA);
+        t.out_b[s][b] = parity7(window & kGenB);
+      }
+    }
+    return t;
+  }();
+  return kT;
+}
+
+}  // namespace
+
+BitVec viterbi_decode(const std::vector<double>& llr, std::size_t n_info,
+                      bool terminated) {
+  if (llr.size() != 2 * n_info) {
+    throw std::invalid_argument("viterbi_decode: need 2*n_info soft bits");
+  }
+  const Trellis& t = trellis();
+
+  std::vector<double> metric(kNumStates, kNegInf);
+  metric[0] = 0.0;  // encoder starts in the all-zero state
+  std::vector<double> next_metric(kNumStates);
+  // survivor[step][state] = (predecessor state << 1) | input bit
+  std::vector<std::array<std::uint8_t, kNumStates>> survivor(n_info);
+  std::vector<std::array<std::uint8_t, kNumStates>> survivor_bit(n_info);
+
+  for (std::size_t step = 0; step < n_info; ++step) {
+    const double la = llr[2 * step];      // LLR for output bit A
+    const double lb = llr[2 * step + 1];  // LLR for output bit B
+    for (double& m : next_metric) m = kNegInf;
+    auto& surv = survivor[step];
+    auto& surv_bit = survivor_bit[step];
+    for (unsigned s = 0; s < kNumStates; ++s) {
+      if (metric[s] == kNegInf) continue;
+      for (unsigned b = 0; b < 2; ++b) {
+        // Branch metric: +llr/2 if the hypothesized coded bit is 0,
+        // -llr/2 if it is 1 -> (1 - 2c) * llr / 2. Constants cancel, so
+        // we use (1 - 2c) * llr directly.
+        const double m = metric[s] +
+                         (t.out_a[s][b] ? -la : la) +
+                         (t.out_b[s][b] ? -lb : lb);
+        const unsigned ns = t.next[s][b];
+        if (m > next_metric[ns]) {
+          next_metric[ns] = m;
+          surv[ns] = static_cast<std::uint8_t>(s);
+          surv_bit[ns] = static_cast<std::uint8_t>(b);
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  // Pick the final state.
+  unsigned state = 0;
+  if (!terminated) {
+    double best = kNegInf;
+    for (unsigned s = 0; s < kNumStates; ++s) {
+      if (metric[s] > best) {
+        best = metric[s];
+        state = s;
+      }
+    }
+  } else if (metric[0] == kNegInf) {
+    // Terminated trellis unreachable (shouldn't happen with n_info >= 6);
+    // fall back to best-state decoding.
+    double best = kNegInf;
+    for (unsigned s = 0; s < kNumStates; ++s) {
+      if (metric[s] > best) {
+        best = metric[s];
+        state = s;
+      }
+    }
+  }
+
+  // Trace back.
+  BitVec bits(n_info);
+  for (std::size_t step = n_info; step-- > 0;) {
+    bits[step] = survivor_bit[step][state];
+    state = survivor[step][state];
+  }
+  return bits;
+}
+
+BitVec viterbi_decode_hard(const BitVec& coded, std::size_t n_info,
+                           bool terminated) {
+  std::vector<double> llr(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    llr[i] = coded[i] ? -1.0 : 1.0;
+  }
+  return viterbi_decode(llr, n_info, terminated);
+}
+
+}  // namespace jmb::phy

@@ -1,0 +1,21 @@
+// AWGN bit-error-rate models per constellation — the basis of effective-SNR
+// rate selection (Halperin et al., SIGCOMM'10), which the paper adopts for
+// JMB ("MegaMIMO uses the effective SNR algorithm", Section 9).
+#pragma once
+
+#include "phy/params.h"
+
+namespace jmb::rate {
+
+/// Gaussian tail Q(x) = P(N(0,1) > x).
+[[nodiscard]] double q_function(double x);
+
+/// Uncoded bit error probability at symbol SNR `snr` (linear, Es/N0) for
+/// one constellation, using the standard Gray-mapping approximations.
+[[nodiscard]] double ber(phy::Modulation m, double snr);
+
+/// Inverse of ber() in SNR: the symbol SNR at which the constellation hits
+/// `target_ber`. Solved by bisection; clamped to [1e-6, 1e9].
+[[nodiscard]] double snr_for_ber(phy::Modulation m, double target_ber);
+
+}  // namespace jmb::rate

@@ -1,0 +1,51 @@
+#include "rate/effective_snr.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rate/ber.h"
+
+namespace jmb::rate {
+
+double effective_snr(phy::Modulation m, const rvec& subcarrier_snr) {
+  if (subcarrier_snr.empty()) {
+    throw std::invalid_argument("effective_snr: no subcarriers");
+  }
+  double mean_ber = 0.0;
+  for (double s : subcarrier_snr) {
+    mean_ber += ber(m, std::max(s, 0.0));
+  }
+  mean_ber /= static_cast<double>(subcarrier_snr.size());
+  // Clamp away from the solver's domain edges.
+  mean_ber = std::clamp(mean_ber, 1e-15, 0.499);
+  return snr_for_ber(m, mean_ber);
+}
+
+double effective_snr_db(phy::Modulation m, const rvec& subcarrier_snr) {
+  return to_db(effective_snr(m, subcarrier_snr));
+}
+
+const rvec& rate_thresholds_db() {
+  // Required effective SNR per rate_set() entry, anchored to 802.11a
+  // receiver-sensitivity spacing and validated against this repo's PHY
+  // waterfalls (tests/test_rate.cpp crosschecks the ordering and spacing).
+  static const rvec kThresholds{4.0, 6.0, 7.0, 9.5, 12.5, 16.0, 19.5, 21.0};
+  return kThresholds;
+}
+
+std::optional<std::size_t> select_rate(const rvec& subcarrier_snr) {
+  const auto& rates = phy::rate_set();
+  const auto& thr = rate_thresholds_db();
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double eff = effective_snr_db(rates[i].modulation, subcarrier_snr);
+    if (eff >= thr[i]) best = i;
+  }
+  return best;
+}
+
+std::optional<std::size_t> select_rate_flat(double snr_db) {
+  return select_rate(rvec(phy::kNumDataCarriers, from_db(snr_db)));
+}
+
+}  // namespace jmb::rate

@@ -1,0 +1,33 @@
+// Effective SNR (Halperin et al.): collapse a frequency-selective set of
+// per-subcarrier SNRs into the single flat-channel SNR that would produce
+// the same average uncoded BER, per constellation. Rate selection then
+// compares the effective SNR against per-rate thresholds.
+#pragma once
+
+#include <optional>
+
+#include "dsp/types.h"
+#include "phy/params.h"
+
+namespace jmb::rate {
+
+/// Effective SNR (linear) for a constellation given per-subcarrier SNRs.
+[[nodiscard]] double effective_snr(phy::Modulation m, const rvec& subcarrier_snr);
+
+/// Effective SNR in dB from per-subcarrier SNRs in linear units.
+[[nodiscard]] double effective_snr_db(phy::Modulation m, const rvec& subcarrier_snr);
+
+/// Minimum effective SNR (dB) required to run each entry of
+/// phy::rate_set() at high delivery probability. Derived from the uncoded
+/// BER the 802.11 convolutional code needs at each coding rate; matches
+/// our PHY's measured waterfall within ~1 dB.
+[[nodiscard]] const rvec& rate_thresholds_db();
+
+/// Highest rate_set() index whose threshold is met, or nullopt if even the
+/// base rate won't decode.
+[[nodiscard]] std::optional<std::size_t> select_rate(const rvec& subcarrier_snr);
+
+/// Same, from a single flat SNR in dB.
+[[nodiscard]] std::optional<std::size_t> select_rate_flat(double snr_db);
+
+}  // namespace jmb::rate

@@ -1,0 +1,339 @@
+// Tests for the channel substrate: oscillator model, fading, topology,
+// and the sample-level Medium — including an end-to-end packet through the
+// medium into the standard receiver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chan/fading.h"
+#include "chan/medium.h"
+#include "chan/oscillator.h"
+#include "chan/topology.h"
+#include "dsp/stats.h"
+#include "phy/receiver.h"
+#include "phy/transmitter.h"
+
+namespace jmb::chan {
+namespace {
+
+TEST(Oscillator, CfoFromPpm) {
+  Oscillator osc({.ppm = 2.0, .carrier_hz = 2.4e9, .sample_rate_hz = 10e6,
+                  .phase_noise_linewidth_hz = 0.0, .seed = 1});
+  EXPECT_NEAR(osc.cfo_hz(), 4800.0, 1e-9);
+  EXPECT_NEAR(osc.clock_ratio(), 1.000002, 1e-12);
+  EXPECT_NEAR(osc.sample_rate_hz(), 10e6 * 1.000002, 1e-3);
+}
+
+TEST(Oscillator, RotationWithoutNoiseIsPureCfo) {
+  Oscillator osc({.ppm = 1.0, .carrier_hz = 2.4e9, .sample_rate_hz = 10e6,
+                  .phase_noise_linewidth_hz = 0.0, .seed = 1});
+  const double t = 1e-3;
+  const cplx r = osc.rotation_at(t);
+  EXPECT_NEAR(std::arg(r), wrap_phase(kTwoPi * 2400.0 * t), 1e-9);
+}
+
+TEST(Oscillator, PhaseNoiseIsDeterministic) {
+  const OscillatorParams p{.ppm = 0.0, .carrier_hz = 2.4e9,
+                           .sample_rate_hz = 10e6,
+                           .phase_noise_linewidth_hz = 0.5, .seed = 42};
+  Oscillator a(p), b(p);
+  // Query in different orders; same values must come back.
+  const double v1 = a.phase_noise_at(100000);
+  const double v2 = a.phase_noise_at(50000);
+  EXPECT_EQ(b.phase_noise_at(50000), v2);
+  EXPECT_EQ(b.phase_noise_at(100000), v1);
+}
+
+TEST(Oscillator, PhaseNoiseVarianceGrowsLinearly) {
+  // Wiener process: Var[theta(n)] = (2 pi B / fs) * n. Check the ensemble
+  // across seeds at two horizons.
+  const double fs = 10e6, B = 1.0;
+  RunningStats s_short, s_long;
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    Oscillator osc({.ppm = 0.0, .carrier_hz = 2.4e9, .sample_rate_hz = fs,
+                    .phase_noise_linewidth_hz = B, .seed = seed});
+    s_short.add(osc.phase_noise_at(10000));
+    s_long.add(osc.phase_noise_at(40000));
+  }
+  const double expect_short = kTwoPi * B / fs * 10000;
+  const double expect_long = kTwoPi * B / fs * 40000;
+  EXPECT_NEAR(s_short.variance(), expect_short, expect_short * 0.35);
+  EXPECT_NEAR(s_long.variance(), expect_long, expect_long * 0.35);
+}
+
+TEST(Fading, MeanPowerMatchesGain) {
+  RunningStats power;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    FadingChannel ch({.gain = 2.5, .n_taps = 4, .tap_decay = 0.5,
+                      .rice_k = 0.0, .delay_s = 0.0, .coherence_time_s = 0.25,
+                      .sample_rate_hz = 10e6, .seed = seed});
+    double p = 0.0;
+    for (const cplx& t : ch.taps()) p += std::norm(t);
+    power.add(p);
+  }
+  EXPECT_NEAR(power.mean(), 2.5, 0.25);
+}
+
+TEST(Fading, ExponentialProfileDecays) {
+  RunningStats t0, t1, t2;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    FadingChannel ch({.gain = 1.0, .n_taps = 3, .tap_decay = 0.4,
+                      .rice_k = 0.0, .delay_s = 0.0, .coherence_time_s = 0.25,
+                      .sample_rate_hz = 10e6, .seed = seed});
+    t0.add(std::norm(ch.taps()[0]));
+    t1.add(std::norm(ch.taps()[1]));
+    t2.add(std::norm(ch.taps()[2]));
+  }
+  EXPECT_NEAR(t1.mean() / t0.mean(), 0.4, 0.1);
+  EXPECT_NEAR(t2.mean() / t1.mean(), 0.4, 0.15);
+}
+
+TEST(Fading, CoherenceTimeDecorrelation) {
+  // Jakes model: autocorrelation ~ J0(2 pi f_D dt) with f_D picked so the
+  // 50% point lands at the configured coherence time. Short lags must be
+  // essentially unchanged (quadratic rolloff) — the property that lets JMB
+  // amortize one measurement over the coherence time.
+  const double tc = 0.25;
+  RunningStats corr_tc, corr_tiny, err_tiny;
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    FadingChannel ch({.gain = 1.0, .n_taps = 1, .tap_decay = 0.5,
+                      .rice_k = 0.0, .delay_s = 0.0, .coherence_time_s = tc,
+                      .sample_rate_hz = 10e6, .seed = seed});
+    const cplx h0 = ch.taps()[0];
+    ch.evolve_to(3e-3);  // << Tc: essentially unchanged
+    corr_tiny.add((std::conj(h0) * ch.taps()[0]).real() / std::norm(h0));
+    err_tiny.add(std::norm(ch.taps()[0] - h0) / std::norm(h0));
+    ch.evolve_to(3e-3 + tc);
+    corr_tc.add((std::conj(h0) * ch.taps()[0]).real());
+  }
+  EXPECT_GT(corr_tiny.mean(), 0.999);
+  // The 3 ms innovation must be far below -25 dB relative to the tap —
+  // Gauss-Markov (linear rolloff) would fail this at ~ -16 dB.
+  EXPECT_LT(to_db(err_tiny.mean()), -25.0);
+  EXPECT_NEAR(corr_tc.mean(), 0.5, 0.15);
+}
+
+TEST(Fading, EvolveBackwardsThrows) {
+  FadingChannel ch({.gain = 1.0, .n_taps = 1, .tap_decay = 0.5, .rice_k = 0.0,
+                    .delay_s = 0.0, .coherence_time_s = 0.25,
+                    .sample_rate_hz = 10e6, .seed = 1});
+  ch.evolve_to(1.0);
+  EXPECT_THROW(ch.evolve_to(0.5), std::invalid_argument);
+}
+
+TEST(Fading, RicianKConcentratesFirstTap) {
+  RunningStats mag;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    FadingChannel ch({.gain = 1.0, .n_taps = 1, .tap_decay = 1.0,
+                      .rice_k = 20.0, .delay_s = 0.0, .coherence_time_s = 0.25,
+                      .sample_rate_hz = 10e6, .seed = seed});
+    mag.add(std::abs(ch.taps()[0]));
+  }
+  // Strong LOS: magnitude tightly clustered near 1.
+  EXPECT_NEAR(mag.mean(), 1.0, 0.05);
+  EXPECT_LT(mag.stddev(), 0.2);
+}
+
+TEST(Fading, ApplyIsLinearConvolution) {
+  FadingChannel ch({.gain = 1.0, .n_taps = 3, .tap_decay = 0.5, .rice_k = 0.0,
+                    .delay_s = 0.0, .coherence_time_s = 0.25,
+                    .sample_rate_hz = 10e6, .seed = 7});
+  const cvec x{cplx{1, 0}, cplx{0, 1}};
+  const cvec y = ch.apply(x);
+  ASSERT_EQ(y.size(), 4u);
+  const auto& h = ch.taps();
+  EXPECT_NEAR(std::abs(y[0] - h[0] * x[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(y[1] - (h[1] * x[0] + h[0] * x[1])), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(y[3] - h[2] * x[1]), 0.0, 1e-12);
+}
+
+TEST(Topology, PlacementRespectsRoom) {
+  Rng rng(1);
+  const RoomParams room;
+  const Topology t = sample_topology(10, 10, room, rng);
+  EXPECT_EQ(t.aps.size(), 10u);
+  EXPECT_EQ(t.clients.size(), 10u);
+  ASSERT_EQ(t.links.size(), 10u);
+  for (const auto& row : t.links) EXPECT_EQ(row.size(), 10u);
+  for (const Position& p : t.aps) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, room.width_m);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, room.height_m);
+    // On a ledge: within 0.5 m of some wall.
+    const double wall = std::min(std::min(p.x, room.width_m - p.x),
+                                 std::min(p.y, room.height_m - p.y));
+    EXPECT_LE(wall, 0.5);
+  }
+}
+
+TEST(Topology, CloserIsStrongerOnAverage) {
+  Rng rng(2);
+  const RoomParams room;
+  RunningStats near_snr, far_snr;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Topology t = sample_topology(4, 4, room, rng);
+    for (std::size_t c = 0; c < t.clients.size(); ++c) {
+      for (std::size_t a = 0; a < t.aps.size(); ++a) {
+        (t.links[c][a].distance_m < 5.0 ? near_snr : far_snr)
+            .add(t.links[c][a].snr_db);
+      }
+    }
+  }
+  EXPECT_GT(near_snr.mean(), far_snr.mean() + 3.0);
+}
+
+TEST(Topology, BandSamplerHitsBand) {
+  Rng rng(3);
+  const RoomParams room;
+  for (const auto& [lo, hi] : {std::pair{6.0, 12.0}, {12.0, 18.0}, {18.0, 30.0}}) {
+    const Topology t = sample_topology_in_band(6, 6, room, rng, lo, hi);
+    for (std::size_t c = 0; c < t.clients.size(); ++c) {
+      double best = -1e18;
+      for (const Link& l : t.links[c]) best = std::max(best, l.snr_db);
+      EXPECT_GE(best, lo - 1e-9);
+      EXPECT_LE(best, hi + 1e-9);
+    }
+  }
+}
+
+TEST(Topology, PropagationDelayScale) {
+  // 15 m across a conference room: 50 ns, i.e. half a sample at 10 MHz —
+  // comfortably inside the 1.6 us cyclic prefix, as the paper argues.
+  EXPECT_NEAR(propagation_delay_s(15.0), 50e-9, 1e-9);
+}
+
+TEST(Medium, SingleLinkSnrMatchesBudget) {
+  MediumParams mp;
+  Medium medium(mp);
+  const NodeId tx = medium.add_node({.ppm = 0.0, .carrier_hz = 2.4e9,
+                                     .sample_rate_hz = 10e6,
+                                     .phase_noise_linewidth_hz = 0.0, .seed = 1},
+                                    /*noise_var=*/1e-3);
+  const NodeId rx = medium.add_node({.ppm = 0.0, .carrier_hz = 2.4e9,
+                                     .sample_rate_hz = 10e6,
+                                     .phase_noise_linewidth_hz = 0.0, .seed = 2},
+                                    1e-3);
+  medium.set_link(tx, rx, {.gain = 1.0, .n_taps = 1, .tap_decay = 1.0,
+                           .rice_k = 100.0, .delay_s = 0.0,
+                           .coherence_time_s = 0.25, .sample_rate_hz = 10e6,
+                           .seed = 3});
+  Rng rng(4);
+  const cvec burst = rng.cgaussian_vec(5000, 1.0);  // unit power
+  medium.transmit(tx, 0.0, burst);
+  const cvec heard = medium.receive(rx, 0.0, 5000);
+  // SNR = gain * power / noise_var = 1 / 1e-3 = 30 dB.
+  const double p = mean_power(heard);
+  EXPECT_NEAR(to_db((p - 1e-3) / 1e-3), 30.0, 1.0);
+}
+
+TEST(Medium, HalfDuplexAndMissingLinksAreSilent) {
+  Medium medium({});
+  const NodeId a = medium.add_node({.ppm = 0.0, .carrier_hz = 2.4e9,
+                                    .sample_rate_hz = 10e6,
+                                    .phase_noise_linewidth_hz = 0.0, .seed = 1},
+                                   1e-6);
+  const NodeId b = medium.add_node({.ppm = 0.0, .carrier_hz = 2.4e9,
+                                    .sample_rate_hz = 10e6,
+                                    .phase_noise_linewidth_hz = 0.0, .seed = 2},
+                                   1e-6);
+  Rng rng(5);
+  medium.transmit(a, 0.0, rng.cgaussian_vec(1000, 1.0));
+  // a doesn't hear itself; b has no link from a.
+  EXPECT_NEAR(mean_power(medium.receive(a, 0.0, 1000)), 1e-6, 5e-7);
+  EXPECT_NEAR(mean_power(medium.receive(b, 0.0, 1000)), 1e-6, 5e-7);
+}
+
+TEST(Medium, CfoAppearsAsExpectedRotation) {
+  Medium medium({});
+  // tx at +2 ppm, rx at -1 ppm: relative CFO = 3e-6 * 2.4 GHz = 7.2 kHz.
+  const NodeId tx = medium.add_node({.ppm = 2.0, .carrier_hz = 2.4e9,
+                                     .sample_rate_hz = 10e6,
+                                     .phase_noise_linewidth_hz = 0.0, .seed = 1},
+                                    1e-12);
+  const NodeId rx = medium.add_node({.ppm = -1.0, .carrier_hz = 2.4e9,
+                                     .sample_rate_hz = 10e6,
+                                     .phase_noise_linewidth_hz = 0.0, .seed = 2},
+                                    1e-12);
+  medium.set_link(tx, rx, {.gain = 1.0, .n_taps = 1, .tap_decay = 1.0,
+                           .rice_k = 1e9, .delay_s = 0.0,
+                           .coherence_time_s = 0.25, .sample_rate_hz = 10e6,
+                           .seed = 3});
+  const cvec ones(4000, cplx{1.0, 0.0});
+  medium.transmit(tx, 0.0, ones);
+  const cvec heard = medium.receive(rx, 0.0, 4000);
+  // Measure the rotation rate over the middle of the burst.
+  cplx acc{};
+  for (std::size_t n = 1000; n < 3000; ++n) {
+    acc += std::conj(heard[n]) * heard[n + 1];
+  }
+  const double f = std::arg(acc) * 10e6 / kTwoPi;
+  EXPECT_NEAR(f, 7200.0, 50.0);
+}
+
+TEST(Medium, TrueChannelIncludesDelayRamp) {
+  Medium medium({});
+  const NodeId tx = medium.add_node({.ppm = 0.0, .carrier_hz = 2.4e9,
+                                     .sample_rate_hz = 10e6,
+                                     .phase_noise_linewidth_hz = 0.0, .seed = 1});
+  const NodeId rx = medium.add_node({.ppm = 0.0, .carrier_hz = 2.4e9,
+                                     .sample_rate_hz = 10e6,
+                                     .phase_noise_linewidth_hz = 0.0, .seed = 2});
+  const double delay_s = 2.5e-7;  // 2.5 samples
+  medium.set_link(tx, rx, {.gain = 1.0, .n_taps = 1, .tap_decay = 1.0,
+                           .rice_k = 1e9, .delay_s = delay_s,
+                           .coherence_time_s = 0.25, .sample_rate_hz = 10e6,
+                           .seed = 3});
+  const cvec h = medium.true_channel(tx, rx);
+  // |H| flat; phase slope across bins = -2 pi k * 2.5 / 64.
+  const double mag0 = std::abs(h[1]);
+  EXPECT_NEAR(std::abs(h[10]) / mag0, 1.0, 1e-6);
+  const double slope = std::arg(h[2] * std::conj(h[1]));
+  EXPECT_NEAR(slope, -kTwoPi * 2.5 / 64.0, 1e-6);
+  EXPECT_THROW((void)medium.true_channel(rx, tx), std::invalid_argument);
+}
+
+TEST(Medium, EndToEndPacketThroughMediumDecodes) {
+  // A real 802.11 frame from a +1.5 ppm AP to a -1.2 ppm client across a
+  // fading link at ~25 dB SNR, with phase noise — the standard receiver
+  // must decode it.
+  Medium medium({});
+  const NodeId ap = medium.add_node({.ppm = 1.5, .carrier_hz = 2.4e9,
+                                     .sample_rate_hz = 10e6,
+                                     .phase_noise_linewidth_hz = 0.1, .seed = 11},
+                                    1e-12);
+  const double noise = 1e-3;
+  const NodeId client = medium.add_node({.ppm = -1.2, .carrier_hz = 2.4e9,
+                                         .sample_rate_hz = 10e6,
+                                         .phase_noise_linewidth_hz = 0.1,
+                                         .seed = 12},
+                                        noise);
+
+  const phy::PhyConfig cfg;
+  const phy::Transmitter tx(cfg);
+  const phy::Receiver rx(cfg);
+  Rng rng(14);
+  phy::ByteVec psdu(500);
+  for (auto& b : psdu) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const phy::TxFrame frame =
+      tx.build_frame(psdu, {phy::Modulation::kQam16, phy::CodeRate::kHalf});
+
+  // Gain such that mean received signal power sits 25 dB above the noise.
+  const double gain = noise * from_db(25.0) / mean_power(frame.samples);
+  medium.set_link(ap, client,
+                  {.gain = gain, .n_taps = 3, .tap_decay = 0.4,
+                   .rice_k = 5.0, .delay_s = 40e-9, .coherence_time_s = 0.25,
+                   .sample_rate_hz = 10e6, .seed = 13});
+
+  medium.transmit(ap, 100e-6, frame.samples);
+  const cvec heard = medium.receive(client, 0.0, 4000 + frame.samples.size());
+  const phy::RxResult res = rx.receive(heard);
+  ASSERT_TRUE(res.ok) << res.fail_reason;
+  EXPECT_EQ(res.psdu, psdu);
+  // CFO estimate should land near 2.7 ppm * 2.4 GHz = 6.48 kHz.
+  EXPECT_NEAR(res.preamble.cfo_hz, 6480.0, 300.0);
+  EXPECT_NEAR(res.preamble.snr_db, 25.0, 6.0);
+}
+
+}  // namespace
+}  // namespace jmb::chan

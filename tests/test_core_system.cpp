@@ -1,0 +1,366 @@
+// Integration tests for the sample-level JMB system: the interleaved
+// channel-measurement protocol, distributed phase synchronization, joint
+// zero-forcing transmissions, diversity mode, nulling (INR), and the
+// compat / decoupled measurement schemes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compat11n.h"
+#include "core/decoupled.h"
+#include "core/measurement.h"
+#include "core/system.h"
+#include "dsp/stats.h"
+#include "rate/effective_snr.h"
+
+namespace jmb::core {
+namespace {
+
+std::vector<std::vector<double>> flat_gains(std::size_t n_clients,
+                                            std::size_t n_aps, double snr_db) {
+  return std::vector<std::vector<double>>(
+      n_clients,
+      std::vector<double>(n_aps, JmbSystem::gain_for_snr_db(snr_db, 1.0)));
+}
+
+phy::ByteVec random_psdu(Rng& rng, std::size_t n) {
+  phy::ByteVec p(n);
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return p;
+}
+
+TEST(MeasurementSchedule, SlotLayout) {
+  const MeasurementSchedule s{4, 3};
+  EXPECT_EQ(s.cfo_block_offset(0), phy::kPreambleLen);
+  EXPECT_EQ(s.cfo_block_offset(3), phy::kPreambleLen + 3 * 160);
+  const std::size_t chan_base = phy::kPreambleLen + 4 * 160;
+  EXPECT_EQ(s.chan_symbol_offset(0, 0), chan_base);
+  EXPECT_EQ(s.chan_symbol_offset(2, 1), chan_base + (4 + 2) * 80);
+  EXPECT_EQ(s.frame_len(), chan_base + 12 * 80);
+  EXPECT_THROW((void)s.cfo_block_offset(4), std::invalid_argument);
+  EXPECT_THROW((void)s.chan_symbol_offset(0, 3), std::invalid_argument);
+}
+
+TEST(MeasurementSchedule, WaveformsDoNotOverlap) {
+  const MeasurementSchedule s{3, 2};
+  std::vector<cvec> waves;
+  for (std::size_t ap = 0; ap < 3; ++ap) waves.push_back(s.ap_waveform(ap));
+  for (std::size_t i = 0; i < waves[0].size(); ++i) {
+    int active = 0;
+    for (const auto& w : waves) {
+      if (std::abs(w[i]) > 1e-12) ++active;
+    }
+    EXPECT_LE(active, 1) << "overlap at sample " << i;
+  }
+  // The lead's preamble occupies the frame start.
+  EXPECT_GT(std::abs(waves[0][10]), 0.0);
+  EXPECT_EQ(std::abs(waves[1][10]), 0.0);
+}
+
+TEST(MeasurementFrame, CleanChannelRecovery) {
+  // Render a 3-AP measurement frame through trivial per-AP channels with
+  // known CFOs; the client's estimates must match gains and reference
+  // phases.
+  const phy::PhyConfig cfg;
+  const MeasurementSchedule sched{3, 4};
+  Rng rng(1);
+
+  const cplx gains[3] = {{0.9, 0.3}, {-0.5, 0.8}, {0.4, -0.7}};
+  const double cfos[3] = {3000.0, -5200.0, 800.0};
+
+  cvec buf(sched.frame_len() + 400);
+  for (auto& v : buf) v = rng.cgaussian(1e-6);
+  const std::size_t at = 150;
+  for (std::size_t ap = 0; ap < 3; ++ap) {
+    const cvec w = sched.ap_waveform(ap);
+    for (std::size_t n = 0; n < w.size(); ++n) {
+      const double t = static_cast<double>(at + n);
+      buf[at + n] += w[n] * gains[ap] *
+                     phasor(kTwoPi * cfos[ap] * t / cfg.sample_rate_hz);
+    }
+  }
+  const auto cm = process_measurement_frame(buf, sched, cfg);
+  ASSERT_TRUE(cm.has_value());
+  EXPECT_NEAR(static_cast<double>(cm->header_start), 150.0, 3.0);
+  for (std::size_t ap = 0; ap < 3; ++ap) {
+    EXPECT_NEAR(cm->per_ap[ap].cfo_hz, cfos[ap], 25.0) << "ap " << ap;
+    // The estimate should equal gain * e^{j cfo * header_start_phase}
+    // rotated to the reference time; compare against the oracle value at
+    // the detected header.
+    // Estimates are referenced to the block-center snapshot time.
+    const cplx expect =
+        gains[ap] * phasor(kTwoPi * cfos[ap] *
+                           static_cast<double>(cm->reference_sample) /
+                           cfg.sample_rate_hz);
+    for (int k : {-20, -5, 5, 20}) {
+      // The FFT windows back off 4 samples into the CP, adding the ramp
+      // e^{-j 2 pi k 4/64} per subcarrier. It is common to every AP and
+      // cancels through the client's own estimation in the full loop, but
+      // the oracle here must include it.
+      const cplx ramp = phasor(-kTwoPi * static_cast<double>(k) * 4.0 / 64.0);
+      EXPECT_NEAR(std::abs(cm->per_ap[ap].channel.at(k) - expect * ramp), 0.0,
+                  0.06)
+          << "ap " << ap << " sc " << k;
+    }
+  }
+}
+
+TEST(MeasurementFrame, FailsWithoutPreamble) {
+  const phy::PhyConfig cfg;
+  Rng rng(2);
+  const cvec noise = rng.cgaussian_vec(4000, 1.0);
+  EXPECT_FALSE(process_measurement_frame(noise, {3, 2}, cfg).has_value());
+}
+
+TEST(JmbSystemTest, MeasurementProducesConsistentChannels) {
+  SystemParams p;
+  p.n_aps = 3;
+  p.n_clients = 3;
+  p.seed = 5;
+  JmbSystem sys(p, flat_gains(3, 3, 25.0));
+  ASSERT_TRUE(sys.run_measurement());
+  ASSERT_TRUE(sys.ready());
+  const ChannelMatrixSet& h = sys.measured_channels();
+  EXPECT_EQ(h.n_clients(), 3u);
+  EXPECT_EQ(h.n_tx(), 3u);
+  // Mean measured link power should be in the ballpark of the configured
+  // gain (Rayleigh/Rician spread makes individual links vary).
+  const double expect_gain = JmbSystem::gain_for_snr_db(25.0, 1.0);
+  double acc = 0.0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t a = 0; a < 3; ++a) acc += h.mean_link_power(c, a);
+  }
+  acc /= 9.0;
+  EXPECT_GT(acc, expect_gain * 0.25);
+  EXPECT_LT(acc, expect_gain * 4.0);
+}
+
+TEST(JmbSystemTest, JointTransmissionDeliversAllStreams) {
+  SystemParams p;
+  p.n_aps = 3;
+  p.n_clients = 3;
+  p.seed = 7;
+  JmbSystem sys(p, flat_gains(3, 3, 28.0));
+  ASSERT_TRUE(sys.run_measurement());
+  // Operate at a paper-like effective SNR (high band), then re-measure so
+  // the measurement noise matches the operating point.
+  sys.calibrate_to_effective_snr(22.0);
+  sys.advance_time(2e-3);
+  ASSERT_TRUE(sys.run_measurement());
+
+  Rng rng(8);
+  std::vector<phy::ByteVec> psdus;
+  for (int c = 0; c < 3; ++c) psdus.push_back(random_psdu(rng, 300));
+
+  sys.advance_time(5e-3);
+  const JointResult jr =
+      sys.transmit_joint(psdus, {phy::Modulation::kQam16, phy::CodeRate::kHalf});
+  EXPECT_EQ(jr.slaves_synced, 2u);
+  ASSERT_EQ(jr.per_client.size(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    ASSERT_TRUE(jr.per_client[c].ok)
+        << "client " << c << ": " << jr.per_client[c].fail_reason;
+    EXPECT_EQ(jr.per_client[c].psdu, psdus[c]) << "client " << c;
+  }
+}
+
+TEST(JmbSystemTest, JointTransmissionSurvivesCoherenceTimeGap) {
+  // The whole point of per-packet re-sync: a single measurement serves
+  // transmissions spread over ~100 ms (within the coherence time) even
+  // though CFO-predicted phase would have wrapped many times over.
+  SystemParams p;
+  p.n_aps = 2;
+  p.n_clients = 2;
+  p.seed = 9;
+  p.coherence_time_s = 10.0;  // keep the channel itself still: isolate sync
+  JmbSystem sys(p, flat_gains(2, 2, 28.0));
+  ASSERT_TRUE(sys.run_measurement());
+  sys.calibrate_to_effective_snr(20.0);
+  sys.advance_time(2e-3);
+  ASSERT_TRUE(sys.run_measurement());
+
+  Rng rng(10);
+  for (int round = 0; round < 4; ++round) {
+    sys.advance_time(25e-3);
+    std::vector<phy::ByteVec> psdus{random_psdu(rng, 200), random_psdu(rng, 200)};
+    const JointResult jr = sys.transmit_joint(
+        psdus, {phy::Modulation::kQpsk, phy::CodeRate::kHalf});
+    for (std::size_t c = 0; c < 2; ++c) {
+      ASSERT_TRUE(jr.per_client[c].ok)
+          << "round " << round << " client " << c << ": "
+          << jr.per_client[c].fail_reason;
+      EXPECT_EQ(jr.per_client[c].psdu, psdus[c]);
+    }
+  }
+}
+
+TEST(JmbSystemTest, InrSmallWithSyncEnabled) {
+  SystemParams p;
+  p.n_aps = 3;
+  p.n_clients = 3;
+  p.seed = 11;
+  // Median over topologies: single draws have a heavy conditioning tail.
+  rvec inrs;
+  for (std::uint64_t seed : {11u, 12u, 13u, 14u, 15u, 16u, 17u, 18u}) {
+    p.seed = seed;
+    JmbSystem sys(p, flat_gains(3, 3, 22.0));
+    ASSERT_TRUE(sys.run_measurement());
+    sys.calibrate_to_effective_snr(20.0);
+    sys.advance_time(2e-3);
+    ASSERT_TRUE(sys.run_measurement());
+    sys.advance_time(2e-3);
+    inrs.push_back(sys.measure_inr(0));
+  }
+  // Fig. 8 territory: residual interference within a few dB of the noise
+  // floor. Our estimation-limited nulls sit ~-30 dB below the signal, so
+  // the median INR lands a couple of dB above the paper's testbed values;
+  // EXPERIMENTS.md discusses the delta. The scaling trend matches.
+  EXPECT_LT(median(inrs), 6.0);
+  for (double v : inrs) EXPECT_GT(v, -1.0);
+}
+
+TEST(JmbSystemTest, AlignmentSeriesMatchesPaperScale) {
+  SystemParams p;
+  p.n_aps = 2;
+  p.n_clients = 1;
+  p.seed = 13;
+  // The paper's probe isolates oscillator sync on a static testbed; a
+  // moving channel would add its own (genuine, but different) drift.
+  p.coherence_time_s = 1e4;
+  JmbSystem sys(p, flat_gains(1, 2, 25.0));
+  ASSERT_TRUE(sys.run_measurement());
+  const rvec dev = sys.measure_alignment_series(30, 5e-3);
+  ASSERT_GE(dev.size(), 20u);
+  // Paper Fig. 7: median 0.017 rad, 95th percentile 0.05 rad. Allow slack
+  // for our different (simulated) hardware, but require the same order.
+  EXPECT_LT(median(dev), 0.05);
+  EXPECT_LT(percentile(dev, 0.95), 0.15);
+}
+
+TEST(JmbSystemTest, DiversityBeatsSingleApAtLowSnr) {
+  SystemParams p;
+  p.n_aps = 4;
+  p.n_clients = 1;
+  p.seed = 15;
+  JmbSystem sys(p, flat_gains(1, 4, 8.0));  // weak links
+  ASSERT_TRUE(sys.run_measurement());
+  sys.advance_time(2e-3);
+  Rng rng(16);
+  const phy::ByteVec psdu = random_psdu(rng, 200);
+  const phy::RxResult res = sys.transmit_diversity(
+      0, psdu, {phy::Modulation::kQpsk, phy::CodeRate::kHalf});
+  ASSERT_TRUE(res.ok) << res.fail_reason;
+  EXPECT_EQ(res.psdu, psdu);
+  // Coherent combining of 4 APs at 8 dB/link should land well above a
+  // single 8 dB link (ideal +12 dB).
+  EXPECT_GT(res.preamble.snr_db, 14.0);
+}
+
+TEST(JmbSystemTest, PredictedSnrTracksConfiguredGain) {
+  SystemParams p;
+  p.n_aps = 2;
+  p.n_clients = 2;
+  p.seed = 17;
+  JmbSystem sys(p, flat_gains(2, 2, 24.0));
+  ASSERT_TRUE(sys.run_measurement());
+  // ZF through a 2x2 at per-link 24 dB: within a broad band of the link
+  // SNR (conditioning makes it vary).
+  const double snr = sys.predicted_beamforming_snr_db();
+  EXPECT_GT(snr, 8.0);
+  EXPECT_LT(snr, 32.0);
+}
+
+TEST(JmbSystemTest, InputValidation) {
+  SystemParams p;
+  p.n_aps = 2;
+  p.n_clients = 2;
+  JmbSystem sys(p, flat_gains(2, 2, 20.0));
+  EXPECT_THROW((void)sys.transmit_joint({}, phy::rate_set()[0]), std::logic_error);
+  EXPECT_THROW((void)sys.measure_inr(0), std::logic_error);
+  EXPECT_THROW(sys.advance_time(-1.0), std::invalid_argument);
+  EXPECT_THROW(JmbSystem(p, flat_gains(1, 2, 20.0)), std::invalid_argument);
+}
+
+TEST(Compat11n, ReferenceAntennaTrickReconstructsH) {
+  Rng rng(20);
+  Compat11nParams p;
+  const Compat11nResult r = run_compat11n(p, rng);
+  // With the trick: a few percent error (estimation noise dominated).
+  EXPECT_LT(r.reconstruction_rel_err, 0.2);
+  // Without it, the stale soundings are rotated by essentially random
+  // phases: order-of-magnitude worse.
+  EXPECT_GT(r.naive_rel_err, 3.0 * r.reconstruction_rel_err);
+}
+
+TEST(Compat11n, JointBeatsBaselinePerStream) {
+  Rng rng(21);
+  Compat11nParams p;
+  p.link_gain = from_db(22.0);
+  const Compat11nResult r = run_compat11n(p, rng);
+  ASSERT_EQ(r.jmb_stream_sinr.size(), 4u);
+  // All four streams decodable concurrently: each stream's effective SNR
+  // supports some rate.
+  for (const rvec& s : r.jmb_stream_sinr) {
+    EXPECT_TRUE(rate::select_rate(s).has_value());
+  }
+  // Baseline gets only 2 concurrent streams (one client at a time); the
+  // JMB aggregate rate must exceed the baseline's time-shared aggregate.
+  double jmb_rate = 0.0, base_rate = 0.0;
+  for (const rvec& s : r.jmb_stream_sinr) {
+    if (const auto ri = rate::select_rate(s)) {
+      jmb_rate += phy::rate_set()[*ri].rate_mbps(20e6);
+    }
+  }
+  for (const rvec& s : r.baseline_stream_snr) {
+    if (const auto ri = rate::select_rate(s)) {
+      base_rate += phy::rate_set()[*ri].rate_mbps(20e6);
+    }
+  }
+  base_rate /= 2.0;  // two clients time-share the medium
+  EXPECT_GT(jmb_rate, 1.2 * base_rate);
+}
+
+TEST(Compat11n, RxZfStreamSnrs) {
+  // Orthogonal channel: no noise enhancement; each stream gets |h|^2/noise.
+  CMatrix h{{cplx{2, 0}, cplx{0, 0}}, {cplx{0, 0}, cplx{1, 0}}};
+  const rvec snrs = rx_zf_stream_snrs(h, 1.0, 0.5);
+  EXPECT_NEAR(snrs[0], 8.0, 1e-9);
+  EXPECT_NEAR(snrs[1], 2.0, 1e-9);
+  // Rank-deficient: zero SNRs, no crash.
+  CMatrix bad{{cplx{1, 0}, cplx{1, 0}}, {cplx{1, 0}, cplx{1, 0}}};
+  for (double s : rx_zf_stream_snrs(bad, 1.0, 1.0)) EXPECT_EQ(s, 0.0);
+}
+
+TEST(Decoupled, SharedReferenceFixesStaleRows) {
+  Rng rng(22);
+  DecoupledParams p;
+  p.link_gain = from_db(22.0);
+  const DecoupledResult r = run_decoupled(p, rng);
+  ASSERT_EQ(r.sinr_db.size(), 2u);
+  for (std::size_t c = 0; c < 2; ++c) {
+    // Decoupled measurement tracks the oracle within a few dB.
+    EXPECT_GT(r.sinr_db[c], r.oracle_sinr_db[c] - 6.0) << c;
+  }
+  // Naive stitching: the first client's row happens to be self-consistent
+  // (exact inverses null on their own row), but every client measured at a
+  // later time collapses to interference-limited SINR.
+  EXPECT_GT(r.sinr_db[1], r.naive_sinr_db[1] + 6.0);
+  EXPECT_LT(r.naive_sinr_db[1], 10.0);
+}
+
+TEST(Decoupled, WorksForMoreNodes) {
+  Rng rng(23);
+  DecoupledParams p;
+  p.n_nodes = 4;
+  p.link_gain = from_db(22.0);
+  const DecoupledResult r = run_decoupled(p, rng);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_GT(r.sinr_db[c], 12.0) << c;  // oracle target is 20 dB
+    EXPECT_GT(r.sinr_db[c], r.oracle_sinr_db[c] - 8.0) << c;
+  }
+  // Stale rows without the shared reference: last client suffers most.
+  EXPECT_LT(r.naive_sinr_db[3], r.sinr_db[3] - 6.0);
+}
+
+}  // namespace
+}  // namespace jmb::core

@@ -1,0 +1,281 @@
+// Unit tests for the DSP substrate: FFT, statistics, RNG, resampler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "dsp/resampler.h"
+#include "dsp/rng.h"
+#include "dsp/stats.h"
+#include "dsp/types.h"
+
+namespace jmb {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+TEST(Types, DbRoundTrip) {
+  EXPECT_NEAR(to_db(100.0), 20.0, kTol);
+  EXPECT_NEAR(from_db(20.0), 100.0, kTol);
+  EXPECT_NEAR(from_db(to_db(3.7)), 3.7, kTol);
+  EXPECT_NEAR(amp_to_db(10.0), 20.0, kTol);
+}
+
+TEST(Types, WrapPhase) {
+  EXPECT_NEAR(wrap_phase(0.0), 0.0, kTol);
+  EXPECT_NEAR(wrap_phase(kPi / 2), kPi / 2, kTol);
+  EXPECT_NEAR(wrap_phase(kTwoPi + 0.1), 0.1, kTol);
+  EXPECT_NEAR(wrap_phase(-kTwoPi - 0.1), -0.1, kTol);
+  // At the +-pi boundary floating point may land on either representative.
+  EXPECT_NEAR(std::abs(wrap_phase(3 * kPi)), kPi, kTol);
+  // Result is always in (-pi, pi].
+  for (double phi = -20.0; phi <= 20.0; phi += 0.37) {
+    const double w = wrap_phase(phi);
+    EXPECT_GT(w, -kPi - kTol);
+    EXPECT_LE(w, kPi + kTol);
+    // And equal to the input modulo 2*pi.
+    EXPECT_NEAR(std::remainder(w - phi, kTwoPi), 0.0, 1e-9);
+  }
+}
+
+TEST(Types, MeanPowerAndEnergy) {
+  const cvec x{{3.0, 4.0}, {0.0, 0.0}};  // |3+4j|^2 = 25
+  EXPECT_NEAR(mean_power(x), 12.5, kTol);
+  EXPECT_NEAR(energy(x), 25.0, kTol);
+  EXPECT_EQ(mean_power(cvec{}), 0.0);
+}
+
+TEST(Fft, RejectsNonPow2) {
+  cvec x(12, cplx{1.0, 0.0});
+  EXPECT_THROW(fft_inplace(x), std::invalid_argument);
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(64));
+}
+
+TEST(Fft, DeltaIsFlat) {
+  cvec x(64);
+  x[0] = 1.0;
+  const cvec X = fft(x);
+  for (const cplx& v : X) {
+    EXPECT_NEAR(v.real(), 1.0, kTol);
+    EXPECT_NEAR(v.imag(), 0.0, kTol);
+  }
+}
+
+TEST(Fft, SingleToneLandsOnItsBin) {
+  const std::size_t n = 64;
+  const std::size_t k0 = 5;
+  cvec x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = phasor(kTwoPi * static_cast<double>(k0 * t) / static_cast<double>(n));
+  }
+  const cvec X = fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected = (k == k0) ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(X[k]), expected, 1e-9) << "bin " << k;
+  }
+}
+
+TEST(Fft, InverseRoundTrip) {
+  Rng rng(42);
+  for (std::size_t n : {2u, 8u, 64u, 256u, 1024u}) {
+    const cvec x = rng.cgaussian_vec(n);
+    const cvec y = ifft(fft(x));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  Rng rng(7);
+  const cvec x = rng.cgaussian_vec(128);
+  const cvec X = fft(x);
+  EXPECT_NEAR(energy(X), 128.0 * energy(x), 1e-7);
+}
+
+TEST(Fft, LinearityProperty) {
+  Rng rng(9);
+  const cvec a = rng.cgaussian_vec(64);
+  const cvec b = rng.cgaussian_vec(64);
+  const cplx alpha{0.3, -1.2};
+  cvec combo(64);
+  for (std::size_t i = 0; i < 64; ++i) combo[i] = a[i] + alpha * b[i];
+  const cvec lhs = fft(combo);
+  const cvec fa = fft(a);
+  const cvec fb = fft(b);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(std::abs(lhs[i] - (fa[i] + alpha * fb[i])), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, FftShiftMovesDcToCenter) {
+  cvec x(8);
+  for (std::size_t i = 0; i < 8; ++i) x[i] = static_cast<double>(i);
+  const cvec s = fftshift(x);
+  EXPECT_NEAR(s[4].real(), 0.0, kTol);  // DC (index 0) lands at n/2
+  EXPECT_NEAR(s[0].real(), 4.0, kTol);
+}
+
+TEST(Stats, MeanVarianceStddev) {
+  const rvec x{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(mean(x), 5.0, kTol);
+  EXPECT_NEAR(variance(x), 32.0 / 7.0, kTol);
+  EXPECT_NEAR(stddev(x), std::sqrt(32.0 / 7.0), kTol);
+  EXPECT_EQ(mean(rvec{}), 0.0);
+  EXPECT_EQ(variance(rvec{1.0}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const rvec x{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_NEAR(percentile(x, 0.0), 1.0, kTol);
+  EXPECT_NEAR(percentile(x, 1.0), 5.0, kTol);
+  EXPECT_NEAR(percentile(x, 0.5), 3.0, kTol);
+  EXPECT_NEAR(percentile(x, 0.25), 2.0, kTol);
+  EXPECT_NEAR(percentile(x, 0.125), 1.5, kTol);
+  EXPECT_NEAR(median(rvec{3.0, 1.0, 2.0}), 2.0, kTol);
+  EXPECT_THROW((void)percentile(rvec{}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile(rvec{1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, EmpiricalCdfIsMonotone) {
+  Rng rng(3);
+  rvec x(100);
+  for (double& v : x) v = rng.gaussian();
+  const auto cdf = empirical_cdf(x);
+  ASSERT_EQ(cdf.size(), 100u);
+  EXPECT_NEAR(cdf.back().fraction, 1.0, kTol);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GT(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(11);
+  rvec x(1000);
+  RunningStats rs;
+  for (double& v : x) {
+    v = rng.gaussian(2.5) + 1.0;
+    rs.add(v);
+  }
+  EXPECT_EQ(rs.count(), 1000u);
+  EXPECT_NEAR(rs.mean(), mean(x), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(x), 1e-9);
+  rs.reset();
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(Stats, EwmaConvergesToConstant) {
+  Ewma e(0.1);
+  EXPECT_TRUE(e.empty());
+  for (int i = 0; i < 500; ++i) e.add(7.0);
+  EXPECT_FALSE(e.empty());
+  EXPECT_NEAR(e.value(), 7.0, 1e-9);
+  EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(1.5), std::invalid_argument);
+}
+
+TEST(Stats, EwmaTracksStep) {
+  Ewma e(0.5);
+  e.add(0.0);
+  e.add(10.0);  // 5.0
+  EXPECT_NEAR(e.value(), 5.0, kTol);
+  e.add(10.0);  // 7.5
+  EXPECT_NEAR(e.value(), 7.5, kTol);
+}
+
+TEST(Rng, Reproducible) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(5);
+  Rng c1 = parent.fork();
+  Rng c2 = parent.fork();
+  // Children look different from each other.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.next_u64() == c2.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(77);
+  RunningStats rs;
+  for (int i = 0; i < 20000; ++i) rs.add(rng.gaussian(3.0));
+  EXPECT_NEAR(rs.mean(), 0.0, 0.1);
+  EXPECT_NEAR(rs.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ComplexGaussianVariance) {
+  Rng rng(78);
+  RunningStats power;
+  for (int i = 0; i < 20000; ++i) power.add(std::norm(rng.cgaussian(2.0)));
+  EXPECT_NEAR(power.mean(), 2.0, 0.1);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Resampler, IdentityRatioPreservesSamples) {
+  Rng rng(21);
+  const cvec x = rng.cgaussian_vec(64);
+  const cvec y = resample(x, 1.0);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Resampler, RecoversSmoothToneWithSmallPpm) {
+  // A 100 kHz tone at 10 MHz sampling, resampled by 20 ppm, should match
+  // the analytically resampled tone closely (interpolation error << phase
+  // errors the system cares about).
+  const double fs = 10e6, f0 = 100e3;
+  const std::size_t n = 4096;
+  cvec x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = phasor(kTwoPi * f0 * static_cast<double>(t) / fs);
+  }
+  const double ratio = 1.0 + 20e-6;
+  const cvec y = resample(x, ratio);
+  for (std::size_t t = 8; t + 8 < y.size(); ++t) {
+    const cplx ref = phasor(kTwoPi * f0 * static_cast<double>(t) * ratio / fs);
+    EXPECT_NEAR(std::abs(y[t] - ref), 0.0, 1e-4);
+  }
+}
+
+TEST(Resampler, FractionalOffsetShiftsSamples) {
+  // Linear ramp: interpolating at +0.5 lands halfway between samples.
+  cvec x(16);
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<double>(i);
+  const cvec y = resample(x, 1.0, 0.5);
+  ASSERT_GE(y.size(), 10u);
+  for (std::size_t i = 2; i < 10; ++i) {
+    EXPECT_NEAR(y[i].real(), static_cast<double>(i) + 0.5, 1e-9);
+  }
+}
+
+TEST(Resampler, OutOfRangeIsSilence) {
+  const cvec x{{1.0, 0.0}, {2.0, 0.0}};
+  EXPECT_EQ(interp_cubic(x, -0.5), (cplx{0.0, 0.0}));
+  EXPECT_EQ(interp_cubic(x, 5.0), (cplx{0.0, 0.0}));
+  EXPECT_EQ(interp_cubic(cvec{}, 0.0), (cplx{0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace jmb

@@ -1,0 +1,202 @@
+// Tests for the link layer: event scheduler, shared downlink queue, and
+// the baseline vs JMB MAC simulations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/mac.h"
+#include "net/queue.h"
+#include "net/scheduler.h"
+#include "rate/effective_snr.h"
+
+namespace jmb::net {
+namespace {
+
+TEST(Scheduler, FiresInTimeOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.at(2.0, [&] { order.push_back(2); });
+  sched.at(1.0, [&] { order.push_back(1); });
+  sched.at(3.0, [&] { order.push_back(3); });
+  EXPECT_EQ(sched.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_NEAR(sched.now(), 3.0, 1e-12);
+}
+
+TEST(Scheduler, TiesBreakFifo) {
+  EventScheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, HandlersCanScheduleMore) {
+  EventScheduler sched;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 10) sched.after(0.1, tick);
+  };
+  sched.at(0.0, tick);
+  sched.run_until(0.45);
+  EXPECT_EQ(count, 5);  // t = 0, .1, .2, .3, .4
+  sched.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Scheduler, RejectsPastEvents) {
+  EventScheduler sched;
+  sched.at(1.0, [] {});
+  sched.run();
+  EXPECT_THROW(sched.at(0.5, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, RunUntilAdvancesClock) {
+  EventScheduler sched;
+  sched.run_until(5.0);
+  EXPECT_NEAR(sched.now(), 5.0, 1e-12);
+}
+
+TEST(Queue, FifoAndHead) {
+  DownlinkQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW((void)q.head(), std::logic_error);
+  q.push({0, 1500, 0, 0.0, 0, 1});
+  q.push({1, 1500, 0, 0.0, 0, 2});
+  EXPECT_EQ(q.head().id, 1u);
+  const auto p = q.pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->id, 1u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Queue, PushFrontForRetransmission) {
+  DownlinkQueue q;
+  q.push({0, 1500, 0, 0.0, 0, 1});
+  q.push_front({1, 1500, 0, 0.0, 1, 2});
+  EXPECT_EQ(q.head().id, 2u);
+}
+
+TEST(Queue, JointSelectionDistinctClients) {
+  DownlinkQueue q;
+  // Client pattern: 0, 0, 1, 2, 1, 3.
+  const std::size_t clients[] = {0, 0, 1, 2, 1, 3};
+  for (std::size_t i = 0; i < 6; ++i) {
+    q.push({clients[i], 1500, 0, 0.0, 0, i});
+  }
+  const auto batch = q.pop_joint(3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].id, 0u);  // head (client 0)
+  EXPECT_EQ(batch[1].id, 2u);  // first client-1 packet
+  EXPECT_EQ(batch[2].id, 3u);  // first client-2 packet
+  // Remaining queue preserves order: ids 1 (client 0), 4, 5.
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.head().id, 1u);
+}
+
+TEST(Queue, JointSelectionFewerClientsThanStreams) {
+  DownlinkQueue q;
+  q.push({0, 1500, 0, 0.0, 0, 1});
+  q.push({0, 1500, 0, 0.0, 0, 2});
+  const auto batch = q.pop_joint(4);
+  EXPECT_EQ(batch.size(), 1u);  // only one distinct client available
+  EXPECT_TRUE(q.pop_joint(0).empty());
+}
+
+LinkStateFn flat_links(double snr_db) {
+  return [snr_db](std::size_t) {
+    return LinkState{rvec(phy::kNumDataCarriers, from_db(snr_db))};
+  };
+}
+
+TEST(Mac, BaselineSharesMediumEqually) {
+  MacParams p;
+  p.duration_s = 0.5;
+  const MacReport r = run_baseline_mac(4, flat_links(25.0), p);
+  ASSERT_EQ(r.per_client.size(), 4u);
+  // All clients at the same SNR deliver within a packet of each other.
+  for (const auto& c : r.per_client) {
+    EXPECT_NEAR(static_cast<double>(c.delivered),
+                static_cast<double>(r.per_client[0].delivered), 2.0);
+    EXPECT_EQ(c.dropped, 0u);
+  }
+  EXPECT_GT(r.total_goodput_mbps, 15.0);  // 27 Mb/s PHY less overheads
+  EXPECT_LT(r.total_goodput_mbps, 27.0);
+  EXPECT_EQ(r.joint_transmissions, 0u);
+}
+
+TEST(Mac, BaselineTotalIndependentOfClientCount) {
+  // The core 802.11 scaling fact: total throughput does not grow with n.
+  MacParams p;
+  p.duration_s = 0.5;
+  const double t2 = run_baseline_mac(2, flat_links(20.0), p).total_goodput_mbps;
+  const double t8 = run_baseline_mac(8, flat_links(20.0), p).total_goodput_mbps;
+  EXPECT_NEAR(t8 / t2, 1.0, 0.05);
+}
+
+TEST(Mac, JmbScalesWithStreams) {
+  MacParams p;
+  p.duration_s = 0.5;
+  const double t2 =
+      run_jmb_mac(2, 2, 2, flat_links(25.0), p).total_goodput_mbps;
+  const double t8 =
+      run_jmb_mac(8, 8, 8, flat_links(25.0), p).total_goodput_mbps;
+  EXPECT_GT(t2, 20.0);
+  // 4x the streams: close to 4x the throughput (measurement overhead grows
+  // slightly with N).
+  EXPECT_NEAR(t8 / t2, 4.0, 0.5);
+}
+
+TEST(Mac, JmbBeatsBaselineHeadToHead) {
+  MacParams p;
+  p.duration_s = 0.5;
+  const double base = run_baseline_mac(6, flat_links(22.0), p).total_goodput_mbps;
+  const double jmb =
+      run_jmb_mac(6, 6, 6, flat_links(22.0), p).total_goodput_mbps;
+  EXPECT_GT(jmb / base, 4.0);  // ideal 6x less overheads
+}
+
+TEST(Mac, MeasurementOverheadAccounted) {
+  MacParams p;
+  p.duration_s = 1.0;
+  p.coherence_time_s = 0.1;
+  const MacReport r = run_jmb_mac(4, 4, 4, flat_links(25.0), p);
+  EXPECT_GT(r.measurement_airtime_s, 0.0);
+  // ~10 measurement epochs in a second.
+  EXPECT_NEAR(r.measurement_airtime_s / rate::measurement_airtime_s(4, 4, p.airtime),
+              10.0, 2.0);
+  EXPECT_LE(r.data_airtime_s + r.measurement_airtime_s, p.duration_s + 0.05);
+}
+
+TEST(Mac, LowSnrClientRetriesAndDrops) {
+  // One client far below threshold: baseline burns airtime on it, delivers
+  // nothing to it, but others still progress.
+  MacParams p;
+  p.duration_s = 0.2;
+  p.max_retries = 2;
+  const LinkStateFn links = [](std::size_t client) {
+    return LinkState{rvec(phy::kNumDataCarriers,
+                          from_db(client == 0 ? -10.0 : 25.0))};
+  };
+  const MacReport r = run_baseline_mac(2, links, p);
+  EXPECT_EQ(r.per_client[0].delivered, 0u);
+  EXPECT_GT(r.per_client[0].dropped, 0u);
+  EXPECT_GT(r.per_client[1].delivered, 10u);
+}
+
+TEST(Mac, MarginalSnrCausesRetransmissions) {
+  MacParams p;
+  p.duration_s = 0.5;
+  p.seed = 7;
+  // Pick an SNR a hair above the 64-QAM 3/4 threshold: ~10% PER.
+  const double thr = rate::rate_thresholds_db().back();
+  const MacReport r = run_jmb_mac(2, 2, 2, flat_links(thr), p);
+  EXPECT_GT(r.per_client[0].failed_attempts + r.per_client[1].failed_attempts, 5u);
+  EXPECT_GT(r.per_client[0].delivered, 50u);  // retransmissions recover
+}
+
+}  // namespace
+}  // namespace jmb::net

@@ -1,0 +1,176 @@
+// Tests for BER models, effective SNR, rate selection, airtime and PER.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rate/airtime.h"
+#include "rate/ber.h"
+#include "rate/effective_snr.h"
+#include "rate/per.h"
+
+namespace jmb::rate {
+namespace {
+
+using phy::Modulation;
+
+TEST(Ber, QFunctionKnownValues) {
+  EXPECT_NEAR(q_function(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(q_function(1.0), 0.158655, 1e-5);
+  EXPECT_NEAR(q_function(3.0), 0.0013499, 1e-6);
+  EXPECT_NEAR(q_function(-1.0), 1.0 - 0.158655, 1e-5);
+}
+
+TEST(Ber, BpskKnownValue) {
+  // BPSK at 9.6 dB (Eb/N0) ~ 1e-5.
+  EXPECT_NEAR(std::log10(ber(Modulation::kBpsk, from_db(9.6))), -5.0, 0.2);
+  EXPECT_THROW((void)ber(Modulation::kBpsk, -1.0), std::invalid_argument);
+}
+
+TEST(Ber, MonotoneDecreasingInSnr) {
+  for (Modulation m : {Modulation::kBpsk, Modulation::kQpsk,
+                       Modulation::kQam16, Modulation::kQam64}) {
+    double prev = 1.0;
+    for (double db = -5.0; db <= 30.0; db += 1.0) {
+      const double b = ber(m, from_db(db));
+      EXPECT_LE(b, prev + 1e-15);
+      prev = b;
+    }
+  }
+}
+
+TEST(Ber, HigherOrderNeedsMoreSnr) {
+  const double snr = from_db(12.0);
+  EXPECT_LT(ber(Modulation::kBpsk, snr), ber(Modulation::kQpsk, snr));
+  EXPECT_LT(ber(Modulation::kQpsk, snr), ber(Modulation::kQam16, snr));
+  EXPECT_LT(ber(Modulation::kQam16, snr), ber(Modulation::kQam64, snr));
+}
+
+TEST(Ber, InverseRoundTrip) {
+  for (Modulation m : {Modulation::kBpsk, Modulation::kQpsk,
+                       Modulation::kQam16, Modulation::kQam64}) {
+    for (double target : {1e-2, 1e-3, 1e-5}) {
+      const double snr = snr_for_ber(m, target);
+      EXPECT_NEAR(std::log10(ber(m, snr)), std::log10(target), 0.02);
+    }
+  }
+  EXPECT_THROW((void)snr_for_ber(Modulation::kBpsk, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)snr_for_ber(Modulation::kBpsk, 0.6), std::invalid_argument);
+}
+
+TEST(EffSnr, FlatChannelIsIdentity) {
+  const rvec flat(48, from_db(15.0));
+  for (Modulation m : {Modulation::kBpsk, Modulation::kQpsk,
+                       Modulation::kQam16, Modulation::kQam64}) {
+    EXPECT_NEAR(effective_snr_db(m, flat), 15.0, 0.05) << phy::to_string(m);
+  }
+}
+
+TEST(EffSnr, SelectiveChannelBelowMean) {
+  // Frequency selectivity always costs: effective SNR <= mean SNR, and the
+  // penalty is worse for dense constellations.
+  rvec snrs(48);
+  for (std::size_t i = 0; i < 48; ++i) {
+    snrs[i] = from_db(i % 2 == 0 ? 20.0 : 10.0);  // mean ~ 17.4 dB
+  }
+  const double mean_db = to_db((from_db(20.0) + from_db(10.0)) / 2.0);
+  const double eff_bpsk = effective_snr_db(Modulation::kBpsk, snrs);
+  const double eff_q64 = effective_snr_db(Modulation::kQam64, snrs);
+  EXPECT_LT(eff_bpsk, mean_db);
+  EXPECT_LT(eff_q64, mean_db);
+  // For BPSK the deep subcarriers dominate errors harder than for 64-QAM
+  // relative to its own scale, but both must stay above the min.
+  EXPECT_GT(eff_bpsk, 10.0);
+  EXPECT_GT(eff_q64, 10.0);
+  EXPECT_THROW((void)effective_snr(Modulation::kBpsk, {}), std::invalid_argument);
+}
+
+TEST(EffSnr, ThresholdsStrictlyIncreasing) {
+  const rvec& thr = rate_thresholds_db();
+  ASSERT_EQ(thr.size(), phy::rate_set().size());
+  for (std::size_t i = 1; i < thr.size(); ++i) EXPECT_GT(thr[i], thr[i - 1]);
+}
+
+TEST(EffSnr, RateSelectionLadder) {
+  // Sweep SNR: the selected rate must be monotone nondecreasing, reach the
+  // top rate at high SNR, and be empty below the base threshold.
+  EXPECT_FALSE(select_rate_flat(0.0).has_value());
+  std::size_t prev = 0;
+  for (double db = 4.0; db <= 30.0; db += 0.5) {
+    const auto r = select_rate_flat(db);
+    ASSERT_TRUE(r.has_value()) << db;
+    EXPECT_GE(*r, prev);
+    prev = *r;
+  }
+  EXPECT_EQ(prev, phy::rate_set().size() - 1);
+}
+
+TEST(EffSnr, SelectionMatchesThresholdEdges) {
+  const rvec& thr = rate_thresholds_db();
+  for (std::size_t i = 0; i < thr.size(); ++i) {
+    const auto just_above = select_rate_flat(thr[i] + 0.1);
+    ASSERT_TRUE(just_above.has_value());
+    EXPECT_GE(*just_above, i);
+    const auto just_below = select_rate_flat(thr[i] - 0.1);
+    if (i == 0) {
+      EXPECT_FALSE(just_below.has_value());
+    } else {
+      ASSERT_TRUE(just_below.has_value());
+      EXPECT_LT(*just_below, i);
+    }
+  }
+}
+
+TEST(Airtime, FrameAirtimeScalesWithLengthAndRate) {
+  const double fs = 10e6;
+  const phy::Mcs slow{Modulation::kBpsk, phy::CodeRate::kHalf};
+  const phy::Mcs fast{Modulation::kQam64, phy::CodeRate::kThreeQuarters};
+  const double t_slow = frame_airtime_s(1500, slow, fs);
+  const double t_fast = frame_airtime_s(1500, fast, fs);
+  EXPECT_GT(t_slow, 8.0 * t_fast);  // 24 vs 216 bits/symbol
+  EXPECT_GT(frame_airtime_s(3000, fast, fs), frame_airtime_s(1500, fast, fs));
+  // Hand check: 1500B at BPSK 1/2 = ceil(12022/24) = 501 syms + SIGNAL.
+  EXPECT_NEAR(t_slow, (320.0 + 80.0 * 502.0) / fs, 1e-12);
+}
+
+TEST(Airtime, JointFrameAddsHeaderAndTurnaround) {
+  AirtimeParams p;
+  const phy::Mcs mcs{Modulation::kQam16, phy::CodeRate::kHalf};
+  const double plain = frame_airtime_s(1500, mcs, p.sample_rate_hz);
+  const double joint = joint_frame_airtime_s(1500, mcs, p);
+  EXPECT_NEAR(joint - plain, p.turnaround_s + 160.0 / p.sample_rate_hz, 1e-12);
+}
+
+TEST(Airtime, MeasurementScalesWithApsAndClients) {
+  AirtimeParams p;
+  const double m22 = measurement_airtime_s(2, 2, p);
+  const double m10 = measurement_airtime_s(10, 10, p);
+  EXPECT_GT(m10, m22);
+  // Amortized over a 250 ms coherence time, even the 10x10 measurement
+  // must stay a small fraction of the medium (the paper's overhead story).
+  EXPECT_LT(m10 / 0.25, 0.10);
+}
+
+TEST(Per, WaterfallShape) {
+  // Well above threshold: essentially error-free; below: lost.
+  EXPECT_LT(frame_error_prob_flat(30.0, 0), 1e-6);
+  EXPECT_GT(frame_error_prob_flat(1.0, 0), 0.5);
+  // At threshold: ~10%.
+  const double thr = rate_thresholds_db()[3];
+  EXPECT_NEAR(frame_error_prob_flat(thr, 3), 0.1, 0.02);
+  // Monotone in SNR.
+  double prev = 1.0;
+  for (double db = 0.0; db < 30.0; db += 0.5) {
+    const double per = frame_error_prob_flat(db, 4);
+    EXPECT_LE(per, prev + 1e-12);
+    prev = per;
+  }
+}
+
+TEST(Per, LongerFramesFailMore) {
+  EXPECT_GT(frame_error_prob_flat(15.0, 4, 3000),
+            frame_error_prob_flat(15.0, 4, 500));
+  EXPECT_THROW((void)frame_error_prob_flat(15.0, 99), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jmb::rate
