@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_naive_cfo.dir/ablation_naive_cfo.cpp.o"
+  "CMakeFiles/ablation_naive_cfo.dir/ablation_naive_cfo.cpp.o.d"
+  "ablation_naive_cfo"
+  "ablation_naive_cfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_naive_cfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_misalignment.dir/fig06_misalignment.cpp.o"
+  "CMakeFiles/fig06_misalignment.dir/fig06_misalignment.cpp.o.d"
+  "fig06_misalignment"
+  "fig06_misalignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_misalignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_phase_cdf.dir/fig07_phase_cdf.cpp.o"
+  "CMakeFiles/fig07_phase_cdf.dir/fig07_phase_cdf.cpp.o.d"
+  "fig07_phase_cdf"
+  "fig07_phase_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_phase_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_diversity.dir/fig11_diversity.cpp.o"
+  "CMakeFiles/fig11_diversity.dir/fig11_diversity.cpp.o.d"
+  "fig11_diversity"
+  "fig11_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

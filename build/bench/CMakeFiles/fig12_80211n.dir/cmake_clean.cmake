@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_80211n.dir/fig12_80211n.cpp.o"
+  "CMakeFiles/fig12_80211n.dir/fig12_80211n.cpp.o.d"
+  "fig12_80211n"
+  "fig12_80211n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_80211n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

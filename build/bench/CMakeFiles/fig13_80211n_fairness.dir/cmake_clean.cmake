@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_80211n_fairness.dir/fig13_80211n_fairness.cpp.o"
+  "CMakeFiles/fig13_80211n_fairness.dir/fig13_80211n_fairness.cpp.o.d"
+  "fig13_80211n_fairness"
+  "fig13_80211n_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_80211n_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

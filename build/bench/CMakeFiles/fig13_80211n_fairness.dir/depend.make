@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_80211n_fairness.
+# This may be replaced when dependencies are built.

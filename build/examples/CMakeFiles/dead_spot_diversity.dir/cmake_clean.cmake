@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dead_spot_diversity.dir/dead_spot_diversity.cpp.o"
+  "CMakeFiles/dead_spot_diversity.dir/dead_spot_diversity.cpp.o.d"
+  "dead_spot_diversity"
+  "dead_spot_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dead_spot_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifi_n_upgrade.dir/wifi_n_upgrade.cpp.o"
+  "CMakeFiles/wifi_n_upgrade.dir/wifi_n_upgrade.cpp.o.d"
+  "wifi_n_upgrade"
+  "wifi_n_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifi_n_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

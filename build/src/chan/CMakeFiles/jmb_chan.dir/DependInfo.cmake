@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chan/fading.cpp" "src/chan/CMakeFiles/jmb_chan.dir/fading.cpp.o" "gcc" "src/chan/CMakeFiles/jmb_chan.dir/fading.cpp.o.d"
+  "/root/repo/src/chan/medium.cpp" "src/chan/CMakeFiles/jmb_chan.dir/medium.cpp.o" "gcc" "src/chan/CMakeFiles/jmb_chan.dir/medium.cpp.o.d"
+  "/root/repo/src/chan/oscillator.cpp" "src/chan/CMakeFiles/jmb_chan.dir/oscillator.cpp.o" "gcc" "src/chan/CMakeFiles/jmb_chan.dir/oscillator.cpp.o.d"
+  "/root/repo/src/chan/topology.cpp" "src/chan/CMakeFiles/jmb_chan.dir/topology.cpp.o" "gcc" "src/chan/CMakeFiles/jmb_chan.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/jmb_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jmb_chan.dir/fading.cpp.o"
+  "CMakeFiles/jmb_chan.dir/fading.cpp.o.d"
+  "CMakeFiles/jmb_chan.dir/medium.cpp.o"
+  "CMakeFiles/jmb_chan.dir/medium.cpp.o.d"
+  "CMakeFiles/jmb_chan.dir/oscillator.cpp.o"
+  "CMakeFiles/jmb_chan.dir/oscillator.cpp.o.d"
+  "CMakeFiles/jmb_chan.dir/topology.cpp.o"
+  "CMakeFiles/jmb_chan.dir/topology.cpp.o.d"
+  "libjmb_chan.a"
+  "libjmb_chan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jmb_chan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjmb_chan.a"
+)

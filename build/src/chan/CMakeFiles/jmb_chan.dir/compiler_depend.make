@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jmb_chan.
+# This may be replaced when dependencies are built.

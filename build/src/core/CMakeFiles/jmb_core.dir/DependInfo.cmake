@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compat11n.cpp" "src/core/CMakeFiles/jmb_core.dir/compat11n.cpp.o" "gcc" "src/core/CMakeFiles/jmb_core.dir/compat11n.cpp.o.d"
+  "/root/repo/src/core/decoupled.cpp" "src/core/CMakeFiles/jmb_core.dir/decoupled.cpp.o" "gcc" "src/core/CMakeFiles/jmb_core.dir/decoupled.cpp.o.d"
+  "/root/repo/src/core/link_model.cpp" "src/core/CMakeFiles/jmb_core.dir/link_model.cpp.o" "gcc" "src/core/CMakeFiles/jmb_core.dir/link_model.cpp.o.d"
+  "/root/repo/src/core/measurement.cpp" "src/core/CMakeFiles/jmb_core.dir/measurement.cpp.o" "gcc" "src/core/CMakeFiles/jmb_core.dir/measurement.cpp.o.d"
+  "/root/repo/src/core/naive_baseline.cpp" "src/core/CMakeFiles/jmb_core.dir/naive_baseline.cpp.o" "gcc" "src/core/CMakeFiles/jmb_core.dir/naive_baseline.cpp.o.d"
+  "/root/repo/src/core/phase_sync.cpp" "src/core/CMakeFiles/jmb_core.dir/phase_sync.cpp.o" "gcc" "src/core/CMakeFiles/jmb_core.dir/phase_sync.cpp.o.d"
+  "/root/repo/src/core/precoder.cpp" "src/core/CMakeFiles/jmb_core.dir/precoder.cpp.o" "gcc" "src/core/CMakeFiles/jmb_core.dir/precoder.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/jmb_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/jmb_core.dir/system.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/jmb_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/jmb_core.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/jmb_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/jmb_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/jmb_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/chan/CMakeFiles/jmb_chan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

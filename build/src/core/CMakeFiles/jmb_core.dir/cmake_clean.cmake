@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jmb_core.dir/compat11n.cpp.o"
+  "CMakeFiles/jmb_core.dir/compat11n.cpp.o.d"
+  "CMakeFiles/jmb_core.dir/decoupled.cpp.o"
+  "CMakeFiles/jmb_core.dir/decoupled.cpp.o.d"
+  "CMakeFiles/jmb_core.dir/link_model.cpp.o"
+  "CMakeFiles/jmb_core.dir/link_model.cpp.o.d"
+  "CMakeFiles/jmb_core.dir/measurement.cpp.o"
+  "CMakeFiles/jmb_core.dir/measurement.cpp.o.d"
+  "CMakeFiles/jmb_core.dir/naive_baseline.cpp.o"
+  "CMakeFiles/jmb_core.dir/naive_baseline.cpp.o.d"
+  "CMakeFiles/jmb_core.dir/phase_sync.cpp.o"
+  "CMakeFiles/jmb_core.dir/phase_sync.cpp.o.d"
+  "CMakeFiles/jmb_core.dir/precoder.cpp.o"
+  "CMakeFiles/jmb_core.dir/precoder.cpp.o.d"
+  "CMakeFiles/jmb_core.dir/system.cpp.o"
+  "CMakeFiles/jmb_core.dir/system.cpp.o.d"
+  "CMakeFiles/jmb_core.dir/types.cpp.o"
+  "CMakeFiles/jmb_core.dir/types.cpp.o.d"
+  "libjmb_core.a"
+  "libjmb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jmb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

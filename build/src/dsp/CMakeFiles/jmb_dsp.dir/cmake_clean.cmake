@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jmb_dsp.dir/fft.cpp.o"
+  "CMakeFiles/jmb_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/jmb_dsp.dir/resampler.cpp.o"
+  "CMakeFiles/jmb_dsp.dir/resampler.cpp.o.d"
+  "CMakeFiles/jmb_dsp.dir/stats.cpp.o"
+  "CMakeFiles/jmb_dsp.dir/stats.cpp.o.d"
+  "libjmb_dsp.a"
+  "libjmb_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jmb_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jmb_linalg.dir/cmatrix.cpp.o"
+  "CMakeFiles/jmb_linalg.dir/cmatrix.cpp.o.d"
+  "CMakeFiles/jmb_linalg.dir/lu.cpp.o"
+  "CMakeFiles/jmb_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/jmb_linalg.dir/pinv.cpp.o"
+  "CMakeFiles/jmb_linalg.dir/pinv.cpp.o.d"
+  "libjmb_linalg.a"
+  "libjmb_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jmb_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

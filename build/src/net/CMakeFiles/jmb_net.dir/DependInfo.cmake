@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/mac.cpp" "src/net/CMakeFiles/jmb_net.dir/mac.cpp.o" "gcc" "src/net/CMakeFiles/jmb_net.dir/mac.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/net/CMakeFiles/jmb_net.dir/queue.cpp.o" "gcc" "src/net/CMakeFiles/jmb_net.dir/queue.cpp.o.d"
+  "/root/repo/src/net/scheduler.cpp" "src/net/CMakeFiles/jmb_net.dir/scheduler.cpp.o" "gcc" "src/net/CMakeFiles/jmb_net.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/jmb_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rate/CMakeFiles/jmb_rate.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/jmb_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/jmb_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jmb_net.dir/mac.cpp.o"
+  "CMakeFiles/jmb_net.dir/mac.cpp.o.d"
+  "CMakeFiles/jmb_net.dir/queue.cpp.o"
+  "CMakeFiles/jmb_net.dir/queue.cpp.o.d"
+  "CMakeFiles/jmb_net.dir/scheduler.cpp.o"
+  "CMakeFiles/jmb_net.dir/scheduler.cpp.o.d"
+  "libjmb_net.a"
+  "libjmb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jmb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/bits.cpp" "src/phy/CMakeFiles/jmb_phy.dir/bits.cpp.o" "gcc" "src/phy/CMakeFiles/jmb_phy.dir/bits.cpp.o.d"
+  "/root/repo/src/phy/chanest.cpp" "src/phy/CMakeFiles/jmb_phy.dir/chanest.cpp.o" "gcc" "src/phy/CMakeFiles/jmb_phy.dir/chanest.cpp.o.d"
+  "/root/repo/src/phy/convcode.cpp" "src/phy/CMakeFiles/jmb_phy.dir/convcode.cpp.o" "gcc" "src/phy/CMakeFiles/jmb_phy.dir/convcode.cpp.o.d"
+  "/root/repo/src/phy/crc32.cpp" "src/phy/CMakeFiles/jmb_phy.dir/crc32.cpp.o" "gcc" "src/phy/CMakeFiles/jmb_phy.dir/crc32.cpp.o.d"
+  "/root/repo/src/phy/frame.cpp" "src/phy/CMakeFiles/jmb_phy.dir/frame.cpp.o" "gcc" "src/phy/CMakeFiles/jmb_phy.dir/frame.cpp.o.d"
+  "/root/repo/src/phy/interleaver.cpp" "src/phy/CMakeFiles/jmb_phy.dir/interleaver.cpp.o" "gcc" "src/phy/CMakeFiles/jmb_phy.dir/interleaver.cpp.o.d"
+  "/root/repo/src/phy/modulation.cpp" "src/phy/CMakeFiles/jmb_phy.dir/modulation.cpp.o" "gcc" "src/phy/CMakeFiles/jmb_phy.dir/modulation.cpp.o.d"
+  "/root/repo/src/phy/ofdm.cpp" "src/phy/CMakeFiles/jmb_phy.dir/ofdm.cpp.o" "gcc" "src/phy/CMakeFiles/jmb_phy.dir/ofdm.cpp.o.d"
+  "/root/repo/src/phy/params.cpp" "src/phy/CMakeFiles/jmb_phy.dir/params.cpp.o" "gcc" "src/phy/CMakeFiles/jmb_phy.dir/params.cpp.o.d"
+  "/root/repo/src/phy/preamble.cpp" "src/phy/CMakeFiles/jmb_phy.dir/preamble.cpp.o" "gcc" "src/phy/CMakeFiles/jmb_phy.dir/preamble.cpp.o.d"
+  "/root/repo/src/phy/receiver.cpp" "src/phy/CMakeFiles/jmb_phy.dir/receiver.cpp.o" "gcc" "src/phy/CMakeFiles/jmb_phy.dir/receiver.cpp.o.d"
+  "/root/repo/src/phy/scrambler.cpp" "src/phy/CMakeFiles/jmb_phy.dir/scrambler.cpp.o" "gcc" "src/phy/CMakeFiles/jmb_phy.dir/scrambler.cpp.o.d"
+  "/root/repo/src/phy/sync.cpp" "src/phy/CMakeFiles/jmb_phy.dir/sync.cpp.o" "gcc" "src/phy/CMakeFiles/jmb_phy.dir/sync.cpp.o.d"
+  "/root/repo/src/phy/transmitter.cpp" "src/phy/CMakeFiles/jmb_phy.dir/transmitter.cpp.o" "gcc" "src/phy/CMakeFiles/jmb_phy.dir/transmitter.cpp.o.d"
+  "/root/repo/src/phy/viterbi.cpp" "src/phy/CMakeFiles/jmb_phy.dir/viterbi.cpp.o" "gcc" "src/phy/CMakeFiles/jmb_phy.dir/viterbi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/jmb_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/jmb_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

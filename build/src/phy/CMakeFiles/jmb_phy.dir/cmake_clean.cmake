@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jmb_phy.dir/bits.cpp.o"
+  "CMakeFiles/jmb_phy.dir/bits.cpp.o.d"
+  "CMakeFiles/jmb_phy.dir/chanest.cpp.o"
+  "CMakeFiles/jmb_phy.dir/chanest.cpp.o.d"
+  "CMakeFiles/jmb_phy.dir/convcode.cpp.o"
+  "CMakeFiles/jmb_phy.dir/convcode.cpp.o.d"
+  "CMakeFiles/jmb_phy.dir/crc32.cpp.o"
+  "CMakeFiles/jmb_phy.dir/crc32.cpp.o.d"
+  "CMakeFiles/jmb_phy.dir/frame.cpp.o"
+  "CMakeFiles/jmb_phy.dir/frame.cpp.o.d"
+  "CMakeFiles/jmb_phy.dir/interleaver.cpp.o"
+  "CMakeFiles/jmb_phy.dir/interleaver.cpp.o.d"
+  "CMakeFiles/jmb_phy.dir/modulation.cpp.o"
+  "CMakeFiles/jmb_phy.dir/modulation.cpp.o.d"
+  "CMakeFiles/jmb_phy.dir/ofdm.cpp.o"
+  "CMakeFiles/jmb_phy.dir/ofdm.cpp.o.d"
+  "CMakeFiles/jmb_phy.dir/params.cpp.o"
+  "CMakeFiles/jmb_phy.dir/params.cpp.o.d"
+  "CMakeFiles/jmb_phy.dir/preamble.cpp.o"
+  "CMakeFiles/jmb_phy.dir/preamble.cpp.o.d"
+  "CMakeFiles/jmb_phy.dir/receiver.cpp.o"
+  "CMakeFiles/jmb_phy.dir/receiver.cpp.o.d"
+  "CMakeFiles/jmb_phy.dir/scrambler.cpp.o"
+  "CMakeFiles/jmb_phy.dir/scrambler.cpp.o.d"
+  "CMakeFiles/jmb_phy.dir/sync.cpp.o"
+  "CMakeFiles/jmb_phy.dir/sync.cpp.o.d"
+  "CMakeFiles/jmb_phy.dir/transmitter.cpp.o"
+  "CMakeFiles/jmb_phy.dir/transmitter.cpp.o.d"
+  "CMakeFiles/jmb_phy.dir/viterbi.cpp.o"
+  "CMakeFiles/jmb_phy.dir/viterbi.cpp.o.d"
+  "libjmb_phy.a"
+  "libjmb_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jmb_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rate/airtime.cpp" "src/rate/CMakeFiles/jmb_rate.dir/airtime.cpp.o" "gcc" "src/rate/CMakeFiles/jmb_rate.dir/airtime.cpp.o.d"
+  "/root/repo/src/rate/ber.cpp" "src/rate/CMakeFiles/jmb_rate.dir/ber.cpp.o" "gcc" "src/rate/CMakeFiles/jmb_rate.dir/ber.cpp.o.d"
+  "/root/repo/src/rate/effective_snr.cpp" "src/rate/CMakeFiles/jmb_rate.dir/effective_snr.cpp.o" "gcc" "src/rate/CMakeFiles/jmb_rate.dir/effective_snr.cpp.o.d"
+  "/root/repo/src/rate/per.cpp" "src/rate/CMakeFiles/jmb_rate.dir/per.cpp.o" "gcc" "src/rate/CMakeFiles/jmb_rate.dir/per.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/jmb_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/jmb_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/jmb_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jmb_rate.dir/airtime.cpp.o"
+  "CMakeFiles/jmb_rate.dir/airtime.cpp.o.d"
+  "CMakeFiles/jmb_rate.dir/ber.cpp.o"
+  "CMakeFiles/jmb_rate.dir/ber.cpp.o.d"
+  "CMakeFiles/jmb_rate.dir/effective_snr.cpp.o"
+  "CMakeFiles/jmb_rate.dir/effective_snr.cpp.o.d"
+  "CMakeFiles/jmb_rate.dir/per.cpp.o"
+  "CMakeFiles/jmb_rate.dir/per.cpp.o.d"
+  "libjmb_rate.a"
+  "libjmb_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jmb_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

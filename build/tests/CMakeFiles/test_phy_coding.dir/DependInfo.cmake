@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_phy_coding.cpp" "tests/CMakeFiles/test_phy_coding.dir/test_phy_coding.cpp.o" "gcc" "tests/CMakeFiles/test_phy_coding.dir/test_phy_coding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/jmb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rate/CMakeFiles/jmb_rate.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jmb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/jmb_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/jmb_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/chan/CMakeFiles/jmb_chan.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/jmb_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_ofdm.dir/test_phy_ofdm.cpp.o"
+  "CMakeFiles/test_phy_ofdm.dir/test_phy_ofdm.cpp.o.d"
+  "test_phy_ofdm"
+  "test_phy_ofdm.pdb"
+  "test_phy_ofdm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_ofdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_dsp[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_coding[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_ofdm[1]_include.cmake")
+include("/root/repo/build/tests/test_chan[1]_include.cmake")
+include("/root/repo/build/tests/test_rate[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_core_units[1]_include.cmake")
+include("/root/repo/build/tests/test_core_system[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_estimation[1]_include.cmake")
+include("/root/repo/build/tests/test_core_models[1]_include.cmake")
