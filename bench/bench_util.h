@@ -2,6 +2,7 @@
 // the topology -> link-gain plumbing used by the throughput sweeps.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -10,14 +11,34 @@
 #include "chan/topology.h"
 #include "dsp/rng.h"
 #include "dsp/stats.h"
+#include "engine/trial_runner.h"
 
 namespace jmb::bench {
 
+/// Parse a full decimal seed or die with a usage message naming `source`.
+inline std::uint64_t parse_seed_or_die(const char* text, const char* source,
+                                       const char* prog) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "%s: invalid seed '%s' (from %s); expected a decimal "
+                 "integer\nusage: %s [seed]   (or set JMB_SEED)\n",
+                 prog, text, source, prog);
+    std::exit(2);
+  }
+  return v;
+}
+
 /// Seed from argv[1] or JMB_SEED, defaulting to 1. Every bench prints it.
+/// Non-numeric input is rejected with a usage message (exit 2) rather than
+/// silently seeding 0.
 inline std::uint64_t seed_from(int argc, char** argv) {
-  if (argc > 1) return std::strtoull(argv[1], nullptr, 10);
+  const char* prog = argc > 0 ? argv[0] : "bench";
+  if (argc > 1) return parse_seed_or_die(argv[1], "argv[1]", prog);
   if (const char* env = std::getenv("JMB_SEED")) {
-    return std::strtoull(env, nullptr, 10);
+    return parse_seed_or_die(env, "JMB_SEED", prog);
   }
   return 1;
 }
@@ -25,7 +46,9 @@ inline std::uint64_t seed_from(int argc, char** argv) {
 inline void banner(const std::string& title, std::uint64_t seed) {
   std::printf("==============================================================\n");
   std::printf("%s\n", title.c_str());
-  std::printf("seed = %llu\n", static_cast<unsigned long long>(seed));
+  std::printf("seed = %llu   threads = %zu\n",
+              static_cast<unsigned long long>(seed),
+              engine::default_thread_count());
   std::printf("==============================================================\n");
 }
 

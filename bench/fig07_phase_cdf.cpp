@@ -10,7 +10,8 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/system.h"
+#include "engine/system.h"
+#include "engine/trial_runner.h"
 
 int main(int argc, char** argv) {
   using namespace jmb;
@@ -18,26 +19,32 @@ int main(int argc, char** argv) {
   bench::banner("Fig. 7: CDF of achieved phase misalignment (sample-level)",
                 seed);
 
-  rvec all;
-  Rng rng(seed);
-  constexpr int kTopologies = 6;
+  constexpr std::size_t kTopologies = 6;
   constexpr std::size_t kRounds = 25;
-  for (int topo = 0; topo < kTopologies; ++topo) {
-    core::SystemParams p;
-    p.n_aps = 2;
-    p.n_clients = 1;
-    p.seed = rng.next_u64();
-    // Static testbed (nodes on ledges/tripods): the probe isolates the
-    // oscillator-sync error, not channel aging.
-    p.coherence_time_s = 1e4;
-    const double snr_db = rng.uniform(18.0, 28.0);
-    core::JmbSystem sys(
-        p, {{core::JmbSystem::gain_for_snr_db(snr_db, 1.0),
-             core::JmbSystem::gain_for_snr_db(snr_db, 1.0)}});
-    if (!sys.run_measurement()) continue;
-    const rvec dev = sys.measure_alignment_series(kRounds, 5e-3);
-    all.insert(all.end(), dev.begin(), dev.end());
-  }
+
+  // One trial per topology; the facade's pipeline records the real
+  // per-stage metrics into the trial's set.
+  engine::TrialRunner runner({.base_seed = seed});
+  const auto per_topo =
+      runner.run(kTopologies, [&](engine::TrialContext& ctx) -> rvec {
+        core::SystemParams p;
+        p.n_aps = 2;
+        p.n_clients = 1;
+        p.seed = ctx.rng.next_u64();
+        // Static testbed (nodes on ledges/tripods): the probe isolates the
+        // oscillator-sync error, not channel aging.
+        p.coherence_time_s = 1e4;
+        const double snr_db = ctx.rng.uniform(18.0, 28.0);
+        core::JmbSystem sys(
+            p, {{core::JmbSystem::gain_for_snr_db(snr_db, 1.0),
+                 core::JmbSystem::gain_for_snr_db(snr_db, 1.0)}});
+        sys.attach_metrics(ctx.metrics);
+        if (!sys.run_measurement()) return {};
+        return sys.measure_alignment_series(kRounds, 5e-3);
+      });
+
+  rvec all;
+  for (const rvec& dev : per_topo) all.insert(all.end(), dev.begin(), dev.end());
   if (all.empty()) {
     std::printf("no samples collected\n");
     return 1;
@@ -50,5 +57,6 @@ int main(int argc, char** argv) {
   std::printf("\nmedian = %.4f rad (paper: 0.017), 95th = %.4f rad"
               " (paper: 0.05)\n",
               median(all), percentile(all, 0.95));
+  runner.print_report();
   return 0;
 }

@@ -14,11 +14,14 @@
 //      estimators). Its i.i.d. channel draws are estimation-limited and
 //      worse conditioned than a real room at large N, so its INR runs a
 //      few dB above the paper's; see EXPERIMENTS.md.
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.h"
 #include "core/link_model.h"
-#include "core/system.h"
+#include "engine/system.h"
+#include "engine/trial_runner.h"
+#include "linalg/pinv.h"
 
 int main(int argc, char** argv) {
   using namespace jmb;
@@ -26,31 +29,60 @@ int main(int argc, char** argv) {
   bench::banner("Fig. 8: INR at a nulled client vs number of AP-client pairs",
                 seed);
 
+  engine::TrialRunner runner({.base_seed = seed});
+
+  // (a) one trial per (N, band) grid point; the historical
+  // seed + 1000n + b derivation is kept so the table is unchanged.
+  constexpr std::size_t kMinN = 2, kMaxN = 10;
+  const std::size_t n_bands = bench::snr_bands().size();
+  const std::size_t per_row = n_bands;
+  const auto grid = runner.run(
+      (kMaxN - kMinN + 1) * per_row, [&](engine::TrialContext& ctx) {
+        const std::size_t n = kMinN + ctx.index / per_row;
+        const std::size_t b = ctx.index % per_row;
+        const auto& band = bench::snr_bands()[b];
+        Rng rng(seed + 1000 * n + b);
+        RunningStats inr;
+        for (int topo = 0; topo < 8; ++topo) {
+          std::vector<std::vector<double>> gains;
+          core::ChannelMatrixSet h(0, 0);
+          {
+            const auto timer = ctx.time_stage(engine::kStageMeasure);
+            gains = bench::diverse_link_gains(n, n, band, rng);
+            h = core::well_conditioned_channel_set(gains, rng);
+          }
+          std::optional<core::ZfPrecoder> precoder;
+          {
+            const auto timer = ctx.time_stage(engine::kStagePrecode);
+            precoder = core::ZfPrecoder::build(h);
+            if (precoder) {
+              ctx.metrics->stage(engine::kStagePrecode)
+                  .add_condition(condition_number(h.at(0)));
+            }
+          }
+          if (!precoder) continue;
+          const double eff = rng.uniform(band.lo_db, band.hi_db);
+          const double noise =
+              precoder->scale() * precoder->scale() / from_db(eff);
+          const auto timer = ctx.time_stage(engine::kStagePropagate);
+          inr.add(core::expected_inr_db(h, bench::kCalibratedPhaseSigma,
+                                        noise, 25, rng));
+        }
+        return inr.mean();
+      });
+
   std::printf("(a) misalignment-limited regime (link model, calibrated"
               " phase error %.3f rad)\n\n", bench::kCalibratedPhaseSigma);
   std::printf("%-6s", "N");
   for (const auto& band : bench::snr_bands()) std::printf(" %-20s", band.name);
   std::printf("\n");
-
-  std::vector<rvec> series(bench::snr_bands().size());
-  for (std::size_t n = 2; n <= 10; ++n) {
+  std::vector<rvec> series(n_bands);
+  for (std::size_t n = kMinN; n <= kMaxN; ++n) {
     std::printf("%-6zu", n);
-    for (std::size_t b = 0; b < bench::snr_bands().size(); ++b) {
-      const auto& band = bench::snr_bands()[b];
-      Rng rng(seed + 1000 * n + b);
-      RunningStats inr;
-      for (int topo = 0; topo < 8; ++topo) {
-        const auto gains = bench::diverse_link_gains(n, n, band, rng);
-        const auto h = core::well_conditioned_channel_set(gains, rng);
-        const auto precoder = core::ZfPrecoder::build(h);
-        if (!precoder) continue;
-        const double eff = rng.uniform(band.lo_db, band.hi_db);
-        const double noise = precoder->scale() * precoder->scale() / from_db(eff);
-        inr.add(core::expected_inr_db(h, bench::kCalibratedPhaseSigma, noise,
-                                      25, rng));
-      }
-      series[b].push_back(inr.mean());
-      std::printf(" %-20.2f", inr.mean());
+    for (std::size_t b = 0; b < n_bands; ++b) {
+      const double mean_inr = grid[(n - kMinN) * per_row + b];
+      series[b].push_back(mean_inr);
+      std::printf(" %-20.2f", mean_inr);
     }
     std::printf("\n");
   }
@@ -60,35 +92,51 @@ int main(int argc, char** argv) {
   std::printf("INR at N=10, high SNR: %.2f dB (paper: < 1.5 dB)\n\n",
               high.back());
 
+  // (b) one trial per (N, topology); each runs a full sample-level system
+  // on its own RNG stream with the facade's stage metrics attached.
+  constexpr std::size_t kSpotMinN = 2, kSpotMaxN = 4;
+  constexpr std::size_t kSpotTopos = 6;
+  const auto spot = runner.run(
+      (kSpotMaxN - kSpotMinN + 1) * kSpotTopos,
+      [&](engine::TrialContext& ctx) -> double {
+        const std::size_t n = kSpotMinN + ctx.index / kSpotTopos;
+        const std::size_t topo = ctx.index % kSpotTopos;
+        core::SystemParams p;
+        p.n_aps = n;
+        p.n_clients = n;
+        p.seed = ctx.rng.next_u64();
+        auto gains =
+            bench::diverse_link_gains(n, n, bench::snr_bands()[0], ctx.rng);
+        for (auto& row : gains) {
+          double best = 0.0;
+          for (double g : row) best = std::max(best, g);
+          for (double& g : row) {
+            g = std::max(g, best / from_db(6.0)) /
+                core::JmbSystem::kOfdmTimePower;
+          }
+        }
+        core::JmbSystem sys(p, gains);
+        sys.attach_metrics(ctx.metrics);
+        if (!sys.run_measurement()) return std::nan("");
+        sys.calibrate_to_effective_snr(20.0);
+        sys.advance_time(2e-3);
+        if (!sys.run_measurement()) return std::nan("");
+        sys.advance_time(2e-3);
+        return sys.measure_inr(topo % n);
+      });
+
   std::printf("(b) sample-level spot check (full waveforms + estimators,"
               " high band)\n\n");
   std::printf("%-6s %-14s\n", "N", "median INR (dB)");
-  Rng rng(seed);
-  for (std::size_t n = 2; n <= 4; ++n) {
+  for (std::size_t n = kSpotMinN; n <= kSpotMaxN; ++n) {
     rvec inrs;
-    for (int topo = 0; topo < 6; ++topo) {
-      core::SystemParams p;
-      p.n_aps = n;
-      p.n_clients = n;
-      p.seed = rng.next_u64();
-      auto gains = bench::diverse_link_gains(n, n, bench::snr_bands()[0], rng);
-      for (auto& row : gains) {
-        double best = 0.0;
-        for (double g : row) best = std::max(best, g);
-        for (double& g : row) {
-          g = std::max(g, best / from_db(6.0)) / core::JmbSystem::kOfdmTimePower;
-        }
-      }
-      core::JmbSystem sys(p, gains);
-      if (!sys.run_measurement()) continue;
-      sys.calibrate_to_effective_snr(20.0);
-      sys.advance_time(2e-3);
-      if (!sys.run_measurement()) continue;
-      sys.advance_time(2e-3);
-      inrs.push_back(sys.measure_inr(topo % n));
+    for (std::size_t topo = 0; topo < kSpotTopos; ++topo) {
+      const double v = spot[(n - kSpotMinN) * kSpotTopos + topo];
+      if (!std::isnan(v)) inrs.push_back(v);
     }
     if (inrs.empty()) continue;
     std::printf("%-6zu %-14.2f\n", n, median(inrs));
   }
+  runner.print_report();
   return 0;
 }

@@ -2,10 +2,13 @@
 // per-run throughput gain.
 //
 // Paper result: gains between 1.65x and 2x across all runs, median 1.8x.
+#include <cmath>
 #include <cstdio>
+#include <optional>
 
 #include "bench_util.h"
 #include "core/compat11n.h"
+#include "engine/trial_runner.h"
 #include "rate/airtime.h"
 #include "rate/effective_snr.h"
 #include "rate/per.h"
@@ -29,19 +32,29 @@ int main(int argc, char** argv) {
   const auto seed = bench::seed_from(argc, argv);
   bench::banner("Fig. 13: CDF of 802.11n-compat throughput gain", seed);
 
-  Rng rng(seed);
-  rvec gains;
-  constexpr int kRuns = 120;
-  for (int run = 0; run < kRuns; ++run) {
+  // One trial per run on its own RNG stream (seed ^ run index).
+  constexpr std::size_t kRuns = 120;
+  engine::TrialRunner runner({.base_seed = seed});
+  const auto per_run = runner.run(kRuns, [&](engine::TrialContext& ctx) {
     core::Compat11nParams p;
     // Sweep the full operational range like the paper.
-    p.effective_snr_db = rng.uniform(8.0, 26.0);
-    const core::Compat11nResult r = core::run_compat11n(p, rng);
+    p.effective_snr_db = ctx.rng.uniform(8.0, 26.0);
+    std::optional<core::Compat11nResult> r;
+    {
+      const auto timer = ctx.time_stage(engine::kStagePropagate);
+      r = core::run_compat11n(p, ctx.rng);
+    }
+    const auto timer = ctx.time_stage(engine::kStageDecode);
     double jmb = 0.0, base = 0.0;
-    for (const rvec& s : r.jmb_stream_sinr) jmb += stream_goodput_mbps(s);
-    for (const rvec& s : r.baseline_stream_snr) base += stream_goodput_mbps(s);
+    for (const rvec& s : r->jmb_stream_sinr) jmb += stream_goodput_mbps(s);
+    for (const rvec& s : r->baseline_stream_snr) base += stream_goodput_mbps(s);
     base /= 2.0;
-    if (base > 1.0) gains.push_back(jmb / base);
+    return base > 1.0 ? jmb / base : std::nan("");
+  });
+
+  rvec gains;
+  for (double g : per_run) {
+    if (!std::isnan(g)) gains.push_back(g);
   }
   std::printf("runs: %zu\n\n%-12s %-8s\n", gains.size(), "percentile", "gain");
   for (double q : {0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95}) {
@@ -49,5 +62,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nmedian gain = %.2fx (paper: 1.8x; range 1.65-2x)\n",
               median(gains));
+  runner.print_report();
   return 0;
 }

@@ -4,13 +4,19 @@
 // full MAC simulation (shared queue, lead election, measurement epochs,
 // retransmissions).
 //
+// Each AP count is one TrialRunner trial with its own deterministic RNG
+// stream, so rows compute in parallel yet print identically for any
+// JMB_THREADS.
+//
 //   ./build/examples/conference_room [n_max] [seed]
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "chan/topology.h"
 #include "core/link_model.h"
 #include "dsp/rng.h"
+#include "engine/trial_runner.h"
 #include "net/mac.h"
 
 int main(int argc, char** argv) {
@@ -21,47 +27,64 @@ int main(int argc, char** argv) {
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
 
   std::printf("Conference room, one 10 MHz channel, saturated downlink.\n");
-  std::printf("(seed %llu)\n\n", static_cast<unsigned long long>(seed));
-  std::printf("%-8s %-18s %-18s %-8s\n", "APs", "802.11 total", "JMB total",
-              "gain");
+  std::printf("(seed %llu, %zu thread(s))\n\n",
+              static_cast<unsigned long long>(seed),
+              engine::default_thread_count());
 
-  Rng rng(seed);
-  const chan::RoomParams room;
-  for (std::size_t n = 1; n <= n_max; ++n) {
+  engine::TrialRunner runner({.base_seed = seed});
+  const auto rows = runner.run(n_max, [&](engine::TrialContext& ctx) {
+    const std::size_t n = ctx.index + 1;
+    Rng& rng = ctx.rng;
+    const chan::RoomParams room;
     // Place n APs and n clients; require decent coverage (12-24 dB).
-    const chan::Topology topo =
-        chan::sample_topology_in_band(n, n, room, rng, 12.0, 24.0);
     std::vector<std::vector<double>> gains(n, std::vector<double>(n));
-    for (std::size_t c = 0; c < n; ++c) {
-      for (std::size_t a = 0; a < n; ++a) {
-        gains[c][a] = from_db(topo.links[c][a].snr_db);
+    core::ChannelMatrixSet h_base(0, 0);
+    {
+      const auto timer = ctx.time_stage(engine::kStageMeasure);
+      const chan::Topology topo =
+          chan::sample_topology_in_band(n, n, room, rng, 12.0, 24.0);
+      for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t a = 0; a < n; ++a) {
+          gains[c][a] = from_db(topo.links[c][a].snr_db);
+        }
       }
+      h_base = core::random_channel_set_with_gains(gains, rng, 52, 4.0);
     }
-    const core::ChannelMatrixSet h_base =
-        core::random_channel_set_with_gains(gains, rng, 52, 4.0);
     const auto base_snrs = core::baseline_subcarrier_snrs(h_base, 1.0);
 
     net::MacParams mac;
     mac.duration_s = 0.25;
     mac.airtime.turnaround_s = 16e-6;
     mac.seed = rng.next_u64();
-    const net::MacReport base = net::run_baseline_mac(
-        n, [&](std::size_t c) { return net::LinkState{base_snrs[c]}; }, mac);
+    net::MacReport base;
+    {
+      const auto timer = ctx.time_stage(engine::kStageDecode);
+      base = net::run_baseline_mac(
+          n, [&](std::size_t c) { return net::LinkState{base_snrs[c]}; }, mac);
+    }
 
     double jmb_total = 0.0;
     if (n >= 2) {
-      const core::ChannelMatrixSet h =
-          core::well_conditioned_channel_set(gains, rng);
-      const auto precoder = core::ZfPrecoder::build(h);
-      if (!precoder) continue;
+      std::optional<core::ZfPrecoder> precoder;
+      core::ChannelMatrixSet h(0, 0);
+      {
+        const auto timer = ctx.time_stage(engine::kStagePrecode);
+        h = core::well_conditioned_channel_set(gains, rng);
+        precoder = core::ZfPrecoder::build(h);
+      }
+      if (!precoder) return std::pair<double, double>{base.total_goodput_mbps, 0.0};
       Rng err_rng(rng.next_u64());
       std::vector<std::vector<rvec>> pool;
-      for (int i = 0; i < 16; ++i) {
-        pool.push_back(
-            core::jmb_subcarrier_sinrs(h, *precoder, 0.02, 1.0, err_rng));
+      {
+        const auto timer = ctx.time_stage(engine::kStagePropagate);
+        for (int i = 0; i < 16; ++i) {
+          pool.push_back(
+              core::jmb_subcarrier_sinrs(h, *precoder, 0.02, 1.0, err_rng));
+        }
       }
       std::size_t draw = 0;
       mac.seed = rng.next_u64();
+      const auto timer = ctx.time_stage(engine::kStageDecode);
       const net::MacReport jmb = net::run_jmb_mac(
           n, n, n,
           [&](std::size_t c) {
@@ -72,13 +95,19 @@ int main(int argc, char** argv) {
     } else {
       jmb_total = base.total_goodput_mbps;  // one AP: nothing to join
     }
-    std::printf("%-8zu %-18.1f %-18.1f %-8.2f\n", n, base.total_goodput_mbps,
-                jmb_total,
-                base.total_goodput_mbps > 0
-                    ? jmb_total / base.total_goodput_mbps
-                    : 0.0);
+    return std::pair<double, double>{base.total_goodput_mbps, jmb_total};
+  });
+
+  std::printf("%-8s %-18s %-18s %-8s\n", "APs", "802.11 total", "JMB total",
+              "gain");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& [base_total, jmb_total] = rows[i];
+    if (jmb_total == 0.0 && i > 0) continue;  // singular precoder draw
+    std::printf("%-8zu %-18.1f %-18.1f %-8.2f\n", i + 1, base_total, jmb_total,
+                base_total > 0 ? jmb_total / base_total : 0.0);
   }
   std::printf("\n802.11 saturates at one AP's worth of air; JMB keeps"
               " climbing as APs are added.\n");
+  runner.print_report();
   return 0;
 }

@@ -2,13 +2,29 @@
 // are all near the noise floor gets nothing from any single AP, but
 // coherent distributed MRT from several APs multiplies its SNR by ~N^2.
 // Runs the full sample-level system: measurement, per-packet phase sync,
-// MRT beamforming, standard-receiver decode.
+// MRT beamforming, standard-receiver decode. Each AP count is one
+// TrialRunner trial; the facade records per-stage metrics into the report.
 //
 //   ./build/examples/dead_spot_diversity [seed]
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
-#include "core/system.h"
+#include "engine/system.h"
+#include "engine/trial_runner.h"
+
+namespace {
+
+struct Row {
+  std::size_t n = 0;
+  std::string note;        // non-empty: no decode attempt, print note
+  bool ok = false;
+  std::string fail_reason;
+  double meas_snr_db = 0.0;
+  double evm_db = 0.0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace jmb;
@@ -16,49 +32,67 @@ int main(int argc, char** argv) {
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
 
   std::printf("A client at ~6 dB per-link SNR (dead spot).\n\n");
+
+  constexpr std::size_t kApCounts[] = {1, 2, 4, 6};
+  engine::TrialRunner runner({.base_seed = seed});
+  const auto rows = runner.run(
+      std::size(kApCounts), [&](engine::TrialContext& ctx) {
+        const std::size_t n = kApCounts[ctx.index];
+        Row row;
+        row.n = n;
+        core::SystemParams p;
+        p.n_aps = std::max<std::size_t>(n, 2);  // needs a lead + slaves
+        p.n_clients = 1;
+        p.seed = seed;  // same world at every AP count, as before
+        const double gain = core::JmbSystem::gain_for_snr_db(6.0, 1.0);
+        core::JmbSystem sys(p, {std::vector<double>(p.n_aps, gain)});
+        sys.attach_metrics(ctx.metrics);
+        // At dead-spot SNRs the measurement frame itself can be missed;
+        // retry across fades, as a real AP would.
+        bool measured = false;
+        for (int attempt = 0; attempt < 6 && !measured; ++attempt) {
+          measured = sys.run_measurement();
+          if (!measured) sys.advance_time(120e-3);
+        }
+        if (!measured) {
+          row.note = "measurement failed (client too deep in the hole)";
+          return row;
+        }
+        sys.advance_time(5e-3);
+        phy::ByteVec packet(400, 0x5A);
+        const phy::Mcs mcs{phy::Modulation::kQpsk, phy::CodeRate::kHalf};
+        // n == 1 approximates plain 802.11: a single 6 dB link.
+        if (n == 1) {
+          row.note = "single 6 dB link: QPSK 1/2 sits at its decoding edge;"
+                     " expect losses";
+          return row;
+        }
+        phy::RxResult rx;
+        for (int attempt = 0; attempt < 6; ++attempt) {  // link-layer retries
+          rx = sys.transmit_diversity(0, packet, mcs);
+          if (rx.ok) break;
+          sys.advance_time(150e-3);  // wait out the fade (~coherence time)
+        }
+        row.ok = rx.ok;
+        row.fail_reason = rx.fail_reason;
+        row.meas_snr_db = rx.preamble.snr_db;
+        row.evm_db = rx.evm_snr_db;
+        return row;
+      });
+
   std::printf("%-8s %-14s %-14s %-10s\n", "APs", "decoded?", "meas SNR (dB)",
               "EVM (dB)");
-  for (std::size_t n : {1u, 2u, 4u, 6u}) {
-    core::SystemParams p;
-    p.n_aps = std::max<std::size_t>(n, 2);  // system needs a lead + slaves
-    p.n_clients = 1;
-    p.seed = seed;
-    const double gain = core::JmbSystem::gain_for_snr_db(6.0, 1.0);
-    core::JmbSystem sys(
-        p, {std::vector<double>(p.n_aps, gain)});
-    // At dead-spot SNRs the measurement frame itself can be missed; retry
-    // across fades, as a real AP would.
-    bool measured = false;
-    for (int attempt = 0; attempt < 6 && !measured; ++attempt) {
-      measured = sys.run_measurement();
-      if (!measured) sys.advance_time(120e-3);
-    }
-    if (!measured) {
-      std::printf("%-8zu measurement failed (client too deep in the hole)\n", n);
+  for (const Row& row : rows) {
+    if (!row.note.empty()) {
+      std::printf("%-8zu %s\n", row.n, row.note.c_str());
       continue;
     }
-    sys.advance_time(5e-3);
-    phy::ByteVec packet(400, 0x5A);
-    // n == 1 approximates plain 802.11: only the lead transmits (use MRT
-    // with the other AP's stream weights zero by asking for 2 APs but
-    // comparing against the single-AP SNR is enough here).
-    const phy::Mcs mcs{phy::Modulation::kQpsk, phy::CodeRate::kHalf};
-    if (n == 1) {
-      std::printf("%-8zu single 6 dB link: QPSK 1/2 sits at its decoding"
-                  " edge; expect losses\n", n);
-      continue;
-    }
-    phy::RxResult rx;
-    for (int attempt = 0; attempt < 6; ++attempt) {  // link-layer retries
-      rx = sys.transmit_diversity(0, packet, mcs);
-      if (rx.ok) break;
-      sys.advance_time(150e-3);  // wait out the fade (~coherence time)
-    }
-    std::printf("%-8zu %-14s %-14.1f %-10.1f\n", n,
-                rx.ok ? "yes" : rx.fail_reason.c_str(), rx.preamble.snr_db,
-                rx.evm_snr_db);
+    std::printf("%-8zu %-14s %-14.1f %-10.1f\n", row.n,
+                row.ok ? "yes" : row.fail_reason.c_str(), row.meas_snr_db,
+                row.evm_db);
   }
   std::printf("\nEvery doubling of APs buys ~6 dB (N^2 scaling): coverage"
               " holes close without\ntouching the client.\n");
+  runner.print_report();
   return 0;
 }

@@ -5,43 +5,53 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/system.h"
+#include "engine/system.h"
+#include "engine/trial_runner.h"
 
 int main() {
   using namespace jmb;
 
-  // 1. Describe the deployment: 2 APs, 2 clients, free-running oscillators
-  //    (up to +-2 ppm at the APs), 150 us software turnaround, 10 MHz
-  //    channel at 2.4 GHz — the paper's USRP2 testbed in miniature.
-  core::SystemParams params;
-  params.n_aps = 2;
-  params.n_clients = 2;
-  params.seed = 7;
+  // The single end-to-end run goes through the TrialRunner so the
+  // pipeline's per-stage metrics land in a report at the end.
+  engine::TrialRunner runner({.base_seed = 7, .n_threads = 1});
+  const auto results = runner.run(1, [](engine::TrialContext& ctx) {
+    // 1. Describe the deployment: 2 APs, 2 clients, free-running
+    //    oscillators (up to +-2 ppm at the APs), 150 us software
+    //    turnaround, 10 MHz channel at 2.4 GHz — the paper's USRP2
+    //    testbed in miniature.
+    core::SystemParams params;
+    params.n_aps = 2;
+    params.n_clients = 2;
+    params.seed = ctx.seed;
 
-  // Links at ~25 dB SNR (a small room).
-  const double gain = core::JmbSystem::gain_for_snr_db(25.0, 1.0);
-  core::JmbSystem system(params, {{gain, gain}, {gain, gain}});
+    // Links at ~25 dB SNR (a small room).
+    const double gain = core::JmbSystem::gain_for_snr_db(25.0, 1.0);
+    core::JmbSystem system(params, {{gain, gain}, {gain, gain}});
+    system.attach_metrics(ctx.metrics);
 
-  // 2. Channel-measurement phase: the lead AP sends a sync header, all APs
-  //    interleave measurement symbols, clients report the channel snapshot,
-  //    slaves capture their lead reference (Section 5.1 of the paper).
-  if (!system.run_measurement()) {
-    std::printf("measurement failed (no preamble detected?)\n");
-    return 1;
-  }
-  std::printf("measurement ok; predicted post-beamforming SNR: %.1f dB\n",
-              system.predicted_beamforming_snr_db());
+    // 2. Channel-measurement phase: the lead AP sends a sync header, all
+    //    APs interleave measurement symbols, clients report the channel
+    //    snapshot, slaves capture their lead reference (Section 5.1).
+    if (!system.run_measurement()) {
+      std::printf("measurement failed (no preamble detected?)\n");
+      return core::JointResult{};
+    }
+    std::printf("measurement ok; predicted post-beamforming SNR: %.1f dB\n",
+                system.predicted_beamforming_snr_db());
 
-  // 3. Time passes; oscillators drift apart. With CFO prediction this
-  //    would be fatal; JMB re-syncs at the next packet's header.
-  system.advance_time(50e-3);
+    // 3. Time passes; oscillators drift apart. With CFO prediction this
+    //    would be fatal; JMB re-syncs at the next packet's header.
+    system.advance_time(50e-3);
 
-  // 4. Joint transmission: one packet per client, concurrently, on the
-  //    same channel.
-  phy::ByteVec pkt_a(500, 0xAA), pkt_b(500, 0xBB);
-  const core::JointResult result = system.transmit_joint(
-      {pkt_a, pkt_b}, {phy::Modulation::kQam16, phy::CodeRate::kHalf});
+    // 4. Joint transmission: one packet per client, concurrently, on the
+    //    same channel.
+    phy::ByteVec pkt_a(500, 0xAA), pkt_b(500, 0xBB);
+    return system.transmit_joint(
+        {pkt_a, pkt_b}, {phy::Modulation::kQam16, phy::CodeRate::kHalf});
+  });
 
+  const core::JointResult& result = results[0];
+  if (result.per_client.empty()) return 1;
   std::printf("slaves synced: %zu\n", result.slaves_synced);
   for (std::size_t c = 0; c < result.per_client.size(); ++c) {
     const phy::RxResult& rx = result.per_client[c];
@@ -57,5 +67,6 @@ int main() {
   std::printf("\nBoth clients received distinct packets at the same time on"
               " the same channel:\nthat is joint multi-user beamforming from"
               " unsynchronized APs.\n");
+  runner.print_report();
   return 0;
 }

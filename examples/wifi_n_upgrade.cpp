@@ -6,8 +6,10 @@
 //   ./build/examples/wifi_n_upgrade [seed]
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 #include "core/compat11n.h"
+#include "engine/trial_runner.h"
 #include "rate/airtime.h"
 #include "rate/effective_snr.h"
 #include "rate/per.h"
@@ -30,11 +32,16 @@ int main(int argc, char** argv) {
   using namespace jmb;
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
-  Rng rng(seed);
 
-  core::Compat11nParams p;
-  p.effective_snr_db = 22.0;
-  const core::Compat11nResult r = core::run_compat11n(p, rng);
+  engine::TrialRunner runner({.base_seed = seed, .n_threads = 1});
+  const auto results = runner.run(1, [&](engine::TrialContext& ctx) {
+    Rng rng(seed);  // historical seeding: the run reproduces exactly
+    core::Compat11nParams p;
+    p.effective_snr_db = 22.0;
+    const auto timer = ctx.time_stage(engine::kStagePropagate);
+    return core::run_compat11n(p, rng);
+  });
+  const core::Compat11nResult& r = results[0];
 
   std::printf("Reference-antenna channel measurement (Section 6.2):\n");
   std::printf("  reconstruction error with the trick: %.1f%%\n",
@@ -61,5 +68,6 @@ int main(int argc, char** argv) {
               " prefix of\nmixed-mode 802.11n frames, and channel snapshots"
               " come from standard CSI\nfeedback stitched with the reference"
               " antenna.\n");
+  runner.print_report();
   return 0;
 }

@@ -1,187 +1,7 @@
-// The full JMB system at complex-baseband sample level: a lead AP, slave
-// APs and clients on a shared Medium, running the paper's two-phase
-// protocol — channel measurement (Section 5.1), then joint data
-// transmissions with distributed phase synchronization (Section 5.2) —
-// plus the diversity mode (Section 8) and the nulling experiment used to
-// quantify residual interference (Section 11.1c).
+// Compatibility shim: JmbSystem moved to the engine layer, where it is a
+// thin facade over the staged frame pipeline. Existing includes of
+// "core/system.h" keep working; new code should include "engine/system.h"
+// (and "engine/trial_runner.h" for parallel Monte-Carlo trials).
 #pragma once
 
-#include <optional>
-#include <vector>
-
-#include "chan/medium.h"
-#include "core/measurement.h"
-#include "core/phase_sync.h"
-#include "core/precoder.h"
-#include "core/types.h"
-#include "phy/receiver.h"
-#include "phy/transmitter.h"
-
-namespace jmb::core {
-
-struct SystemParams {
-  std::size_t n_aps = 2;
-  std::size_t n_clients = 2;
-  phy::PhyConfig phy{};
-
-  /// Oscillator spread: each node's ppm ~ U(-range, range).
-  double ap_ppm_range = 2.0;
-  double client_ppm_range = 5.0;
-  double phase_noise_linewidth_hz = 0.1;
-
-  /// Fixed per-AP transmit timing offset range (cabling/pipeline skew,
-  /// drawn once per AP). Constant offsets are absorbed into the measured
-  /// channels, exactly as the paper argues for propagation delays.
-  double fixed_timing_offset_s = 20e-9;
-  /// Per-transmission timing repeatability jitter (std dev). Timestamped
-  /// USRP transmissions repeat to a fraction of a sample; SourceSync
-  /// absolute error is constant and lands in the fixed offset above.
-  double trigger_jitter_s = 1e-9;
-
-  /// Turnaround between lead sync header and the joint transmission
-  /// (software latency on the paper's USRPs: 150 us).
-  double turnaround_s = 150e-6;
-
-  /// Client noise floor (linear power per sample); link gains are relative.
-  double noise_var = 1.0;
-
-  /// AP-to-AP link SNR in dB (APs share ledges; links are strong).
-  double ap_ap_snr_db = 35.0;
-
-  /// Interleaved measurement rounds.
-  std::size_t measurement_rounds = 4;
-
-  /// Propagation delay range for AP-client links (fractional samples ok).
-  double prop_delay_min_s = 10e-9;
-  double prop_delay_max_s = 60e-9;
-
-  /// Multipath shape for every link. At 10 MHz a conference room's
-  /// 30-100 ns delay spread is sub-sample: one dominant tap plus a weak
-  /// echo. (Long tails would also break nulling at symbol boundaries,
-  /// where circular convolution does not hold — a real effect, but not
-  /// one this deployment scenario exhibits.)
-  std::size_t n_taps = 2;
-  double tap_decay = 0.15;
-  double rice_k = 4.0;
-  double coherence_time_s = 0.25;
-
-  /// Ablation switch: when true, slaves transmit without any phase
-  /// correction (no sync-header ratio, no CFO ramp) — the "distributed
-  /// MIMO without phase synchronization" strawman.
-  bool disable_slave_correction = false;
-
-  std::uint64_t seed = 1;
-};
-
-/// Outcome of one joint transmission.
-struct JointResult {
-  std::vector<phy::RxResult> per_client;
-  double precoder_scale = 0.0;  ///< effective diagonal gain (amplitude)
-  std::size_t slaves_synced = 0;
-};
-
-class JmbSystem {
- public:
-  /// Build with explicit per-(client, ap) mean link power gains (linear,
-  /// relative to noise_var = 1). gains[client][ap].
-  JmbSystem(SystemParams params,
-            const std::vector<std::vector<double>>& link_gains);
-
-  /// Mean signal-to-noise of a client's *waveform* given a mean link power
-  /// gain: OFDM time samples carry kOfdmTimePower of per-subcarrier unit
-  /// power, which the gain multiplies.
-  [[nodiscard]] static double gain_for_snr_db(double snr_db, double noise_var);
-
-  /// Run the channel-measurement phase at the current time. Returns false
-  /// if any client failed to detect the frame (no H update then).
-  bool run_measurement();
-
-  /// Has a usable precoder (measurement succeeded and H invertible)?
-  [[nodiscard]] bool ready() const { return precoder_.has_value(); }
-
-  /// Calibrate the operating point: scale every client's noise floor so
-  /// the predicted post-beamforming SNR equals `target_db` (how the paper
-  /// places clients "such that all clients obtain an effective SNR in the
-  /// desired range"). Requires ready(); re-run run_measurement() after so
-  /// the measurement noise matches the new operating point. Returns the
-  /// applied shift in dB.
-  double calibrate_to_effective_snr(double target_db);
-
-  /// Jointly deliver one PSDU per client (all at the same MCS, as the
-  /// paper's rate selection yields). Requires ready().
-  [[nodiscard]] JointResult transmit_joint(const std::vector<phy::ByteVec>& psdus,
-                                           const phy::Mcs& mcs);
-
-  /// Diversity mode: all APs beamform the same PSDU to `client`.
-  [[nodiscard]] phy::RxResult transmit_diversity(std::size_t client,
-                                                 const phy::ByteVec& psdu,
-                                                 const phy::Mcs& mcs);
-
-  /// Nulling experiment (Fig. 8): transmit a joint frame whose stream for
-  /// `nulled_client` is silence; report the interference-to-noise ratio
-  /// (dB) observed at that client over the payload. Requires ready().
-  [[nodiscard]] double measure_inr(std::size_t nulled_client);
-
-  /// Phase-alignment probe (Fig. 7): after sync, the lead and slave 0
-  /// transmit alternating OFDM symbols; the client reports the deviation
-  /// of the slave-vs-lead relative phase from its first observation, one
-  /// sample per round, advancing time by `gap_s` between rounds.
-  [[nodiscard]] rvec measure_alignment_series(std::size_t n_rounds, double gap_s);
-
-  /// Advance simulated time (lets oscillators drift / channels age
-  /// between operations).
-  void advance_time(double dt_seconds);
-  [[nodiscard]] double now() const { return now_; }
-
-  /// The H snapshot from the last measurement (client-side estimates).
-  [[nodiscard]] const ChannelMatrixSet& measured_channels() const { return h_; }
-  /// Post-beamforming SNR prediction per client (dB), from the precoder.
-  [[nodiscard]] double predicted_beamforming_snr_db() const;
-
-  /// Average power the OFDM waveform carries per time-domain sample when
-  /// subcarriers hold unit-power symbols (52 used / 64^2 * 64).
-  static constexpr double kOfdmTimePower = 52.0 / 4096.0;
-
-  /// Diagnostics: the underlying medium and node handles (read-only use).
-  [[nodiscard]] chan::Medium& medium() { return medium_; }
-  [[nodiscard]] chan::NodeId ap_node(std::size_t a) const { return ap_nodes_.at(a); }
-  [[nodiscard]] chan::NodeId client_node(std::size_t c) const { return client_nodes_.at(c); }
-  [[nodiscard]] double ap_tx_offset_s(std::size_t a) const { return ap_tx_offset_s_.at(a); }
-
- private:
-  SystemParams params_;
-  chan::Medium medium_;
-  Rng rng_;
-  double now_ = 1e-3;
-
-  std::vector<chan::NodeId> ap_nodes_;      // [0] is the lead
-  std::vector<chan::NodeId> client_nodes_;
-  std::vector<double> ap_tx_offset_s_;      // fixed per-AP timing offset
-  double client_noise_var_ = 1.0;
-  std::vector<SlavePhaseSync> slave_sync_;  // index 0 <-> ap 1
-
-  ChannelMatrixSet h_;
-  std::optional<ZfPrecoder> precoder_;
-
-  phy::Transmitter tx_;
-  phy::Receiver rx_;
-
-  /// Lead sync header + per-slave corrections; returns per-slave
-  /// corrections (nullopt where sync failed) and the time the header went
-  /// out. Advances now_ past the header + turnaround.
-  struct SyncOutcome {
-    double header_t = 0.0;
-    double tx_start = 0.0;
-    std::vector<std::optional<SlaveCorrection>> per_slave;
-  };
-  SyncOutcome run_sync_header();
-
-  /// Apply a slave correction to a waveform starting at tx_start.
-  void apply_correction(cvec& wave, const SlaveCorrection& corr,
-                        double tx_start, double header_t) const;
-
-  [[nodiscard]] JointResult run_joint(const std::vector<std::vector<cvec>>& streams,
-                                      const std::vector<CMatrix>* weights_override);
-};
-
-}  // namespace jmb::core
+#include "engine/system.h"

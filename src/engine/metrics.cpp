@@ -1,0 +1,48 @@
+#include "engine/metrics.h"
+
+namespace jmb::engine {
+
+void StageMetrics::merge(const StageMetrics& other) {
+  wall_s += other.wall_s;
+  frames += other.frames;
+  detect_failures += other.detect_failures;
+  cond_sum += other.cond_sum;
+  cond_count += other.cond_count;
+}
+
+StageMetrics& StageMetricsSet::stage(std::string_view name) {
+  for (auto& [n, m] : stages_) {
+    if (n == name) return m;
+  }
+  stages_.emplace_back(std::string(name), StageMetrics{});
+  return stages_.back().second;
+}
+
+void StageMetricsSet::merge(const StageMetricsSet& other) {
+  for (const auto& [name, m] : other.stages_) stage(name).merge(m);
+}
+
+ScopedStageTimer::~ScopedStageTimer() {
+  if (!set_) return;
+  const auto dt = std::chrono::steady_clock::now() - t0_;
+  StageMetrics& m = set_->stage(name_);
+  m.wall_s += std::chrono::duration<double>(dt).count();
+  ++m.frames;
+}
+
+void print_stage_metrics(const StageMetricsSet& metrics, std::FILE* out) {
+  if (metrics.empty()) return;
+  std::fprintf(out, "%-12s %-10s %-8s %-12s %-10s\n", "stage", "wall (s)",
+               "frames", "detect-fail", "mean-cond");
+  for (const auto& [name, m] : metrics.stages()) {
+    std::fprintf(out, "%-12s %-10.3f %-8zu %-12zu ", name.c_str(), m.wall_s,
+                 m.frames, m.detect_failures);
+    if (m.cond_count > 0) {
+      std::fprintf(out, "%-10.2f\n", m.mean_condition());
+    } else {
+      std::fprintf(out, "%-10s\n", "-");
+    }
+  }
+}
+
+}  // namespace jmb::engine

@@ -1,0 +1,83 @@
+// Per-stage instrumentation for the frame pipeline and the trial runner:
+// each pipeline stage (measure, precode, synthesis, propagate, decode)
+// accumulates wall time, frame counts, detection failures and precoder
+// conditioning, and a shared reporter prints one table per run.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace jmb::engine {
+
+/// Canonical stage names. The pipeline uses them; benches that run the
+/// closed-form link model reuse them for the analogous work so every
+/// report reads the same way.
+inline constexpr const char* kStageMeasure = "measure";
+inline constexpr const char* kStagePrecode = "precode";
+inline constexpr const char* kStageSynthesis = "synthesis";
+inline constexpr const char* kStagePropagate = "propagate";
+inline constexpr const char* kStageDecode = "decode";
+
+/// Counters for one pipeline stage.
+struct StageMetrics {
+  double wall_s = 0.0;               ///< accumulated wall-clock time
+  std::size_t frames = 0;            ///< stage invocations (frames processed)
+  std::size_t detect_failures = 0;   ///< preamble misses / failed decodes
+  double cond_sum = 0.0;             ///< precoder condition-number sum
+  std::size_t cond_count = 0;
+
+  void add_condition(double cond) {
+    cond_sum += cond;
+    ++cond_count;
+  }
+  [[nodiscard]] double mean_condition() const {
+    return cond_count ? cond_sum / static_cast<double>(cond_count) : 0.0;
+  }
+  void merge(const StageMetrics& other);
+};
+
+/// Named stage metrics in first-seen order. One set per trial keeps the
+/// hot path lock-free; the runner merges sets in trial order afterwards so
+/// aggregates are independent of the thread count.
+class StageMetricsSet {
+ public:
+  /// Get-or-create a stage's counters.
+  [[nodiscard]] StageMetrics& stage(std::string_view name);
+
+  [[nodiscard]] const std::vector<std::pair<std::string, StageMetrics>>&
+  stages() const {
+    return stages_;
+  }
+  [[nodiscard]] bool empty() const { return stages_.empty(); }
+
+  void merge(const StageMetricsSet& other);
+
+ private:
+  std::vector<std::pair<std::string, StageMetrics>> stages_;
+};
+
+/// RAII timer: on destruction adds the elapsed wall time and one frame to
+/// the named stage. Null `set` makes it a no-op.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(StageMetricsSet* set, std::string_view name)
+      : set_(set), name_(name), t0_(std::chrono::steady_clock::now()) {}
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+  ~ScopedStageTimer();
+
+ private:
+  StageMetricsSet* set_;
+  std::string name_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Shared reporter: one aligned row per stage.
+void print_stage_metrics(const StageMetricsSet& metrics, std::FILE* out = stdout);
+
+}  // namespace jmb::engine

@@ -1,0 +1,314 @@
+#include "engine/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "dsp/fft.h"
+#include "linalg/pinv.h"
+#include "phy/ofdm.h"
+#include "phy/preamble.h"
+
+namespace jmb::engine {
+
+SyncOutcome run_sync_header(SystemState& sys) {
+  const double fs = sys.params.phy.sample_rate_hz;
+  SyncOutcome out;
+  out.header_t = sys.now;
+  sys.medium.transmit(sys.ap_nodes[0], out.header_t, phy::preamble_time());
+  out.per_slave.resize(sys.params.n_aps - 1);
+  for (std::size_t a = 1; a < sys.params.n_aps; ++a) {
+    const cvec buf = sys.medium.receive(sys.ap_nodes[a],
+                                        out.header_t - kRxMargin / fs,
+                                        kRxMargin + phy::kPreambleLen + 180);
+    const auto pm = sys.rx.measure_preamble(buf);
+    if (pm && sys.slave_sync[a - 1].has_reference()) {
+      out.per_slave[a - 1] =
+          sys.slave_sync[a - 1].on_sync_header(pm->chan, pm->cfo_hz, out.header_t);
+    }
+  }
+  out.tx_start = out.header_t + static_cast<double>(phy::kPreambleLen) / fs +
+                 sys.params.turnaround_s;
+  return out;
+}
+
+void apply_slave_correction(const SystemState& sys, cvec& wave,
+                            const core::SlaveCorrection& corr, double tx_start,
+                            double header_t) {
+  const double fs = sys.params.phy.sample_rate_hz;
+  const double base_dt = tx_start - header_t;
+  for (std::size_t n = 0; n < wave.size(); ++n) {
+    wave[n] *= corr.at(base_dt + static_cast<double>(n) / fs);
+  }
+}
+
+double mean_condition_number(const core::ChannelMatrixSet& h,
+                             std::size_t max_samples) {
+  if (h.n_subcarriers() == 0 || max_samples == 0) return 0.0;
+  const std::size_t stride =
+      std::max<std::size_t>(1, h.n_subcarriers() / max_samples);
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t k = 0; k < h.n_subcarriers(); k += stride) {
+    const CMatrix& a = h.at(k);
+    if (a.rows() < a.cols()) {
+      // Wide matrix (fewer clients than APs): condition over the nonzero
+      // singular values, via the small Gram matrix A A^H.
+      sum += std::sqrt(condition_number(a * a.hermitian()));
+    } else {
+      sum += condition_number(a);
+    }
+    ++n;
+  }
+  return sum / static_cast<double>(n);
+}
+
+void MeasurementStage::run(FrameContext& ctx) {
+  SystemState& sys = ctx.sys;
+  sys.medium.clear_transmissions();
+  sys.medium.evolve_links_to(sys.now);
+  const double fs = sys.params.phy.sample_rate_hz;
+  ctx.sched = core::MeasurementSchedule{sys.params.n_aps,
+                                        sys.params.measurement_rounds};
+  const core::MeasurementSchedule& sched = *ctx.sched;
+  const double frame_t = sys.now;
+
+  sys.medium.transmit(sys.ap_nodes[0], frame_t, sched.ap_waveform(0));
+  for (std::size_t a = 1; a < sys.params.n_aps; ++a) {
+    const double jitter = sys.rng.gaussian(sys.params.trigger_jitter_s);
+    sys.medium.transmit(sys.ap_nodes[a],
+                        frame_t + sys.ap_tx_offset_s[a] + jitter,
+                        sched.ap_waveform(a));
+  }
+
+  // Slaves capture their reference channel from the lead's sync header and
+  // extrapolate it to the snapshot time the clients use (the center of the
+  // interleaved block) with their CFO estimate. The AP-AP link is strong,
+  // so the per-header CFO estimate already makes this extrapolation error
+  // negligible, and the long-term average tightens it further.
+  const double ref_dt = static_cast<double>(sched.reference_offset()) / fs;
+  for (std::size_t a = 1; a < sys.params.n_aps; ++a) {
+    const cvec buf = sys.medium.receive(sys.ap_nodes[a], frame_t - kRxMargin / fs,
+                                        kRxMargin + sched.frame_len() + 200);
+    const auto pm = sys.rx.measure_preamble(buf);
+    if (!pm) {
+      if (sys.metrics) ++sys.metrics->stage(kStageMeasure).detect_failures;
+      return;  // measurement_ok stays false; time does not advance
+    }
+    sys.slave_sync[a - 1].observe_cfo(pm->cfo_hz);
+    // The slave overhears the whole interleaved frame; processing the
+    // lead's symbols like a client yields a far finer CFO estimate (the
+    // LS fit spans the whole block) than a single preamble correlation —
+    // this is what bounds the within-packet phase drift (Section 5.3).
+    if (const auto own =
+            process_measurement_frame(buf, sched, sys.params.phy)) {
+      sys.slave_sync[a - 1].set_cfo_estimate(own->per_ap[0].cfo_hz);
+    }
+    phy::ChannelEstimate ref = pm->chan;
+    ref.rotate(kTwoPi * sys.slave_sync[a - 1].cfo_estimate_hz() * ref_dt);
+    sys.slave_sync[a - 1].set_reference(ref, frame_t + ref_dt);
+  }
+
+  // Clients measure all AP channels, referenced to the sync header.
+  bool all_ok = true;
+  core::ChannelMatrixSet h(sys.params.n_clients, sys.params.n_aps);
+  for (std::size_t c = 0; c < sys.params.n_clients; ++c) {
+    const cvec buf =
+        sys.medium.receive(sys.client_nodes[c], frame_t - kRxMargin / fs,
+                           kRxMargin + sched.frame_len() + 200);
+    const auto cm = process_measurement_frame(buf, sched, sys.params.phy);
+    if (!cm) {
+      if (sys.metrics) ++sys.metrics->stage(kStageMeasure).detect_failures;
+      all_ok = false;
+      break;
+    }
+    const auto& used = core::used_subcarriers();
+    for (std::size_t a = 0; a < sys.params.n_aps; ++a) {
+      for (std::size_t k = 0; k < used.size(); ++k) {
+        h.at(k)(c, a) = cm->per_ap[a].channel.at(used[k]);
+      }
+    }
+  }
+  sys.now = frame_t + static_cast<double>(sched.frame_len() + 400) / fs;
+  if (!all_ok) return;
+  ctx.h_measured = std::move(h);
+  ctx.measurement_ok = true;
+}
+
+void PrecodeStage::run(FrameContext& ctx) {
+  SystemState& sys = ctx.sys;
+  if (!ctx.measurement_ok || !ctx.h_measured) return;
+  sys.h = std::move(*ctx.h_measured);
+  ctx.h_measured.reset();
+  sys.precoder = core::ZfPrecoder::build(sys.h);
+  if (sys.metrics && sys.precoder) {
+    sys.metrics->stage(kStagePrecode).add_condition(
+        mean_condition_number(sys.h));
+  }
+}
+
+void SynthesisStage::run(FrameContext& ctx) {
+  SystemState& sys = ctx.sys;
+  const std::vector<std::vector<cvec>>& streams = *ctx.streams;
+  const std::size_t n_streams = streams.size();
+  const std::size_t n_sym = streams.empty() ? 0 : streams[0].size();
+  const auto& used = core::used_subcarriers();
+
+  sys.medium.clear_transmissions();
+  sys.medium.evolve_links_to(sys.now);
+  ctx.sync = run_sync_header(sys);
+
+  ctx.result.precoder_scale = sys.precoder ? sys.precoder->scale() : 0.0;
+
+  const auto weight_at = [&](std::size_t k) -> const CMatrix& {
+    return ctx.weights_override ? (*ctx.weights_override)[k]
+                                : sys.precoder->weights(k);
+  };
+
+  // Build each AP's waveform: jointly precoded LTF (double guard + 2
+  // symbols) followed by the precoded stream symbols.
+  ctx.wave_len = phy::kLtfLen + n_sym * phy::kSymbolLen;
+  ctx.ap_waves.assign(sys.params.n_aps, std::nullopt);
+  ctx.ap_tx_time.assign(sys.params.n_aps, 0.0);
+  for (std::size_t a = 0; a < sys.params.n_aps; ++a) {
+    // Precoded LTF spectrum for this AP: sum over streams of W(a, j) * L.
+    cvec ltf_spec(phy::kNfft, cplx{});
+    const cvec& l = phy::ltf_freq();
+    for (std::size_t k = 0; k < used.size(); ++k) {
+      const std::size_t bin = phy::bin_of(used[k]);
+      cplx w_sum{};
+      for (std::size_t j = 0; j < n_streams; ++j) w_sum += weight_at(k)(a, j);
+      ltf_spec[bin] = w_sum * l[bin];
+    }
+    cvec ltf_time = ifft(ltf_spec);
+    cvec wave;
+    wave.reserve(ctx.wave_len);
+    for (std::size_t i = 0; i < 32; ++i) {
+      wave.push_back(ltf_time[phy::kNfft - 32 + i]);
+    }
+    wave.insert(wave.end(), ltf_time.begin(), ltf_time.end());
+    wave.insert(wave.end(), ltf_time.begin(), ltf_time.end());
+
+    for (std::size_t s = 0; s < n_sym; ++s) {
+      cvec spec(phy::kNfft, cplx{});
+      for (std::size_t k = 0; k < used.size(); ++k) {
+        const std::size_t bin = phy::bin_of(used[k]);
+        cplx acc{};
+        for (std::size_t j = 0; j < n_streams; ++j) {
+          acc += weight_at(k)(a, j) * streams[j][s][bin];
+        }
+        spec[bin] = acc;
+      }
+      const cvec t = phy::ofdm_modulate(spec);
+      wave.insert(wave.end(), t.begin(), t.end());
+    }
+
+    if (a == 0) {
+      ctx.ap_tx_time[0] = ctx.sync.tx_start;
+      ctx.ap_waves[0] = std::move(wave);
+      continue;
+    }
+    const auto& corr = ctx.sync.per_slave[a - 1];
+    if (!corr) continue;  // slave failed to sync: it sits this one out
+    ++ctx.result.slaves_synced;
+    if (!sys.params.disable_slave_correction) {
+      apply_slave_correction(sys, wave, *corr, ctx.sync.tx_start,
+                             ctx.sync.header_t);
+    }
+    const double jitter = sys.rng.gaussian(sys.params.trigger_jitter_s);
+    ctx.ap_tx_time[a] = ctx.sync.tx_start + sys.ap_tx_offset_s[a] + jitter;
+    ctx.ap_waves[a] = std::move(wave);
+  }
+}
+
+void PropagationStage::run(FrameContext& ctx) {
+  SystemState& sys = ctx.sys;
+  const double fs = sys.params.phy.sample_rate_hz;
+  for (std::size_t a = 0; a < sys.params.n_aps; ++a) {
+    if (!ctx.ap_waves[a]) continue;
+    sys.medium.transmit(sys.ap_nodes[a], ctx.ap_tx_time[a],
+                        std::move(*ctx.ap_waves[a]));
+    ctx.ap_waves[a].reset();
+  }
+  const std::size_t total =
+      kRxMargin + phy::kPreambleLen +
+      static_cast<std::size_t>(sys.params.turnaround_s * fs) + ctx.wave_len +
+      300;
+  ctx.client_bufs.resize(sys.params.n_clients);
+  for (std::size_t c = 0; c < sys.params.n_clients; ++c) {
+    ctx.client_bufs[c] = sys.medium.receive(
+        sys.client_nodes[c], ctx.sync.header_t - kRxMargin / fs, total);
+  }
+  sys.now = ctx.sync.tx_start + static_cast<double>(ctx.wave_len + 400) / fs;
+}
+
+void DecodeStage::run(FrameContext& ctx) {
+  SystemState& sys = ctx.sys;
+  const double fs = sys.params.phy.sample_rate_hz;
+  ctx.result.per_client.resize(sys.params.n_clients);
+  for (std::size_t c = 0; c < sys.params.n_clients; ++c) {
+    const cvec& buf = ctx.client_bufs[c];
+    const auto pm = sys.rx.measure_preamble(buf);
+    if (!pm) {
+      ctx.result.per_client[c].fail_reason = "sync header not detected";
+      if (sys.metrics) ++sys.metrics->stage(kStageDecode).detect_failures;
+      continue;
+    }
+    const std::size_t header_pos =
+        pm->ltf_start >= 192 ? pm->ltf_start - 192 : pm->stf_start;
+    const std::size_t payload_start =
+        header_pos + phy::kPreambleLen +
+        static_cast<std::size_t>(sys.params.turnaround_s * fs);
+    ctx.result.per_client[c] = sys.rx.receive_payload(buf, payload_start,
+                                                      pm->cfo_hz);
+    if (sys.metrics && !ctx.result.per_client[c].ok) {
+      ++sys.metrics->stage(kStageDecode).detect_failures;
+    }
+  }
+}
+
+void FramePipeline::run_stage(PipelineStage& stage, FrameContext& ctx) {
+  StageMetricsSet* m = ctx.sys.metrics;
+  if (!m) {
+    stage.run(ctx);
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  stage.run(ctx);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  StageMetrics& sm = m->stage(stage.name());
+  sm.wall_s += std::chrono::duration<double>(dt).count();
+  ++sm.frames;
+}
+
+bool FramePipeline::run_measurement(FrameContext& ctx) {
+  run_stage(measure_, ctx);
+  if (!ctx.measurement_ok) return false;
+  run_stage(precode_, ctx);
+  return ctx.sys.precoder.has_value();
+}
+
+core::JointResult FramePipeline::run_joint(FrameContext& ctx) {
+  SystemState& sys = ctx.sys;
+  if (!sys.precoder && ctx.weights_override == nullptr) {
+    throw std::logic_error("run_joint: no precoder");
+  }
+  if (ctx.streams == nullptr) {
+    throw std::logic_error("run_joint: no streams");
+  }
+  const std::size_t n_sym =
+      ctx.streams->empty() ? 0 : (*ctx.streams)[0].size();
+  for (const auto& s : *ctx.streams) {
+    if (s.size() != n_sym) {
+      throw std::invalid_argument("run_joint: ragged streams");
+    }
+  }
+  run_stage(synthesis_, ctx);
+  run_stage(propagate_, ctx);
+  run_stage(decode_, ctx);
+  return std::move(ctx.result);
+}
+
+}  // namespace jmb::engine

@@ -1,0 +1,116 @@
+// The full JMB system at complex-baseband sample level: a lead AP, slave
+// APs and clients on a shared Medium, running the paper's two-phase
+// protocol — channel measurement (Section 5.1), then joint data
+// transmissions with distributed phase synchronization (Section 5.2) —
+// plus the diversity mode (Section 8) and the nulling experiment used to
+// quantify residual interference (Section 11.1c).
+//
+// JmbSystem is a thin facade over the staged frame pipeline in
+// engine/pipeline.h: it owns the SystemState, validates inputs, and
+// delegates frame processing to MeasurementStage/PrecodeStage (the
+// measurement path) and SynthesisStage/PropagationStage/DecodeStage (the
+// joint-transmission path). Attach a StageMetricsSet to get per-stage
+// wall-time/failure/conditioning metrics for every frame it processes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "engine/pipeline.h"
+
+namespace jmb::core {
+
+class JmbSystem {
+ public:
+  /// Build with explicit per-(client, ap) mean link power gains (linear,
+  /// relative to noise_var = 1). gains[client][ap].
+  JmbSystem(SystemParams params,
+            const std::vector<std::vector<double>>& link_gains);
+
+  /// Mean signal-to-noise of a client's *waveform* given a mean link power
+  /// gain: OFDM time samples carry kOfdmTimePower of per-subcarrier unit
+  /// power, which the gain multiplies.
+  [[nodiscard]] static double gain_for_snr_db(double snr_db, double noise_var);
+
+  /// Run the channel-measurement phase at the current time. Returns false
+  /// if any client failed to detect the frame (no H update then).
+  bool run_measurement();
+
+  /// Has a usable precoder (measurement succeeded and H invertible)?
+  [[nodiscard]] bool ready() const { return state_.precoder.has_value(); }
+
+  /// Calibrate the operating point: scale every client's noise floor so
+  /// the predicted post-beamforming SNR equals `target_db` (how the paper
+  /// places clients "such that all clients obtain an effective SNR in the
+  /// desired range"). Requires ready(); re-run run_measurement() after so
+  /// the measurement noise matches the new operating point. Returns the
+  /// applied shift in dB.
+  double calibrate_to_effective_snr(double target_db);
+
+  /// Jointly deliver one PSDU per client (all at the same MCS, as the
+  /// paper's rate selection yields). Requires ready().
+  [[nodiscard]] JointResult transmit_joint(const std::vector<phy::ByteVec>& psdus,
+                                           const phy::Mcs& mcs);
+
+  /// Diversity mode: all APs beamform the same PSDU to `client`.
+  [[nodiscard]] phy::RxResult transmit_diversity(std::size_t client,
+                                                 const phy::ByteVec& psdu,
+                                                 const phy::Mcs& mcs);
+
+  /// Nulling experiment (Fig. 8): transmit a joint frame whose stream for
+  /// `nulled_client` is silence; report the interference-to-noise ratio
+  /// (dB) observed at that client over the payload. Requires ready().
+  [[nodiscard]] double measure_inr(std::size_t nulled_client);
+
+  /// Phase-alignment probe (Fig. 7): after sync, the lead and slave 0
+  /// transmit alternating OFDM symbols; the client reports the deviation
+  /// of the slave-vs-lead relative phase from its first observation, one
+  /// sample per round, advancing time by `gap_s` between rounds.
+  [[nodiscard]] rvec measure_alignment_series(std::size_t n_rounds, double gap_s);
+
+  /// Advance simulated time (lets oscillators drift / channels age
+  /// between operations).
+  void advance_time(double dt_seconds);
+  [[nodiscard]] double now() const { return state_.now; }
+
+  /// The H snapshot from the last measurement (client-side estimates).
+  [[nodiscard]] const ChannelMatrixSet& measured_channels() const {
+    return state_.h;
+  }
+  /// Post-beamforming SNR prediction per client (dB), from the precoder.
+  [[nodiscard]] double predicted_beamforming_snr_db() const;
+
+  /// Average power the OFDM waveform carries per time-domain sample when
+  /// subcarriers hold unit-power symbols (52 used / 64^2 * 64).
+  static constexpr double kOfdmTimePower = 52.0 / 4096.0;
+
+  /// Record per-stage metrics for every subsequent frame into `metrics`
+  /// (null detaches). The caller keeps ownership; the set must outlive the
+  /// frames it observes.
+  void attach_metrics(engine::StageMetricsSet* metrics) {
+    state_.metrics = metrics;
+  }
+
+  /// The shared world the pipeline stages operate on — for driving the
+  /// stages directly (tests, custom probes) and read-only diagnostics.
+  [[nodiscard]] engine::SystemState& state() { return state_; }
+  [[nodiscard]] const engine::SystemState& state() const { return state_; }
+
+  /// Diagnostics: the underlying medium and node handles (read-only use).
+  [[nodiscard]] chan::Medium& medium() { return state_.medium; }
+  [[nodiscard]] chan::NodeId ap_node(std::size_t a) const {
+    return state_.ap_nodes.at(a);
+  }
+  [[nodiscard]] chan::NodeId client_node(std::size_t c) const {
+    return state_.client_nodes.at(c);
+  }
+  [[nodiscard]] double ap_tx_offset_s(std::size_t a) const {
+    return state_.ap_tx_offset_s.at(a);
+  }
+
+ private:
+  engine::SystemState state_;
+  engine::FramePipeline pipeline_;
+};
+
+}  // namespace jmb::core

@@ -1,0 +1,47 @@
+// A small fixed-size worker pool for fanning independent Monte-Carlo
+// trials across cores. Determinism is the caller's job (the TrialRunner
+// gives every trial its own RNG stream); the pool only promises that every
+// submitted task runs exactly once and that wait() blocks until the queue
+// drains.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jmb::engine {
+
+class ThreadPool {
+ public:
+  /// Spawns `n_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task. Never blocks; tasks may run on any worker.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait();
+
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;   // workers wait for work
+  std::condition_variable cv_done_;   // wait() waits for the drain
+  std::size_t in_flight_ = 0;         // queued + currently running
+  bool stop_ = false;
+};
+
+}  // namespace jmb::engine

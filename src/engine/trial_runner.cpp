@@ -1,0 +1,25 @@
+#include "engine/trial_runner.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace jmb::engine {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("JMB_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void TrialRunner::print_report(std::FILE* out) const {
+  std::fprintf(out,
+               "\n[trial-runner] %zu trial(s), %zu thread(s), %.3f s wall\n",
+               trials_run_, n_threads_, wall_s_);
+  print_stage_metrics(metrics_, out);
+}
+
+}  // namespace jmb::engine

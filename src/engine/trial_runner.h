@@ -1,0 +1,136 @@
+// Parallel Monte-Carlo trial runner with deterministic per-trial RNG
+// streams.
+//
+// Every trial gets its own seed (base_seed ^ trial index) and its own
+// StageMetricsSet, so results and metrics are bit-identical no matter how
+// many worker threads execute the trials or in what order they finish:
+// results land in a vector indexed by trial, and metrics are merged in
+// trial order after the fan-out completes.
+//
+// Thread count comes from TrialRunnerOptions::n_threads, or — when left
+// at 0 — the JMB_THREADS environment variable, falling back to
+// std::thread::hardware_concurrency().
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "dsp/rng.h"
+#include "engine/metrics.h"
+#include "engine/thread_pool.h"
+
+namespace jmb::engine {
+
+/// Threads to use when the caller does not pin a count: JMB_THREADS if
+/// set (>= 1), else std::thread::hardware_concurrency(), else 1.
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Handed to each trial body: its index, its deterministic seed, a ready
+/// Rng on that seed, and a per-trial metrics sink.
+struct TrialContext {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  Rng rng;
+  StageMetricsSet* metrics = nullptr;
+
+  /// RAII wall-time sample attributed to `stage` in this trial's metrics.
+  [[nodiscard]] ScopedStageTimer time_stage(std::string_view stage) const {
+    return ScopedStageTimer(metrics, stage);
+  }
+};
+
+struct TrialRunnerOptions {
+  std::uint64_t base_seed = 1;
+  /// 0 = auto (JMB_THREADS env, else hardware concurrency).
+  std::size_t n_threads = 0;
+};
+
+class TrialRunner {
+ public:
+  explicit TrialRunner(TrialRunnerOptions opts)
+      : opts_(opts),
+        n_threads_(opts.n_threads > 0 ? opts.n_threads
+                                      : default_thread_count()) {}
+
+  [[nodiscard]] std::size_t n_threads() const { return n_threads_; }
+  [[nodiscard]] std::uint64_t base_seed() const { return opts_.base_seed; }
+
+  /// Run `n_trials` invocations of `fn(TrialContext&)` and return their
+  /// results in trial order. Deterministic: trial i always sees
+  /// seed = base_seed ^ i regardless of thread count. Exceptions thrown
+  /// by a trial are rethrown here (first trial index wins).
+  template <typename Fn>
+  auto run(std::size_t n_trials, Fn&& fn)
+      -> std::vector<decltype(fn(std::declval<TrialContext&>()))> {
+    using Result = decltype(fn(std::declval<TrialContext&>()));
+    const auto t0 = Clock::now();
+    std::vector<Result> results(n_trials);
+    std::vector<StageMetricsSet> per_trial(n_trials);
+
+    auto one = [&](std::size_t i) {
+      TrialContext ctx;
+      ctx.index = i;
+      ctx.seed = opts_.base_seed ^ static_cast<std::uint64_t>(i);
+      ctx.rng = Rng(ctx.seed);
+      ctx.metrics = &per_trial[i];
+      results[i] = fn(ctx);
+    };
+
+    if (n_threads_ <= 1 || n_trials <= 1) {
+      for (std::size_t i = 0; i < n_trials; ++i) one(i);
+    } else {
+      ThreadPool pool(std::min(n_threads_, n_trials));
+      std::exception_ptr first_error;
+      std::size_t first_error_index = 0;
+      std::mutex err_mu;
+      for (std::size_t i = 0; i < n_trials; ++i) {
+        pool.submit([&, i] {
+          try {
+            one(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (!first_error || i < first_error_index) {
+              first_error = std::current_exception();
+              first_error_index = i;
+            }
+          }
+        });
+      }
+      pool.wait();
+      if (first_error) std::rethrow_exception(first_error);
+    }
+
+    // Merge in trial order so the aggregate is independent of scheduling.
+    for (const StageMetricsSet& m : per_trial) metrics_.merge(m);
+    trials_run_ += n_trials;
+    wall_s_ += std::chrono::duration<double>(Clock::now() - t0).count();
+    return results;
+  }
+
+  /// Metrics aggregated across every trial run so far, in trial order.
+  [[nodiscard]] const StageMetricsSet& metrics() const { return metrics_; }
+  /// Wall time spent inside run() so far (seconds).
+  [[nodiscard]] double wall_s() const { return wall_s_; }
+  [[nodiscard]] std::size_t trials_run() const { return trials_run_; }
+
+  /// Print the shared per-stage report: thread count, trials, total wall
+  /// time, then the stage table.
+  void print_report(std::FILE* out = stdout) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  TrialRunnerOptions opts_;
+  std::size_t n_threads_ = 1;
+  StageMetricsSet metrics_;
+  double wall_s_ = 0.0;
+  std::size_t trials_run_ = 0;
+};
+
+}  // namespace jmb::engine

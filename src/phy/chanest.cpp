@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "linalg/pinv.h"
@@ -91,23 +92,31 @@ ChannelEstimate denoise_time_support(const ChannelEstimate& est,
   }
   // Basis: B(row k, col l) = e^{-j 2 pi k l / 64} over the 52 used
   // subcarriers; projection matrix P = B (B^H B)^{-1} B^H cached per
-  // support size (there are few in practice).
+  // support size (there are few in practice). Guarded by a mutex: trials
+  // run concurrently under engine::TrialRunner. std::map nodes are stable,
+  // so the reference stays valid after the lock is released.
+  static std::mutex cache_mu;
   static std::map<std::size_t, CMatrix> cache;
-  auto it = cache.find(support);
-  if (it == cache.end()) {
-    CMatrix b(52, support);
-    std::size_t row = 0;
-    for (int k = -26; k <= 26; ++k) {
-      if (k == 0) continue;
-      for (std::size_t l = 0; l < support; ++l) {
-        b(row, l) = phasor(-kTwoPi * static_cast<double>(k) *
-                           static_cast<double>(l) / 64.0);
+  const CMatrix* projection = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu);
+    auto it = cache.find(support);
+    if (it == cache.end()) {
+      CMatrix b(52, support);
+      std::size_t row = 0;
+      for (int k = -26; k <= 26; ++k) {
+        if (k == 0) continue;
+        for (std::size_t l = 0; l < support; ++l) {
+          b(row, l) = phasor(-kTwoPi * static_cast<double>(k) *
+                             static_cast<double>(l) / 64.0);
+        }
+        ++row;
       }
-      ++row;
+      const auto b_pinv = pinv(b);
+      if (!b_pinv) throw std::logic_error("denoise_time_support: basis singular");
+      it = cache.emplace(support, b * (*b_pinv)).first;
     }
-    const auto b_pinv = pinv(b);
-    if (!b_pinv) throw std::logic_error("denoise_time_support: basis singular");
-    it = cache.emplace(support, b * (*b_pinv)).first;
+    projection = &it->second;
   }
   cvec v(52);
   std::size_t row = 0;
@@ -115,7 +124,7 @@ ChannelEstimate denoise_time_support(const ChannelEstimate& est,
     if (k == 0) continue;
     v[row++] = est.h[bin_of(k)];
   }
-  const cvec smooth = it->second * v;
+  const cvec smooth = *projection * v;
   ChannelEstimate out;
   row = 0;
   for (int k = -26; k <= 26; ++k) {
