@@ -15,17 +15,20 @@
 
 int main(int argc, char** argv) {
   using namespace jmb;
-  const auto seed = bench::seed_from(argc, argv);
+  auto opts = bench::parse_options(argc, argv, "ablation_naive_cfo");
+  opts.seed = bench::seed_from(argc, argv);
+  const auto seed = opts.seed;
   bench::banner("Ablation: naive CFO-prediction sync vs JMB per-packet re-sync",
                 seed);
 
   constexpr int kTrials = 4000;
   const std::vector<double> times_ms{0.5, 1.0,  2.0,  5.5,   10.0,
                                      20.0, 50.0, 100.0, 250.0};
+  opts.add_param("trials_per_row", kTrials);
 
   // One trial per elapsed-time row; each row reseeds from the bench seed
   // exactly as the sequential sweep did, so the table is unchanged.
-  engine::TrialRunner runner({.base_seed = seed});
+  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
   const auto rows =
       runner.run(times_ms.size(), [&](engine::TrialContext& ctx) {
         const double t_ms = times_ms[ctx.index];
@@ -87,6 +90,5 @@ int main(int argc, char** argv) {
     std::printf("%-12.1f %-14.2f %-14.2f\n", damage_times[i], damage[0][i][0],
                 damage[0][i][1]);
   }
-  runner.print_report();
-  return 0;
+  return bench::finish(opts, runner);
 }

@@ -16,7 +16,9 @@
 
 int main(int argc, char** argv) {
   using namespace jmb;
-  const auto seed = bench::seed_from(argc, argv);
+  auto opts = bench::parse_options(argc, argv, "ablation_overhead");
+  opts.seed = bench::seed_from(argc, argv);
+  const auto seed = opts.seed;
   bench::banner("Ablation: measurement overhead vs coherence time", seed);
 
   rate::AirtimeParams air;
@@ -26,9 +28,11 @@ int main(int argc, char** argv) {
 
   const std::vector<double> coherence_ms{2.0, 10.0, 50.0, 100.0, 250.0, 1000.0};
 
+  opts.add_param("coherence_rows", static_cast<double>(coherence_ms.size()));
+
   // One trial per coherence-time row; the MAC run is deterministic given
   // mac.seed, which stays the bench seed as before.
-  engine::TrialRunner runner({.base_seed = seed});
+  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
   const auto rows =
       runner.run(coherence_ms.size(), [&](engine::TrialContext& ctx) {
         const double tc_ms = coherence_ms[ctx.index];
@@ -62,6 +66,5 @@ int main(int argc, char** argv) {
               " ~1%%;\nif CFO drift forced re-measurement every 2 ms (the"
               " naive scheme), it\nwould eat most of the medium — the"
               " motivation for per-packet re-sync.\n");
-  runner.print_report();
-  return 0;
+  return bench::finish(opts, runner);
 }

@@ -1,17 +1,24 @@
-// Shared helpers for the experiment benches: seeding, table printing, and
-// the topology -> link-gain plumbing used by the throughput sweeps.
+// Shared helpers for the experiment benches: seeding, telemetry export,
+// table printing, and the topology -> link-gain plumbing used by the
+// throughput sweeps.
 #pragma once
 
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "chan/topology.h"
 #include "dsp/rng.h"
 #include "dsp/stats.h"
 #include "engine/trial_runner.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 
 namespace jmb::bench {
 
@@ -41,6 +48,97 @@ inline std::uint64_t seed_from(int argc, char** argv) {
     return parse_seed_or_die(env, "JMB_SEED", prog);
   }
   return 1;
+}
+
+/// Telemetry options every bench and example shares. Obtained from
+/// parse_options(); pass to finish() after the run to emit the report,
+/// the bench_result.json/.csv export, and the Chrome trace.
+struct BenchOptions {
+  std::string figure;
+  std::uint64_t seed = 1;
+  std::string metrics_out;     ///< --metrics-out= / JMB_METRICS_OUT
+  std::string trace_out;       ///< --trace-out= / JMB_TRACE_OUT
+  bool timing_metrics = false; ///< --metrics-timing / JMB_METRICS_TIMING
+  /// Allocated when trace_out is set; wire into TrialRunnerOptions::trace.
+  std::shared_ptr<obs::TraceRecorder> trace;
+  /// Run parameters recorded in bench_result.json (n_aps, trials, ...).
+  std::vector<std::pair<std::string, double>> params;
+
+  [[nodiscard]] obs::TraceRecorder* trace_ptr() const { return trace.get(); }
+  void add_param(std::string name, double value) {
+    params.emplace_back(std::move(name), value);
+  }
+};
+
+/// Strip the shared telemetry flags out of argv (compacting it in place,
+/// so positional arguments like the seed keep working) and apply the
+/// JMB_METRICS_OUT / JMB_TRACE_OUT / JMB_METRICS_TIMING env fallbacks.
+/// Unrecognized arguments are left untouched for the caller.
+inline BenchOptions parse_options(int& argc, char** argv, std::string figure) {
+  BenchOptions opts;
+  opts.figure = std::move(figure);
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      opts.metrics_out = arg.substr(std::strlen("--metrics-out="));
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      opts.trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg == "--metrics-timing") {
+      opts.timing_metrics = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  const auto env_or = [](const char* name, const std::string& cur) {
+    if (!cur.empty()) return cur;
+    const char* env = std::getenv(name);
+    return env ? std::string(env) : std::string();
+  };
+  opts.metrics_out = env_or("JMB_METRICS_OUT", opts.metrics_out);
+  opts.trace_out = env_or("JMB_TRACE_OUT", opts.trace_out);
+  if (const char* env = std::getenv("JMB_METRICS_TIMING")) {
+    if (*env != '\0' && std::string_view(env) != "0") {
+      opts.timing_metrics = true;
+    }
+  }
+  if (!opts.trace_out.empty()) {
+    opts.trace = std::make_shared<obs::TraceRecorder>();
+  }
+  return opts;
+}
+
+/// End-of-run tail every bench shares: the stderr stage report, then the
+/// requested exports. Returns the process exit code.
+inline int finish(const BenchOptions& opts, const engine::TrialRunner& runner) {
+  runner.print_report();
+  bool ok = true;
+  if (!opts.metrics_out.empty()) {
+    obs::BenchRunInfo info;
+    info.figure = opts.figure;
+    info.seed = opts.seed;
+    info.params = opts.params;
+    const bool csv = opts.metrics_out.size() >= 4 &&
+                     opts.metrics_out.compare(opts.metrics_out.size() - 4, 4,
+                                              ".csv") == 0;
+    const std::string text =
+        csv ? obs::registry_csv(runner.registry(), opts.timing_metrics)
+            : obs::bench_result_json(info, runner.registry(),
+                                     opts.timing_metrics);
+    ok = obs::write_text_file(opts.metrics_out, text) && ok;
+  }
+  if (!opts.trace_out.empty() && opts.trace) {
+    if (std::FILE* f = std::fopen(opts.trace_out.c_str(), "wb")) {
+      opts.trace->write_chrome_trace(f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                   opts.trace_out.c_str());
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
 }
 
 inline void banner(const std::string& title, std::uint64_t seed) {

@@ -17,17 +17,21 @@
 
 int main(int argc, char** argv) {
   using namespace jmb;
-  const auto seed = bench::seed_from(argc, argv);
+  auto opts = bench::parse_options(argc, argv, "fig06_misalignment");
+  opts.seed = bench::seed_from(argc, argv);
+  const auto seed = opts.seed;
   bench::banner("Fig. 6: SNR reduction vs phase misalignment (2x2 ZF)", seed);
 
   constexpr std::size_t kTrials = 100;
   std::vector<double> mis_grid;
   for (double mis = 0.0; mis <= 0.5001; mis += 0.05) mis_grid.push_back(mis);
+  opts.add_param("channels_per_row", kTrials);
+  opts.add_param("rows", static_cast<double>(mis_grid.size()));
 
   // One trial per misalignment row. Every row reseeds from the bench seed
   // (not the per-trial stream): the paper evaluates the *same* 100 channels
   // at every misalignment and both SNRs, so only the misalignment varies.
-  engine::TrialRunner runner({.base_seed = seed});
+  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
   const auto rows =
       runner.run(mis_grid.size(), [&](engine::TrialContext& ctx) {
         const double mis = mis_grid[ctx.index];
@@ -48,6 +52,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\npaper: ~8 dB at 0.35 rad / 20 dB SNR; higher-SNR systems"
               " degrade more.\n");
-  runner.print_report();
-  return 0;
+  return bench::finish(opts, runner);
 }

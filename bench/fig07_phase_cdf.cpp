@@ -15,16 +15,21 @@
 
 int main(int argc, char** argv) {
   using namespace jmb;
-  const auto seed = bench::seed_from(argc, argv);
+  auto opts = bench::parse_options(argc, argv, "fig07_phase_cdf");
+  opts.seed = bench::seed_from(argc, argv);
+  const auto seed = opts.seed;
   bench::banner("Fig. 7: CDF of achieved phase misalignment (sample-level)",
                 seed);
 
   constexpr std::size_t kTopologies = 6;
   constexpr std::size_t kRounds = 25;
+  opts.add_param("topologies", kTopologies);
+  opts.add_param("rounds", kRounds);
 
   // One trial per topology; the facade's pipeline records the real
-  // per-stage metrics into the trial's set.
-  engine::TrialRunner runner({.base_seed = seed});
+  // per-stage metrics into the trial's set, and the attached ObsSink
+  // collects the phase-sync / precoder / decode physics probes.
+  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
   const auto per_topo =
       runner.run(kTopologies, [&](engine::TrialContext& ctx) -> rvec {
         core::SystemParams p;
@@ -39,6 +44,7 @@ int main(int argc, char** argv) {
             p, {{core::JmbSystem::gain_for_snr_db(snr_db, 1.0),
                  core::JmbSystem::gain_for_snr_db(snr_db, 1.0)}});
         sys.attach_metrics(ctx.metrics);
+        sys.attach_obs(&ctx.sink);
         if (!sys.run_measurement()) return {};
         return sys.measure_alignment_series(kRounds, 5e-3);
       });
@@ -57,6 +63,5 @@ int main(int argc, char** argv) {
   std::printf("\nmedian = %.4f rad (paper: 0.017), 95th = %.4f rad"
               " (paper: 0.05)\n",
               median(all), percentile(all, 0.95));
-  runner.print_report();
-  return 0;
+  return bench::finish(opts, runner);
 }

@@ -25,11 +25,13 @@
 
 int main(int argc, char** argv) {
   using namespace jmb;
-  const auto seed = bench::seed_from(argc, argv);
+  auto opts = bench::parse_options(argc, argv, "fig08_inr_scaling");
+  opts.seed = bench::seed_from(argc, argv);
+  const auto seed = opts.seed;
   bench::banner("Fig. 8: INR at a nulled client vs number of AP-client pairs",
                 seed);
 
-  engine::TrialRunner runner({.base_seed = seed});
+  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
 
   // (a) one trial per (N, band) grid point; the historical
   // seed + 1000n + b derivation is kept so the table is unchanged.
@@ -54,7 +56,7 @@ int main(int argc, char** argv) {
           std::optional<core::ZfPrecoder> precoder;
           {
             const auto timer = ctx.time_stage(engine::kStagePrecode);
-            precoder = core::ZfPrecoder::build(h);
+            precoder = core::ZfPrecoder::build(h, 1.0, &ctx.sink);
             if (precoder) {
               ctx.metrics->stage(engine::kStagePrecode)
                   .add_condition(condition_number(h.at(0)));
@@ -117,6 +119,7 @@ int main(int argc, char** argv) {
         }
         core::JmbSystem sys(p, gains);
         sys.attach_metrics(ctx.metrics);
+        sys.attach_obs(&ctx.sink);
         if (!sys.run_measurement()) return std::nan("");
         sys.calibrate_to_effective_snr(20.0);
         sys.advance_time(2e-3);
@@ -137,6 +140,7 @@ int main(int argc, char** argv) {
     if (inrs.empty()) continue;
     std::printf("%-6zu %-14.2f\n", n, median(inrs));
   }
-  runner.print_report();
-  return 0;
+  opts.add_param("max_n", kMaxN);
+  opts.add_param("spot_max_n", kSpotMaxN);
+  return bench::finish(opts, runner);
 }

@@ -53,7 +53,7 @@ Point run_point(std::size_t n, const bench::SnrBand& band, int topologies,
     }
     {
       const auto timer = ctx.time_stage(engine::kStagePrecode);
-      precoder = core::ZfPrecoder::build(h);
+      precoder = core::ZfPrecoder::build(h, 1.0, &ctx.sink);
       if (precoder) {
         ctx.metrics->stage(engine::kStagePrecode)
             .add_condition(condition_number(h.at(0)));
@@ -111,15 +111,19 @@ Point run_point(std::size_t n, const bench::SnrBand& band, int topologies,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto seed = bench::seed_from(argc, argv);
+  auto opts = bench::parse_options(argc, argv, "fig09_throughput_scaling");
+  opts.seed = bench::seed_from(argc, argv);
+  const auto seed = opts.seed;
   bench::banner("Fig. 9: total throughput vs number of APs (= clients)", seed);
   std::printf("12 topologies per point; 1500-byte frames; 10 MHz channel\n\n");
 
   const auto& bands = bench::snr_bands();
   constexpr std::size_t kMinN = 2, kMaxN = 10;
   const std::size_t per_band = kMaxN - kMinN + 1;
+  opts.add_param("topologies_per_point", 12);
+  opts.add_param("max_n", kMaxN);
 
-  engine::TrialRunner runner({.base_seed = seed});
+  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
   const std::vector<Point> points =
       runner.run(bands.size() * per_band, [&](engine::TrialContext& ctx) {
         const std::size_t band_idx = ctx.index / per_band;
@@ -142,6 +146,5 @@ int main(int argc, char** argv) {
     std::printf("gain at 10 APs: %.1fx (paper: 9.4x high / 9.1x medium /"
                 " 8.1x low)\n\n", gain_at_10);
   }
-  runner.print_report();
-  return 0;
+  return bench::finish(opts, runner);
 }

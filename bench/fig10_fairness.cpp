@@ -36,7 +36,7 @@ rvec run_cell(const bench::SnrBand& band, std::size_t n, std::uint64_t seed,
     std::optional<core::ZfPrecoder> precoder;
     {
       const auto timer = ctx.time_stage(engine::kStagePrecode);
-      precoder = core::ZfPrecoder::build(h);
+      precoder = core::ZfPrecoder::build(h, 1.0, &ctx.sink);
       if (precoder) {
         ctx.metrics->stage(engine::kStagePrecode)
             .add_condition(condition_number(h.at(0)));
@@ -95,14 +95,18 @@ rvec run_cell(const bench::SnrBand& band, std::size_t n, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto seed = bench::seed_from(argc, argv);
+  auto opts = bench::parse_options(argc, argv, "fig10_fairness");
+  opts.seed = bench::seed_from(argc, argv);
+  const auto seed = opts.seed;
   bench::banner("Fig. 10: CDF of per-client throughput gain", seed);
   std::printf("per-client gain = client JMB goodput / client 802.11 goodput\n\n");
 
   const auto& bands = bench::snr_bands();
   const std::size_t n_sizes = std::size(kSizes);
+  opts.add_param("sizes", static_cast<double>(n_sizes));
+  opts.add_param("bands", static_cast<double>(bands.size()));
 
-  engine::TrialRunner runner({.base_seed = seed});
+  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
   const auto cells = runner.run(
       bands.size() * n_sizes, [&](engine::TrialContext& ctx) {
         const auto& band = bands[ctx.index / n_sizes];
@@ -128,6 +132,5 @@ int main(int argc, char** argv) {
   }
   std::printf("paper: per-client gains cluster near N at every SNR; CDFs"
               " widen at low SNR.\n");
-  runner.print_report();
-  return 0;
+  return bench::finish(opts, runner);
 }

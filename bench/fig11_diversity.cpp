@@ -38,7 +38,9 @@ constexpr std::size_t kApCounts[] = {2, 4, 6, 8, 10};
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto seed = bench::seed_from(argc, argv);
+  auto opts = bench::parse_options(argc, argv, "fig11_diversity");
+  opts.seed = bench::seed_from(argc, argv);
+  const auto seed = opts.seed;
   bench::banner("Fig. 11: diversity throughput vs per-link SNR", seed);
   std::printf("single client; all APs beamform the same stream (MRT)\n\n");
 
@@ -47,10 +49,12 @@ int main(int argc, char** argv) {
   for (double snr_db = 0.0; snr_db <= 25.01; snr_db += 2.5) {
     snr_grid.push_back(snr_db);
   }
+  opts.add_param("trials_per_cell", kTrials);
+  opts.add_param("snr_rows", static_cast<double>(snr_grid.size()));
 
   // One trial per SNR row. Every column reseeds a fresh Rng(seed), as the
   // original sweep did, so all columns share the same channel draws.
-  engine::TrialRunner runner({.base_seed = seed});
+  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
   const auto rows =
       runner.run(snr_grid.size(), [&](engine::TrialContext& ctx) {
         const double snr_db = snr_grid[ctx.index];
@@ -114,6 +118,5 @@ int main(int argc, char** argv) {
   std::printf("\npaper: a 0 dB client reaches ~21 Mb/s with 10 APs while"
               " 802.11 delivers nothing;\ncoherent MRT combining boosts SNR"
               " ~ N^2 so curves shift left as N grows.\n");
-  runner.print_report();
-  return 0;
+  return bench::finish(opts, runner);
 }

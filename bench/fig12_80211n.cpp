@@ -35,7 +35,9 @@ double stream_goodput_mbps(const rvec& sub_snr) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto seed = bench::seed_from(argc, argv);
+  auto opts = bench::parse_options(argc, argv, "fig12_80211n");
+  opts.seed = bench::seed_from(argc, argv);
+  const auto seed = opts.seed;
   bench::banner(
       "Fig. 12: JMB with off-the-shelf 802.11n clients (2x 2-ant APs, 2x "
       "2-ant clients)", seed);
@@ -43,9 +45,10 @@ int main(int argc, char** argv) {
   constexpr int kRuns = 30;
   const double band_centers[3] = {22.0, 15.0, 9.0};
   const auto& bands = bench::snr_bands();
+  opts.add_param("runs_per_band", kRuns);
 
   // One trial per SNR band, keeping the historical seed + band derivation.
-  engine::TrialRunner runner({.base_seed = seed});
+  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
   const auto rows = runner.run(bands.size(), [&](engine::TrialContext& ctx) {
     const auto& band = bands[ctx.index];
     Rng rng(seed + static_cast<std::uint64_t>(ctx.index));
@@ -83,6 +86,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\npaper: average gain 1.67-1.83x (2x theoretical), larger at"
               " high SNR.\n");
-  runner.print_report();
-  return 0;
+  return bench::finish(opts, runner);
 }

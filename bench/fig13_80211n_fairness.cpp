@@ -29,12 +29,15 @@ double stream_goodput_mbps(const rvec& sub_snr) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto seed = bench::seed_from(argc, argv);
+  auto opts = bench::parse_options(argc, argv, "fig13_80211n_fairness");
+  opts.seed = bench::seed_from(argc, argv);
+  const auto seed = opts.seed;
   bench::banner("Fig. 13: CDF of 802.11n-compat throughput gain", seed);
 
   // One trial per run on its own RNG stream (seed ^ run index).
   constexpr std::size_t kRuns = 120;
-  engine::TrialRunner runner({.base_seed = seed});
+  opts.add_param("runs", kRuns);
+  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
   const auto per_run = runner.run(kRuns, [&](engine::TrialContext& ctx) {
     core::Compat11nParams p;
     // Sweep the full operational range like the paper.
@@ -62,6 +65,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\nmedian gain = %.2fx (paper: 1.8x; range 1.65-2x)\n",
               median(gains));
-  runner.print_report();
-  return 0;
+  return bench::finish(opts, runner);
 }

@@ -1,11 +1,15 @@
 // Hot-path microbenchmarks (google-benchmark): FFT, Viterbi, precoder
-// construction, full TX/RX chains, and the sample-level medium.
+// construction, full TX/RX chains, and the sample-level medium — followed
+// by a latency-distribution section (p50/p90/p99 per op from the obs
+// histogram type, not just means).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/link_model.h"
 #include "core/precoder.h"
 #include "dsp/fft.h"
 #include "dsp/rng.h"
+#include "engine/metrics.h"
 #include "phy/receiver.h"
 #include "phy/transmitter.h"
 #include "phy/viterbi.h"
@@ -109,6 +113,78 @@ void BM_BeamformingSinr10x10(benchmark::State& state) {
 }
 BENCHMARK(BM_BeamformingSinr10x10);
 
+// Latency distributions: run each op repeatedly under a ScopedStageTimer
+// so every repetition lands in the op's frame_us histogram, then report
+// p50/p90/p99 — tail latency that google-benchmark's mean hides.
+void run_latency_distributions(engine::StageMetricsSet& set) {
+  constexpr int kReps = 200;
+  {
+    Rng rng(1);
+    const cvec x = rng.cgaussian_vec(64);
+    for (int i = 0; i < kReps; ++i) {
+      const engine::ScopedStageTimer timer(&set, "fft64");
+      cvec y = x;
+      fft_inplace(y);
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+  {
+    Rng rng(2);
+    const cvec x = rng.cgaussian_vec(1024);
+    for (int i = 0; i < kReps; ++i) {
+      const engine::ScopedStageTimer timer(&set, "fft1024");
+      cvec y = x;
+      fft_inplace(y);
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+  {
+    Rng rng(6);
+    const core::ChannelMatrixSet h = core::random_channel_set(4, 4, rng);
+    for (int i = 0; i < kReps; ++i) {
+      const engine::ScopedStageTimer timer(&set, "zf_build_4x4");
+      auto p = core::ZfPrecoder::build(h);
+      benchmark::DoNotOptimize(p->scale());
+    }
+  }
+  {
+    Rng rng(4);
+    phy::ByteVec psdu(1500);
+    for (auto& b : psdu) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const phy::Transmitter tx;
+    const phy::Mcs mcs{phy::Modulation::kQam64, phy::CodeRate::kThreeQuarters};
+    for (int i = 0; i < 50; ++i) {
+      const engine::ScopedStageTimer timer(&set, "tx_chain_1500B");
+      auto frame = tx.build_frame(psdu, mcs);
+      benchmark::DoNotOptimize(frame.samples.data());
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  auto opts = bench::parse_options(argc, argv, "perf_micro");
+  // A timing benchmark's whole output is wall-clock derived, so its
+  // exports always include timing metrics.
+  opts.timing_metrics = true;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  engine::StageMetricsSet set;
+  run_latency_distributions(set);
+  std::fprintf(stderr, "\n[perf-micro] latency distributions\n");
+  engine::print_stage_metrics(set);
+
+  if (!opts.metrics_out.empty()) {
+    obs::BenchRunInfo info;
+    info.figure = opts.figure;
+    info.seed = opts.seed;
+    const std::string text =
+        obs::bench_result_json(info, set.registry(), opts.timing_metrics);
+    if (!obs::write_text_file(opts.metrics_out, text)) return 1;
+  }
+  return 0;
+}

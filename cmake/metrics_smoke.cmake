@@ -1,0 +1,33 @@
+# Smoke test: run one bench with --metrics-out and validate the emitted
+# bench_result.json against the checked-in schema.
+#
+# Invoked by ctest (see bench/CMakeLists.txt) as:
+#   cmake -DBENCH=<bench exe> -DVALIDATOR=<validator exe>
+#         -DSCHEMA=<schema json> -DOUT=<artifact path> -P metrics_smoke.cmake
+#
+# --metrics-timing is passed so the per-stage latency histograms are part
+# of the validated artifact too, not just the physics metrics.
+foreach(var BENCH VALIDATOR SCHEMA OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "metrics_smoke.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${BENCH}" "--metrics-out=${OUT}" "--metrics-timing"
+  RESULT_VARIABLE bench_rc
+  OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench '${BENCH}' exited with ${bench_rc}")
+endif()
+
+if(NOT EXISTS "${OUT}")
+  message(FATAL_ERROR "bench did not write '${OUT}'")
+endif()
+
+execute_process(
+  COMMAND "${VALIDATOR}" "${SCHEMA}" "${OUT}"
+  RESULT_VARIABLE validate_rc)
+if(NOT validate_rc EQUAL 0)
+  message(FATAL_ERROR "'${OUT}' failed schema validation (${validate_rc})")
+endif()

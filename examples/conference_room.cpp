@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "bench_util.h"
 #include "chan/topology.h"
 #include "core/link_model.h"
 #include "dsp/rng.h"
@@ -21,17 +22,20 @@
 
 int main(int argc, char** argv) {
   using namespace jmb;
+  auto opts = bench::parse_options(argc, argv, "conference_room");
   const std::size_t n_max =
       argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
   const std::uint64_t seed =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  opts.seed = seed;
+  opts.add_param("n_max", static_cast<double>(n_max));
 
   std::printf("Conference room, one 10 MHz channel, saturated downlink.\n");
   std::printf("(seed %llu, %zu thread(s))\n\n",
               static_cast<unsigned long long>(seed),
               engine::default_thread_count());
 
-  engine::TrialRunner runner({.base_seed = seed});
+  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
   const auto rows = runner.run(n_max, [&](engine::TrialContext& ctx) {
     const std::size_t n = ctx.index + 1;
     Rng& rng = ctx.rng;
@@ -70,7 +74,7 @@ int main(int argc, char** argv) {
       {
         const auto timer = ctx.time_stage(engine::kStagePrecode);
         h = core::well_conditioned_channel_set(gains, rng);
-        precoder = core::ZfPrecoder::build(h);
+        precoder = core::ZfPrecoder::build(h, 1.0, &ctx.sink);
       }
       if (!precoder) return std::pair<double, double>{base.total_goodput_mbps, 0.0};
       Rng err_rng(rng.next_u64());
@@ -108,6 +112,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\n802.11 saturates at one AP's worth of air; JMB keeps"
               " climbing as APs are added.\n");
-  runner.print_report();
-  return 0;
+  return bench::finish(opts, runner);
 }

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench_util.h"
 #include "engine/system.h"
 #include "engine/trial_runner.h"
 
@@ -28,13 +29,15 @@ struct Row {
 
 int main(int argc, char** argv) {
   using namespace jmb;
+  auto opts = bench::parse_options(argc, argv, "dead_spot_diversity");
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+  opts.seed = seed;
 
   std::printf("A client at ~6 dB per-link SNR (dead spot).\n\n");
 
   constexpr std::size_t kApCounts[] = {1, 2, 4, 6};
-  engine::TrialRunner runner({.base_seed = seed});
+  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
   const auto rows = runner.run(
       std::size(kApCounts), [&](engine::TrialContext& ctx) {
         const std::size_t n = kApCounts[ctx.index];
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
         const double gain = core::JmbSystem::gain_for_snr_db(6.0, 1.0);
         core::JmbSystem sys(p, {std::vector<double>(p.n_aps, gain)});
         sys.attach_metrics(ctx.metrics);
+        sys.attach_obs(&ctx.sink);
         // At dead-spot SNRs the measurement frame itself can be missed;
         // retry across fades, as a real AP would.
         bool measured = false;
@@ -93,6 +97,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\nEvery doubling of APs buys ~6 dB (N^2 scaling): coverage"
               " holes close without\ntouching the client.\n");
-  runner.print_report();
-  return 0;
+  return bench::finish(opts, runner);
 }

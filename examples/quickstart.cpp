@@ -5,15 +5,19 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
+#include "bench_util.h"
 #include "engine/system.h"
 #include "engine/trial_runner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jmb;
+  auto opts = bench::parse_options(argc, argv, "quickstart");
+  opts.seed = 7;
 
   // The single end-to-end run goes through the TrialRunner so the
   // pipeline's per-stage metrics land in a report at the end.
-  engine::TrialRunner runner({.base_seed = 7, .n_threads = 1});
+  engine::TrialRunner runner(
+      {.base_seed = 7, .n_threads = 1, .trace = opts.trace_ptr()});
   const auto results = runner.run(1, [](engine::TrialContext& ctx) {
     // 1. Describe the deployment: 2 APs, 2 clients, free-running
     //    oscillators (up to +-2 ppm at the APs), 150 us software
@@ -28,6 +32,7 @@ int main() {
     const double gain = core::JmbSystem::gain_for_snr_db(25.0, 1.0);
     core::JmbSystem system(params, {{gain, gain}, {gain, gain}});
     system.attach_metrics(ctx.metrics);
+    system.attach_obs(&ctx.sink);
 
     // 2. Channel-measurement phase: the lead AP sends a sync header, all
     //    APs interleave measurement symbols, clients report the channel
@@ -67,6 +72,5 @@ int main() {
   std::printf("\nBoth clients received distinct packets at the same time on"
               " the same channel:\nthat is joint multi-user beamforming from"
               " unsynchronized APs.\n");
-  runner.print_report();
-  return 0;
+  return bench::finish(opts, runner);
 }

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <optional>
 
+#include "bench_util.h"
 #include "core/compat11n.h"
 #include "engine/trial_runner.h"
 #include "rate/airtime.h"
@@ -30,10 +31,13 @@ double stream_goodput_mbps(const jmb::rvec& sub_snr) {
 
 int main(int argc, char** argv) {
   using namespace jmb;
+  auto opts = bench::parse_options(argc, argv, "wifi_n_upgrade");
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+  opts.seed = seed;
 
-  engine::TrialRunner runner({.base_seed = seed, .n_threads = 1});
+  engine::TrialRunner runner(
+      {.base_seed = seed, .n_threads = 1, .trace = opts.trace_ptr()});
   const auto results = runner.run(1, [&](engine::TrialContext& ctx) {
     Rng rng(seed);  // historical seeding: the run reproduces exactly
     core::Compat11nParams p;
@@ -68,6 +72,5 @@ int main(int argc, char** argv) {
               " prefix of\nmixed-mode 802.11n frames, and channel snapshots"
               " come from standard CSI\nfeedback stitched with the reference"
               " antenna.\n");
-  runner.print_report();
-  return 0;
+  return bench::finish(opts, runner);
 }

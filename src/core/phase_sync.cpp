@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/bounds.h"
+
 namespace jmb::core {
 
 SlavePhaseSync::SlavePhaseSync(PhaseSyncParams p)
@@ -49,12 +51,26 @@ SlaveCorrection SlavePhaseSync::on_sync_header(
   // ambiguity is resolved with the current average — the same trick GPS
   // disciplining uses, and what "continuously averaged ... across multiple
   // transmissions" amounts to in practice.
+  if (obs_ && !cfo_avg_.empty()) {
+    obs_->observe("phase_sync/cfo_innovation_hz", obs::kHzBounds,
+                  std::abs(preamble_cfo_hz - cfo_avg_.value()));
+  }
   cfo_avg_.add(preamble_cfo_hz);
   const double phase_now = std::arg(corr.phasor_at_header);
   if (last_header_phase_) {
     const double dt = t1_seconds - last_header_t_;
     if (dt > 1e-9) {
       const double coarse = cfo_avg_.value();
+      if (obs_) {
+        // Residual phase error: how far the header-to-header phase walk
+        // strays from the averaged-CFO prediction — the quantity whose
+        // distribution the paper's Fig. 7 tracks.
+        obs_->observe(
+            "phase_sync/residual_phase_rad", obs::kPhaseRadBounds,
+            std::abs(std::remainder(
+                phase_now - *last_header_phase_ - kTwoPi * coarse * dt,
+                kTwoPi)));
+      }
       // Expected whole turns between headers at the coarse estimate.
       const double pred_cycles = coarse * dt;
       const double frac = (phase_now - *last_header_phase_) / kTwoPi;
@@ -65,6 +81,7 @@ SlaveCorrection SlavePhaseSync::on_sync_header(
       if (std::abs(refined - coarse) * dt < 0.25) {
         cfo_avg_.add(refined);
         cfo_avg_.add(refined);  // weight fine estimates over coarse ones
+        if (obs_) obs_->count("phase_sync/refinement_accepted");
       }
     }
   }
@@ -72,6 +89,10 @@ SlaveCorrection SlavePhaseSync::on_sync_header(
   last_header_t_ = t1_seconds;
 
   corr.cfo_hz = cfo_avg_.value();
+  if (obs_) {
+    obs_->count("phase_sync/headers");
+    obs_->set_gauge("phase_sync/cfo_estimate_hz", corr.cfo_hz);
+  }
   return corr;
 }
 

@@ -18,6 +18,7 @@
 #include <optional>
 
 #include "dsp/stats.h"
+#include "obs/sink.h"
 #include "phy/receiver.h"
 
 namespace jmb::core {
@@ -74,7 +75,12 @@ class SlavePhaseSync {
   /// slave's downconverter), 0 before any observation.
   [[nodiscard]] double cfo_estimate_hz() const;
 
+  /// Publish per-header telemetry (CFO innovation, residual phase error)
+  /// into `sink`'s registry (null detaches). Caller keeps ownership.
+  void attach_obs(const obs::ObsSink* sink) { obs_ = sink; }
+
  private:
+  const obs::ObsSink* obs_ = nullptr;
   PhaseSyncParams params_;
   std::optional<phy::ChannelEstimate> reference_;
   double t0_ = 0.0;

@@ -5,11 +5,45 @@
 #include <stdexcept>
 
 #include "linalg/pinv.h"
+#include "obs/bounds.h"
 
 namespace jmb::core {
 
+namespace {
+
+/// 2-norm condition of one (possibly wide) channel matrix: for wide
+/// matrices condition over the nonzero singular values via the small Gram
+/// matrix A A^H.
+double channel_condition(const CMatrix& a) {
+  if (a.rows() < a.cols()) return std::sqrt(condition_number(a * a.hermitian()));
+  return condition_number(a);
+}
+
+/// Residual inter-client interference of the built precoder on one
+/// subcarrier: off-diagonal power of H W relative to its diagonal, in dB.
+/// Ideal zero forcing is -inf; floor at -320 dB (below double epsilon^2).
+double zf_leakage_db(const CMatrix& h, const CMatrix& w) {
+  const CMatrix e = h * w;  // n_clients x n_clients, ideally diag
+  double diag = 0.0;
+  double off = 0.0;
+  for (std::size_t r = 0; r < e.rows(); ++r) {
+    for (std::size_t c = 0; c < e.cols(); ++c) {
+      const double p = std::norm(e(r, c));
+      if (r == c) diag += p;
+      else off += p;
+    }
+  }
+  if (diag <= 0.0) return 0.0;
+  const double ratio = off / diag;
+  if (ratio < 1e-32) return -320.0;
+  return 10.0 * std::log10(ratio);
+}
+
+}  // namespace
+
 std::optional<ZfPrecoder> ZfPrecoder::build(const ChannelMatrixSet& h,
-                                            double per_antenna_power) {
+                                            double per_antenna_power,
+                                            const obs::ObsSink* obs) {
   if (h.n_subcarriers() == 0 || h.n_clients() == 0 || h.n_tx() == 0) {
     throw std::invalid_argument("ZfPrecoder: empty channel set");
   }
@@ -37,6 +71,21 @@ std::optional<ZfPrecoder> ZfPrecoder::build(const ChannelMatrixSet& h,
   if (worst <= 0.0) return std::nullopt;
   p.scale_ = std::sqrt(per_antenna_power / worst);
   for (CMatrix& w : p.w_) w *= cplx{p.scale_, 0.0};
+
+  if (obs) {
+    // Probe a handful of strided subcarriers — cheap relative to the
+    // n_subcarriers pinv calls above, and enough for the distributions.
+    constexpr std::size_t kMaxProbes = 8;
+    const std::size_t stride =
+        std::max<std::size_t>(1, h.n_subcarriers() / kMaxProbes);
+    for (std::size_t k = 0; k < h.n_subcarriers(); k += stride) {
+      obs->observe("precoder/cond", obs::kCondBounds,
+                   channel_condition(h.at(k)));
+      obs->observe("precoder/zf_leakage_db", obs::kDbBounds,
+                   zf_leakage_db(h.at(k), p.w_[k]));
+    }
+    obs->count("precoder/builds");
+  }
   return p;
 }
 

@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "core/types.h"
+#include "obs/sink.h"
 
 namespace jmb::core {
 
@@ -21,8 +22,11 @@ class ZfPrecoder {
   /// Build from the measured channel set. `per_antenna_power` is each AP
   /// antenna's average transmit power budget per subcarrier. Returns
   /// nullopt if any subcarrier's channel is (numerically) rank deficient.
+  /// A non-null `obs` receives conditioning and zero-forcing-leakage
+  /// distributions sampled over a few strided subcarriers.
   [[nodiscard]] static std::optional<ZfPrecoder> build(
-      const ChannelMatrixSet& h, double per_antenna_power = 1.0);
+      const ChannelMatrixSet& h, double per_antenna_power = 1.0,
+      const obs::ObsSink* obs = nullptr);
 
   /// W for one used subcarrier (n_tx x n_clients), scale included.
   [[nodiscard]] const CMatrix& weights(std::size_t used_idx) const {

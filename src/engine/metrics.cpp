@@ -1,46 +1,121 @@
 #include "engine/metrics.h"
 
+#include "obs/bounds.h"
+#include "obs/trace.h"
+
 namespace jmb::engine {
 
-void StageMetrics::merge(const StageMetrics& other) {
-  wall_s += other.wall_s;
-  frames += other.frames;
-  detect_failures += other.detect_failures;
-  cond_sum += other.cond_sum;
-  cond_count += other.cond_count;
+namespace {
+
+std::string stage_key(std::string_view stage, const char* leaf) {
+  std::string key = "stage/";
+  key += stage;
+  key += '/';
+  key += leaf;
+  return key;
 }
 
+double counter_value(const obs::MetricRegistry& reg, const std::string& name) {
+  const auto* e = reg.find(name);
+  if (!e) return 0.0;
+  const auto* c = std::get_if<obs::Counter>(&e->metric);
+  return c ? c->value() : 0.0;
+}
+
+}  // namespace
+
+StageMetricsSet::StageMetricsSet()
+    : reg_(std::make_unique<obs::MetricRegistry>()) {}
+
 StageMetrics& StageMetricsSet::stage(std::string_view name) {
-  for (auto& [n, m] : stages_) {
+  for (auto& [n, m] : cache_) {
     if (n == name) return m;
   }
-  stages_.emplace_back(std::string(name), StageMetrics{});
-  return stages_.back().second;
+  using obs::MetricClass;
+  StageMetrics m;
+  m.wall_s_ = &reg_->counter(stage_key(name, "wall_s"), MetricClass::kTiming);
+  m.frame_us_ = &reg_->histogram(stage_key(name, "frame_us"),
+                                 obs::kTimeUsBounds, MetricClass::kTiming);
+  m.frames_ = &reg_->counter(stage_key(name, "frames"));
+  m.detect_failures_ = &reg_->counter(stage_key(name, "detect_failures"));
+  m.cond_sum_ = &reg_->counter(stage_key(name, "cond_sum"));
+  m.cond_count_ = &reg_->counter(stage_key(name, "cond_count"));
+  cache_.emplace_back(std::string(name), m);
+  return cache_.back().second;
+}
+
+std::vector<std::string_view> StageMetricsSet::stage_names() const {
+  std::vector<std::string_view> names;
+  names.reserve(cache_.size());
+  for (const auto& entry : cache_) names.push_back(entry.first);
+  return names;
+}
+
+StageSnapshot StageMetricsSet::snapshot(std::string_view name) const {
+  StageSnapshot s;
+  s.wall_s = counter_value(*reg_, stage_key(name, "wall_s"));
+  s.frames = static_cast<std::uint64_t>(
+      counter_value(*reg_, stage_key(name, "frames")));
+  s.detect_failures = static_cast<std::uint64_t>(
+      counter_value(*reg_, stage_key(name, "detect_failures")));
+  s.cond_sum = counter_value(*reg_, stage_key(name, "cond_sum"));
+  s.cond_count = static_cast<std::uint64_t>(
+      counter_value(*reg_, stage_key(name, "cond_count")));
+  if (const auto* e = reg_->find(stage_key(name, "frame_us"))) {
+    s.frame_us = std::get_if<obs::Histogram>(&e->metric);
+  }
+  return s;
 }
 
 void StageMetricsSet::merge(const StageMetricsSet& other) {
-  for (const auto& [name, m] : other.stages_) stage(name).merge(m);
+  reg_->merge(*other.reg_);
+  // Re-resolve handles for any stage first seen in `other` so
+  // stage_names() covers the union.
+  for (const auto& entry : other.cache_) (void)stage(entry.first);
+}
+
+ScopedStageTimer::ScopedStageTimer(StageMetricsSet* set, std::string_view name,
+                                   const obs::ObsSink* sink,
+                                   std::uint64_t frame)
+    : set_(set),
+      name_(name),
+      sink_(sink && sink->trace() ? sink : nullptr),
+      frame_(frame),
+      t0_(std::chrono::steady_clock::now()) {
+  if (sink_) ts_us_ = obs::TraceRecorder::now_us();
 }
 
 ScopedStageTimer::~ScopedStageTimer() {
-  if (!set_) return;
-  const auto dt = std::chrono::steady_clock::now() - t0_;
-  StageMetrics& m = set_->stage(name_);
-  m.wall_s += std::chrono::duration<double>(dt).count();
-  ++m.frames;
+  const auto dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+          .count();
+  if (set_) set_->stage(name_).add_frame_time(dt);
+  if (sink_) {
+    sink_->trace()->record(name_, sink_->trial(), frame_, ts_us_, dt * 1e6);
+  }
 }
 
 void print_stage_metrics(const StageMetricsSet& metrics, std::FILE* out) {
   if (metrics.empty()) return;
-  std::fprintf(out, "%-12s %-10s %-8s %-12s %-10s\n", "stage", "wall (s)",
-               "frames", "detect-fail", "mean-cond");
-  for (const auto& [name, m] : metrics.stages()) {
-    std::fprintf(out, "%-12s %-10.3f %-8zu %-12zu ", name.c_str(), m.wall_s,
-                 m.frames, m.detect_failures);
-    if (m.cond_count > 0) {
-      std::fprintf(out, "%-10.2f\n", m.mean_condition());
+  std::fprintf(out, "%-12s %-10s %-8s %-12s %-10s %-27s\n", "stage",
+               "wall (s)", "frames", "detect-fail", "mean-cond",
+               "frame us p50/p90/p99");
+  for (const std::string_view name : metrics.stage_names()) {
+    const StageSnapshot s = metrics.snapshot(name);
+    std::fprintf(out, "%-12.*s %-10.3f %-8llu %-12llu ",
+                 static_cast<int>(name.size()), name.data(), s.wall_s,
+                 static_cast<unsigned long long>(s.frames),
+                 static_cast<unsigned long long>(s.detect_failures));
+    if (s.cond_count > 0) {
+      std::fprintf(out, "%-10.2f ", s.mean_condition());
     } else {
-      std::fprintf(out, "%-10s\n", "-");
+      std::fprintf(out, "%-10s ", "-");
+    }
+    if (s.frame_us && s.frame_us->count() > 0) {
+      std::fprintf(out, "%.1f / %.1f / %.1f\n", s.frame_us->quantile(0.50),
+                   s.frame_us->quantile(0.90), s.frame_us->quantile(0.99));
+    } else {
+      std::fprintf(out, "-\n");
     }
   }
 }

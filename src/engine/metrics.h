@@ -1,16 +1,26 @@
-// Per-stage instrumentation for the frame pipeline and the trial runner:
-// each pipeline stage (measure, precode, synthesis, propagate, decode)
-// accumulates wall time, frame counts, detection failures and precoder
-// conditioning, and a shared reporter prints one table per run.
+// Per-stage instrumentation for the frame pipeline and the trial runner.
+//
+// Since PR 2 this is a *view* over obs::MetricRegistry — the single
+// metrics spine. Each stage's counters live in the registry under
+// "stage/<name>/..." and StageMetrics is a handle of resolved pointers,
+// so the hot path stays a few pointer-chasing adds with no name lookup.
+// Wall-clock values are registered as MetricClass::kTiming and therefore
+// excluded from default exports; frame counts, detection failures and
+// conditioning sums are kPhysics (deterministic given the seed).
 #pragma once
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "obs/registry.h"
+#include "obs/sink.h"
 
 namespace jmb::engine {
 
@@ -23,61 +33,109 @@ inline constexpr const char* kStageSynthesis = "synthesis";
 inline constexpr const char* kStagePropagate = "propagate";
 inline constexpr const char* kStageDecode = "decode";
 
-/// Counters for one pipeline stage.
-struct StageMetrics {
-  double wall_s = 0.0;               ///< accumulated wall-clock time
-  std::size_t frames = 0;            ///< stage invocations (frames processed)
-  std::size_t detect_failures = 0;   ///< preamble misses / failed decodes
-  double cond_sum = 0.0;             ///< precoder condition-number sum
-  std::size_t cond_count = 0;
-
-  void add_condition(double cond) {
-    cond_sum += cond;
-    ++cond_count;
+/// Handle over one stage's registry metrics. Obtained from
+/// StageMetricsSet::stage(); stays valid for the set's lifetime.
+class StageMetrics {
+ public:
+  /// One frame processed in `dt_s` seconds: bumps the frame counter and
+  /// feeds the wall-time counter + per-frame latency histogram.
+  void add_frame_time(double dt_s) {
+    frames_->add(1.0);
+    wall_s_->add(dt_s);
+    frame_us_->observe(dt_s * 1e6);
   }
+  /// A frame processed without timing (closed-form benches).
+  void add_frame() { frames_->add(1.0); }
+  void add_detect_failure() { detect_failures_->add(1.0); }
+  void add_condition(double cond) {
+    cond_sum_->add(cond);
+    cond_count_->add(1.0);
+  }
+
+ private:
+  friend class StageMetricsSet;
+  obs::Counter* wall_s_ = nullptr;           // timing
+  obs::Histogram* frame_us_ = nullptr;       // timing
+  obs::Counter* frames_ = nullptr;           // physics
+  obs::Counter* detect_failures_ = nullptr;  // physics
+  obs::Counter* cond_sum_ = nullptr;         // physics
+  obs::Counter* cond_count_ = nullptr;       // physics
+};
+
+/// Read-only copy of one stage's counters, for reports and tests.
+struct StageSnapshot {
+  double wall_s = 0.0;
+  std::uint64_t frames = 0;
+  std::uint64_t detect_failures = 0;
+  double cond_sum = 0.0;
+  std::uint64_t cond_count = 0;
+  const obs::Histogram* frame_us = nullptr;  ///< null if never timed
+
   [[nodiscard]] double mean_condition() const {
     return cond_count ? cond_sum / static_cast<double>(cond_count) : 0.0;
   }
-  void merge(const StageMetrics& other);
 };
 
-/// Named stage metrics in first-seen order. One set per trial keeps the
-/// hot path lock-free; the runner merges sets in trial order afterwards so
+/// Named stage metrics in first-seen order, backed by an owned
+/// MetricRegistry that probe sinks share. One set per trial keeps the hot
+/// path lock-free; the runner merges sets in trial order afterwards so
 /// aggregates are independent of the thread count.
 class StageMetricsSet {
  public:
-  /// Get-or-create a stage's counters.
+  StageMetricsSet();
+  StageMetricsSet(StageMetricsSet&&) = default;
+  StageMetricsSet& operator=(StageMetricsSet&&) = default;
+  StageMetricsSet(const StageMetricsSet&) = delete;
+  StageMetricsSet& operator=(const StageMetricsSet&) = delete;
+
+  /// Get-or-create a stage's counters (registers all of the stage's
+  /// metrics on first touch so registry layout doesn't depend on which
+  /// event happens first).
   [[nodiscard]] StageMetrics& stage(std::string_view name);
 
-  [[nodiscard]] const std::vector<std::pair<std::string, StageMetrics>>&
-  stages() const {
-    return stages_;
-  }
-  [[nodiscard]] bool empty() const { return stages_.empty(); }
+  /// Stage names in first-seen order.
+  [[nodiscard]] std::vector<std::string_view> stage_names() const;
+  [[nodiscard]] StageSnapshot snapshot(std::string_view name) const;
+  [[nodiscard]] bool empty() const { return cache_.empty(); }
+
+  /// The backing registry — probe sinks write here too, so merged sets
+  /// aggregate probes along with stage counters.
+  [[nodiscard]] obs::MetricRegistry& registry() { return *reg_; }
+  [[nodiscard]] const obs::MetricRegistry& registry() const { return *reg_; }
 
   void merge(const StageMetricsSet& other);
 
  private:
-  std::vector<std::pair<std::string, StageMetrics>> stages_;
+  std::unique_ptr<obs::MetricRegistry> reg_;
+  std::vector<std::pair<std::string, StageMetrics>> cache_;
 };
 
 /// RAII timer: on destruction adds the elapsed wall time and one frame to
-/// the named stage. Null `set` makes it a no-op.
+/// the named stage, and — when `sink` carries a TraceRecorder — records a
+/// trace span. Null `set` makes it a no-op. `name` is held by reference
+/// (string_view), so pass the kStage* constants or another string that
+/// outlives the timer; per-frame construction allocates nothing.
 class ScopedStageTimer {
  public:
-  ScopedStageTimer(StageMetricsSet* set, std::string_view name)
-      : set_(set), name_(name), t0_(std::chrono::steady_clock::now()) {}
+  explicit ScopedStageTimer(StageMetricsSet* set, std::string_view name,
+                            const obs::ObsSink* sink = nullptr,
+                            std::uint64_t frame = 0);
   ScopedStageTimer(const ScopedStageTimer&) = delete;
   ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
   ~ScopedStageTimer();
 
  private:
   StageMetricsSet* set_;
-  std::string name_;
+  std::string_view name_;
+  const obs::ObsSink* sink_;
+  std::uint64_t frame_;
+  double ts_us_ = 0.0;  ///< wall-clock span start, only sampled when tracing
   std::chrono::steady_clock::time_point t0_;
 };
 
-/// Shared reporter: one aligned row per stage.
-void print_stage_metrics(const StageMetricsSet& metrics, std::FILE* out = stdout);
+/// Shared reporter: one aligned row per stage, with per-frame latency
+/// percentiles. Defaults to stderr so bench stdout stays parseable data.
+void print_stage_metrics(const StageMetricsSet& metrics,
+                         std::FILE* out = stderr);
 
 }  // namespace jmb::engine

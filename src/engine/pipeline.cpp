@@ -8,6 +8,7 @@
 
 #include "dsp/fft.h"
 #include "linalg/pinv.h"
+#include "obs/bounds.h"
 #include "phy/ofdm.h"
 #include "phy/preamble.h"
 
@@ -94,7 +95,7 @@ void MeasurementStage::run(FrameContext& ctx) {
                                         kRxMargin + sched.frame_len() + 200);
     const auto pm = sys.rx.measure_preamble(buf);
     if (!pm) {
-      if (sys.metrics) ++sys.metrics->stage(kStageMeasure).detect_failures;
+      if (sys.metrics) sys.metrics->stage(kStageMeasure).add_detect_failure();
       return;  // measurement_ok stays false; time does not advance
     }
     sys.slave_sync[a - 1].observe_cfo(pm->cfo_hz);
@@ -120,7 +121,7 @@ void MeasurementStage::run(FrameContext& ctx) {
                            kRxMargin + sched.frame_len() + 200);
     const auto cm = process_measurement_frame(buf, sched, sys.params.phy);
     if (!cm) {
-      if (sys.metrics) ++sys.metrics->stage(kStageMeasure).detect_failures;
+      if (sys.metrics) sys.metrics->stage(kStageMeasure).add_detect_failure();
       all_ok = false;
       break;
     }
@@ -142,7 +143,7 @@ void PrecodeStage::run(FrameContext& ctx) {
   if (!ctx.measurement_ok || !ctx.h_measured) return;
   sys.h = std::move(*ctx.h_measured);
   ctx.h_measured.reset();
-  sys.precoder = core::ZfPrecoder::build(sys.h);
+  sys.precoder = core::ZfPrecoder::build(sys.h, 1.0, sys.obs);
   if (sys.metrics && sys.precoder) {
     sys.metrics->stage(kStagePrecode).add_condition(
         mean_condition_number(sys.h));
@@ -253,7 +254,8 @@ void DecodeStage::run(FrameContext& ctx) {
     const auto pm = sys.rx.measure_preamble(buf);
     if (!pm) {
       ctx.result.per_client[c].fail_reason = "sync header not detected";
-      if (sys.metrics) ++sys.metrics->stage(kStageDecode).detect_failures;
+      if (sys.metrics) sys.metrics->stage(kStageDecode).add_detect_failure();
+      if (sys.obs) sys.obs->count("decode/preamble_miss");
       continue;
     }
     const std::size_t header_pos =
@@ -263,8 +265,15 @@ void DecodeStage::run(FrameContext& ctx) {
         static_cast<std::size_t>(sys.params.turnaround_s * fs);
     ctx.result.per_client[c] = sys.rx.receive_payload(buf, payload_start,
                                                       pm->cfo_hz);
-    if (sys.metrics && !ctx.result.per_client[c].ok) {
-      ++sys.metrics->stage(kStageDecode).detect_failures;
+    const phy::RxResult& r = ctx.result.per_client[c];
+    if (sys.metrics && !r.ok) {
+      sys.metrics->stage(kStageDecode).add_detect_failure();
+    }
+    if (sys.obs) {
+      sys.obs->count(r.ok ? "decode/frames_ok" : "decode/frames_bad");
+      if (r.header_ok) {
+        sys.obs->observe("decode/evm_snr_db", obs::kDbBounds, r.evm_snr_db);
+      }
     }
   }
 }
@@ -275,15 +284,13 @@ void FramePipeline::run_stage(PipelineStage& stage, FrameContext& ctx) {
     stage.run(ctx);
     return;
   }
-  const auto t0 = std::chrono::steady_clock::now();
+  const ScopedStageTimer timer(m, stage.name(), ctx.sys.obs,
+                               ctx.sys.frame_seq);
   stage.run(ctx);
-  const auto dt = std::chrono::steady_clock::now() - t0;
-  StageMetrics& sm = m->stage(stage.name());
-  sm.wall_s += std::chrono::duration<double>(dt).count();
-  ++sm.frames;
 }
 
 bool FramePipeline::run_measurement(FrameContext& ctx) {
+  ++ctx.sys.frame_seq;
   run_stage(measure_, ctx);
   if (!ctx.measurement_ok) return false;
   run_stage(precode_, ctx);
@@ -292,6 +299,7 @@ bool FramePipeline::run_measurement(FrameContext& ctx) {
 
 core::JointResult FramePipeline::run_joint(FrameContext& ctx) {
   SystemState& sys = ctx.sys;
+  ++sys.frame_seq;
   if (!sys.precoder && ctx.weights_override == nullptr) {
     throw std::logic_error("run_joint: no precoder");
   }

@@ -129,6 +129,10 @@ struct SystemState {
 
   /// Per-stage metrics sink; null disables instrumentation.
   StageMetricsSet* metrics = nullptr;
+  /// Physics-probe sink (registry + optional trace); null = probes off.
+  obs::ObsSink* obs = nullptr;
+  /// Frames pushed through the pipeline; labels trace spans.
+  std::uint64_t frame_seq = 0;
 };
 
 /// Lead sync header + per-slave corrections; `header_t` is the time the

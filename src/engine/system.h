@@ -91,6 +91,14 @@ class JmbSystem {
     state_.metrics = metrics;
   }
 
+  /// Attach a physics-probe sink: the precoder, phase sync, and decode
+  /// stage publish conditioning / residual-phase / EVM distributions into
+  /// its registry (null detaches). Caller keeps ownership.
+  void attach_obs(obs::ObsSink* sink) {
+    state_.obs = sink;
+    for (auto& s : state_.slave_sync) s.attach_obs(sink);
+  }
+
   /// The shared world the pipeline stages operate on — for driving the
   /// stages directly (tests, custom probes) and read-only diagnostics.
   [[nodiscard]] engine::SystemState& state() { return state_; }

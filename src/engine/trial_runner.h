@@ -24,6 +24,11 @@
 #include "dsp/rng.h"
 #include "engine/metrics.h"
 #include "engine/thread_pool.h"
+#include "obs/sink.h"
+
+namespace jmb::obs {
+class TraceRecorder;
+}  // namespace jmb::obs
 
 namespace jmb::engine {
 
@@ -32,16 +37,20 @@ namespace jmb::engine {
 [[nodiscard]] std::size_t default_thread_count();
 
 /// Handed to each trial body: its index, its deterministic seed, a ready
-/// Rng on that seed, and a per-trial metrics sink.
+/// Rng on that seed, a per-trial metrics sink, and an ObsSink bound to
+/// the same trial's registry for physics probes.
 struct TrialContext {
   std::size_t index = 0;
   std::uint64_t seed = 0;
   Rng rng;
   StageMetricsSet* metrics = nullptr;
+  obs::ObsSink sink;
 
-  /// RAII wall-time sample attributed to `stage` in this trial's metrics.
-  [[nodiscard]] ScopedStageTimer time_stage(std::string_view stage) const {
-    return ScopedStageTimer(metrics, stage);
+  /// RAII wall-time sample attributed to `stage` in this trial's metrics
+  /// (and a trace span when a recorder is attached).
+  [[nodiscard]] ScopedStageTimer time_stage(std::string_view stage,
+                                            std::uint64_t frame = 0) const {
+    return ScopedStageTimer(metrics, stage, &sink, frame);
   }
 };
 
@@ -49,6 +58,8 @@ struct TrialRunnerOptions {
   std::uint64_t base_seed = 1;
   /// 0 = auto (JMB_THREADS env, else hardware concurrency).
   std::size_t n_threads = 0;
+  /// Optional shared frame-trace recorder (spans carry the trial id).
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class TrialRunner {
@@ -79,6 +90,8 @@ class TrialRunner {
       ctx.seed = opts_.base_seed ^ static_cast<std::uint64_t>(i);
       ctx.rng = Rng(ctx.seed);
       ctx.metrics = &per_trial[i];
+      ctx.sink = obs::ObsSink(&per_trial[i].registry(), opts_.trace,
+                              static_cast<std::uint32_t>(i));
       results[i] = fn(ctx);
     };
 
@@ -115,13 +128,18 @@ class TrialRunner {
 
   /// Metrics aggregated across every trial run so far, in trial order.
   [[nodiscard]] const StageMetricsSet& metrics() const { return metrics_; }
+  /// The merged metric registry (stage counters + physics probes).
+  [[nodiscard]] const obs::MetricRegistry& registry() const {
+    return metrics_.registry();
+  }
   /// Wall time spent inside run() so far (seconds).
   [[nodiscard]] double wall_s() const { return wall_s_; }
   [[nodiscard]] std::size_t trials_run() const { return trials_run_; }
 
   /// Print the shared per-stage report: thread count, trials, total wall
-  /// time, then the stage table.
-  void print_report(std::FILE* out = stdout) const;
+  /// time, then the stage table. Defaults to stderr so bench stdout
+  /// carries only figure data.
+  void print_report(std::FILE* out = stderr) const;
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -1,0 +1,51 @@
+// Exporters: registry -> bench_result.json / CSV, plus the minimal
+// JSON-Schema validator backing the `metrics_export_smoke` ctest target.
+//
+// bench_result.json (schema id "jmb.bench_result.v1") is the
+// machine-readable artifact every bench emits via --metrics-out; future
+// PRs diff these files to track physics and perf trajectories. Exports
+// include only kPhysics metrics unless `include_timing` is set, so a
+// default export is byte-identical for any JMB_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/registry.h"
+
+namespace jmb::obs {
+
+struct BenchRunInfo {
+  std::string figure;  ///< e.g. "fig09_throughput_scaling"
+  std::uint64_t seed = 0;
+  /// Free-form run parameters (n_ap, trials, snr_db, ...).
+  std::vector<std::pair<std::string, double>> params;
+};
+
+/// Build the bench_result.v1 document for a merged registry.
+JsonValue bench_result_doc(const BenchRunInfo& info, const MetricRegistry& reg,
+                           bool include_timing = false);
+
+/// Serialized bench_result.v1 JSON, newline-terminated.
+std::string bench_result_json(const BenchRunInfo& info,
+                              const MetricRegistry& reg,
+                              bool include_timing = false);
+
+/// CSV rows: name,kind,class,count,sum,min,max,mean,p50,p90,p99
+/// (count/quantiles empty for counters and gauges).
+std::string registry_csv(const MetricRegistry& reg,
+                         bool include_timing = false);
+
+/// Validate `doc` against a simplified JSON Schema supporting: type,
+/// required, properties, items, const, enum, minItems. Returns a list of
+/// human-readable errors, empty when the document conforms.
+std::vector<std::string> validate_schema(const JsonValue& schema,
+                                         const JsonValue& doc);
+
+/// Write `text` to `path`; returns false (and perror-style stderr note)
+/// on failure.
+bool write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace jmb::obs

@@ -1,0 +1,138 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jmb::obs {
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()), counts_(bounds.size() + 1, 0) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: need at least one bucket bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      double lo = (i == 0) ? min_ : std::max(bounds_[i - 1], min_);
+      double hi = (i < bounds_.size()) ? std::min(bounds_[i], max_) : max_;
+      if (hi < lo) hi = lo;
+      const double frac =
+          std::clamp((target - cum) / static_cast<double>(counts_[i]), 0.0, 1.0);
+      return lo + (hi - lo) * frac;
+    }
+    cum = next;
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::logic_error("Histogram::merge: bucket boundary mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    min_ = count_ ? std::min(min_, other.min_) : other.min_;
+    max_ = count_ ? std::max(max_, other.max_) : other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+MetricRegistry::Entry* MetricRegistry::find_mutable(std::string_view name) {
+  for (Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const MetricRegistry::Entry* MetricRegistry::find(std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Counter& MetricRegistry::counter(std::string_view name, MetricClass cls) {
+  if (Entry* e = find_mutable(name)) {
+    if (auto* c = std::get_if<Counter>(&e->metric)) return *c;
+    throw std::logic_error("MetricRegistry: '" + std::string(name) +
+                           "' is not a counter");
+  }
+  entries_.push_back({std::string(name), cls, Counter{}});
+  return std::get<Counter>(entries_.back().metric);
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name, MetricClass cls) {
+  if (Entry* e = find_mutable(name)) {
+    if (auto* g = std::get_if<Gauge>(&e->metric)) return *g;
+    throw std::logic_error("MetricRegistry: '" + std::string(name) +
+                           "' is not a gauge");
+  }
+  entries_.push_back({std::string(name), cls, Gauge{}});
+  return std::get<Gauge>(entries_.back().metric);
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name,
+                                     std::span<const double> bounds,
+                                     MetricClass cls) {
+  if (Entry* e = find_mutable(name)) {
+    auto* h = std::get_if<Histogram>(&e->metric);
+    if (!h) {
+      throw std::logic_error("MetricRegistry: '" + std::string(name) +
+                             "' is not a histogram");
+    }
+    if (h->bounds().size() != bounds.size() ||
+        !std::equal(bounds.begin(), bounds.end(), h->bounds().begin())) {
+      throw std::logic_error("MetricRegistry: '" + std::string(name) +
+                             "' re-registered with different bounds");
+    }
+    return *h;
+  }
+  entries_.push_back({std::string(name), cls, Histogram(bounds)});
+  return std::get<Histogram>(entries_.back().metric);
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const Entry& oe : other.entries_) {
+    if (Entry* e = find_mutable(oe.name)) {
+      if (e->metric.index() != oe.metric.index()) {
+        throw std::logic_error("MetricRegistry::merge: kind mismatch for '" +
+                               oe.name + "'");
+      }
+      std::visit(
+          [&](auto& mine) {
+            using T = std::decay_t<decltype(mine)>;
+            mine.merge(std::get<T>(oe.metric));
+          },
+          e->metric);
+    } else {
+      entries_.push_back(oe);
+    }
+  }
+}
+
+}  // namespace jmb::obs

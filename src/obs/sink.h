@@ -1,0 +1,51 @@
+// ObsSink — the handle hot paths hold to publish telemetry.
+//
+// Callers store an `ObsSink*` and null-check before each probe, so an
+// un-instrumented run costs one pointer compare per probe site and no
+// observability symbol is touched. A sink bundles the per-trial metric
+// registry (lock-free; merged in trial order afterwards) with the shared
+// trace recorder (optional) and the trial id spans are attributed to.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "obs/registry.h"
+
+namespace jmb::obs {
+
+class TraceRecorder;
+
+class ObsSink {
+ public:
+  ObsSink() = default;
+  ObsSink(MetricRegistry* reg, TraceRecorder* trace, std::uint32_t trial)
+      : reg_(reg), trace_(trace), trial_(trial) {}
+
+  [[nodiscard]] MetricRegistry* registry() const { return reg_; }
+  [[nodiscard]] TraceRecorder* trace() const { return trace_; }
+  [[nodiscard]] std::uint32_t trial() const { return trial_; }
+
+  void count(std::string_view name, double d = 1.0,
+             MetricClass cls = MetricClass::kPhysics) const {
+    if (reg_) reg_->counter(name, cls).add(d);
+  }
+
+  void set_gauge(std::string_view name, double v,
+                 MetricClass cls = MetricClass::kPhysics) const {
+    if (reg_) reg_->gauge(name, cls).set(v);
+  }
+
+  void observe(std::string_view name, std::span<const double> bounds, double v,
+               MetricClass cls = MetricClass::kPhysics) const {
+    if (reg_) reg_->histogram(name, bounds, cls).observe(v);
+  }
+
+ private:
+  MetricRegistry* reg_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
+  std::uint32_t trial_ = 0;
+};
+
+}  // namespace jmb::obs

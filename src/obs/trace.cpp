@@ -1,0 +1,77 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+#include "obs/json.h"
+
+namespace jmb::obs {
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1) {
+  ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+double TraceRecorder::now_us() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::micro>(now).count();
+}
+
+void TraceRecorder::record(std::string_view name, std::uint32_t trial,
+                           std::uint64_t frame, double ts_us, double dur_us) {
+  const TraceSpan span{name, trial, frame, ts_us, dur_us};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[next_] = span;
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<TraceSpan> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  // Once the ring has wrapped, next_ points at the oldest span.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRecorder::write_chrome_trace(std::FILE* out) const {
+  const std::vector<TraceSpan> spans = snapshot();
+  std::string buf;
+  buf += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& s : spans) {
+    if (!first) buf += ',';
+    first = false;
+    buf += "{\"name\":";
+    append_json_string(buf, s.name);
+    buf += ",\"cat\":\"stage\",\"ph\":\"X\",\"ts\":";
+    append_json_double(buf, s.ts_us);
+    buf += ",\"dur\":";
+    append_json_double(buf, s.dur_us);
+    buf += ",\"pid\":0,\"tid\":";
+    buf += std::to_string(s.trial);
+    buf += ",\"args\":{\"frame\":";
+    buf += std::to_string(s.frame);
+    buf += "}}";
+  }
+  buf += "]}\n";
+  std::fwrite(buf.data(), 1, buf.size(), out);
+}
+
+}  // namespace jmb::obs

@@ -1,0 +1,57 @@
+// Bounded frame-trace recorder.
+//
+// Stages record begin/end spans (stage name, trial id, frame id); the
+// recorder keeps the most recent `capacity` spans in a ring buffer and
+// can dump them in Chrome trace_event JSON, viewable in chrome://tracing
+// or Perfetto. One recorder is shared by all trial workers behind a
+// mutex — tracing is an opt-in debugging aid, so its spans (unlike
+// registry metrics) carry no cross-thread determinism guarantee.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace jmb::obs {
+
+struct TraceSpan {
+  std::string_view name;  ///< must outlive the recorder (kStage* constants)
+  std::uint32_t trial = 0;
+  std::uint64_t frame = 0;
+  double ts_us = 0.0;   ///< span start, microseconds since epoch
+  double dur_us = 0.0;  ///< span duration, microseconds
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1u << 16);
+
+  /// Current wall-clock in microseconds since the Unix epoch; pair with
+  /// record() to stamp a span.
+  static double now_us();
+
+  void record(std::string_view name, std::uint32_t trial, std::uint64_t frame,
+              double ts_us, double dur_us);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const;
+  /// Spans evicted because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Retained spans, oldest first.
+  [[nodiscard]] std::vector<TraceSpan> snapshot() const;
+
+  /// Chrome trace_event JSON: {"traceEvents":[{"ph":"X",...}]}. Each span
+  /// maps trial id -> tid so per-trial timelines stack in the viewer.
+  void write_chrome_trace(std::FILE* out) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> ring_;
+  std::size_t next_ = 0;        ///< ring write cursor once full
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace jmb::obs

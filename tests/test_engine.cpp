@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <string_view>
 #include <vector>
 
 #include "engine/pipeline.h"
@@ -73,8 +74,8 @@ TEST(TrialRunner, MetricsMergeInTrialOrder) {
   (void)serial.run(16, body);
   (void)parallel.run(16, body);
   ASSERT_FALSE(serial.metrics().empty());
-  const auto& s = serial.metrics().stages().front().second;
-  const auto& p = parallel.metrics().stages().front().second;
+  const auto s = serial.metrics().snapshot(engine::kStagePrecode);
+  const auto p = parallel.metrics().snapshot(engine::kStagePrecode);
   EXPECT_EQ(s.cond_count, 16u);
   EXPECT_EQ(p.cond_count, 16u);
   EXPECT_DOUBLE_EQ(s.cond_sum, p.cond_sum);
@@ -189,7 +190,8 @@ TEST(FramePipeline, RecordsPerStageMetrics) {
                            {phy::Modulation::kQpsk, phy::CodeRate::kHalf});
 
   bool saw_measure = false, saw_precode = false, saw_decode = false;
-  for (const auto& [name, m] : metrics.stages()) {
+  for (const std::string_view name : metrics.stage_names()) {
+    const engine::StageSnapshot m = metrics.snapshot(name);
     if (name == engine::kStageMeasure) {
       saw_measure = true;
       EXPECT_EQ(m.frames, 1u);

@@ -1,0 +1,69 @@
+// Validates a bench_result.json artifact against the checked-in schema.
+//
+//   validate_bench_result schemas/bench_result.schema.json out.json
+//
+// Exit 0 when the document conforms, 1 on validation/parse failure,
+// 2 on usage/IO errors. Uses the plain-C++ validator in src/obs — no
+// external JSON-Schema dependency.
+#include <cstdio>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/json.h"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path);
+    return false;
+  }
+  char buf[1 << 14];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "error: read failure on '%s'\n", path);
+  return ok;
+}
+
+jmb::obs::JsonValue parse_or_die(const char* path, bool& ok) {
+  std::string text;
+  if (!read_file(path, text)) {
+    ok = false;
+    return {};
+  }
+  std::string err;
+  jmb::obs::JsonValue v = jmb::obs::parse_json(text, &err);
+  if (v.is_null() && !err.empty()) {
+    std::fprintf(stderr, "error: %s: %s\n", path, err.c_str());
+    ok = false;
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s SCHEMA.json DOC.json\n", argv[0]);
+    return 2;
+  }
+  bool ok = true;
+  const jmb::obs::JsonValue schema = parse_or_die(argv[1], ok);
+  const jmb::obs::JsonValue doc = parse_or_die(argv[2], ok);
+  if (!ok) return 2;
+
+  const auto errors = jmb::obs::validate_schema(schema, doc);
+  for (const std::string& e : errors) {
+    std::fprintf(stderr, "schema violation: %s\n", e.c_str());
+  }
+  if (!errors.empty()) {
+    std::fprintf(stderr, "%s: %zu schema violation(s)\n", argv[2],
+                 errors.size());
+    return 1;
+  }
+  std::printf("%s: conforms to %s\n", argv[2], argv[1]);
+  return 0;
+}
