@@ -8,11 +8,13 @@
 #include "core/link_model.h"
 #include "core/precoder.h"
 #include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 #include "dsp/rng.h"
 #include "engine/metrics.h"
 #include "phy/receiver.h"
 #include "phy/transmitter.h"
 #include "phy/viterbi.h"
+#include "phy/workspace.h"
 
 namespace {
 
@@ -39,6 +41,34 @@ void BM_Fft1024(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Fft1024);
+
+// Planned counterparts: cached twiddles/bit-reversal plus a reused buffer
+// instead of a fresh copy — the workspace hot-path configuration.
+void BM_Fft64Planned(benchmark::State& state) {
+  Rng rng(1);
+  const cvec x = rng.cgaussian_vec(64);
+  const FftPlan plan(64);
+  cvec y(64);
+  for (auto _ : state) {
+    std::copy(x.begin(), x.end(), y.begin());
+    plan.forward(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Fft64Planned);
+
+void BM_Fft1024Planned(benchmark::State& state) {
+  Rng rng(2);
+  const cvec x = rng.cgaussian_vec(1024);
+  const FftPlan plan(1024);
+  cvec y(1024);
+  for (auto _ : state) {
+    std::copy(x.begin(), x.end(), y.begin());
+    plan.forward(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Fft1024Planned);
 
 void BM_ViterbiDecode1500B(benchmark::State& state) {
   Rng rng(3);
@@ -102,6 +132,97 @@ void BM_ZfPrecoderBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_ZfPrecoderBuild)->Arg(2)->Arg(4)->Arg(10);
 
+// Workspace-fed build: same pseudoinverses, but every per-subcarrier
+// temporary lives in the reused PinvScratch instead of the heap.
+void BM_ZfPrecoderBuildWs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const core::ChannelMatrixSet h = core::random_channel_set(n, n, rng);
+  Workspace ws;
+  for (auto _ : state) {
+    auto p = core::ZfPrecoder::build(h, ws);
+    benchmark::DoNotOptimize(p->scale());
+  }
+}
+BENCHMARK(BM_ZfPrecoderBuildWs)->Arg(2)->Arg(4)->Arg(10);
+
+// Per-subcarrier pseudo-inverse, the arithmetic core of the precoder.
+// The "before" is the pre-workspace composition — hermitian / operator* /
+// inverse() via solve(identity), every intermediate allocated fresh, the
+// same arithmetic pinv_into runs — against the workspace kernel that
+// reuses scratch and output across subcarriers.
+std::optional<CMatrix> pinv_preworkspace(const CMatrix& a, double ridge) {
+  const CMatrix ah = a.hermitian();
+  const bool fat = a.rows() <= a.cols();
+  CMatrix gram = fat ? a * ah : ah * a;
+  for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
+  const auto gram_inv = inverse(gram);
+  if (!gram_inv) return std::nullopt;
+  return fat ? ah * (*gram_inv) : (*gram_inv) * ah;
+}
+
+void BM_PinvPerSubcarrier(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  const core::ChannelMatrixSet h = core::random_channel_set(n, n, rng);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    auto w = pinv_preworkspace(h.at(k % h.n_subcarriers()), 0.0);
+    benchmark::DoNotOptimize(&(*w)(0, 0));
+    ++k;
+  }
+}
+BENCHMARK(BM_PinvPerSubcarrier)->Arg(2)->Arg(4);
+
+void BM_PinvIntoWorkspace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  const core::ChannelMatrixSet h = core::random_channel_set(n, n, rng);
+  Workspace ws;
+  CMatrix w;
+  std::size_t k = 0;
+  for (auto _ : state) {
+    bool ok = pinv_into(h.at(k % h.n_subcarriers()), 0.0, ws.pinv, w);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(&w(0, 0));
+    ++k;
+  }
+}
+BENCHMARK(BM_PinvIntoWorkspace)->Arg(2)->Arg(4);
+
+void BM_PrecodeTransmitVector(benchmark::State& state) {
+  Rng rng(8);
+  const core::ChannelMatrixSet h = core::random_channel_set(4, 4, rng);
+  Workspace ws;
+  const auto p = core::ZfPrecoder::build(h, ws);
+  cvec x(4);
+  for (auto& v : x) v = rng.cgaussian();
+  std::size_t k = 0;
+  for (auto _ : state) {
+    cvec y = p->transmit_vector(k % h.n_subcarriers(), x);
+    benchmark::DoNotOptimize(y.data());
+    ++k;
+  }
+}
+BENCHMARK(BM_PrecodeTransmitVector);
+
+void BM_PrecodeTransmitVectorInto(benchmark::State& state) {
+  Rng rng(8);
+  const core::ChannelMatrixSet h = core::random_channel_set(4, 4, rng);
+  Workspace ws;
+  const auto p = core::ZfPrecoder::build(h, ws);
+  cvec x(4);
+  for (auto& v : x) v = rng.cgaussian();
+  cvec y(p->n_tx());
+  std::size_t k = 0;
+  for (auto _ : state) {
+    p->transmit_vector_into(k % h.n_subcarriers(), x, y);
+    benchmark::DoNotOptimize(y.data());
+    ++k;
+  }
+}
+BENCHMARK(BM_PrecodeTransmitVectorInto);
+
 void BM_BeamformingSinr10x10(benchmark::State& state) {
   Rng rng(7);
   const core::ChannelMatrixSet h = core::random_channel_set(10, 10, rng);
@@ -139,11 +260,33 @@ void run_latency_distributions(engine::StageMetricsSet& set) {
     }
   }
   {
+    Rng rng(1);
+    const cvec x = rng.cgaussian_vec(64);
+    const FftPlan plan(64);
+    cvec y(64);
+    for (int i = 0; i < kReps; ++i) {
+      const engine::ScopedStageTimer timer(&set, "fft64_planned");
+      std::copy(x.begin(), x.end(), y.begin());
+      plan.forward(y);
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+  {
     Rng rng(6);
     const core::ChannelMatrixSet h = core::random_channel_set(4, 4, rng);
     for (int i = 0; i < kReps; ++i) {
       const engine::ScopedStageTimer timer(&set, "zf_build_4x4");
       auto p = core::ZfPrecoder::build(h);
+      benchmark::DoNotOptimize(p->scale());
+    }
+  }
+  {
+    Rng rng(6);
+    const core::ChannelMatrixSet h = core::random_channel_set(4, 4, rng);
+    Workspace ws;
+    for (int i = 0; i < kReps; ++i) {
+      const engine::ScopedStageTimer timer(&set, "zf_build_4x4_ws");
+      auto p = core::ZfPrecoder::build(h, ws);
       benchmark::DoNotOptimize(p->scale());
     }
   }

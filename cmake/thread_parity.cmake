@@ -1,0 +1,44 @@
+# Golden parity test: the physics metrics a figure bench exports must be
+# byte-identical no matter how many TrialRunner workers execute the
+# trials. This is the workspace invariant — one Workspace per worker,
+# no shared mutable state — checked end-to-end through a real figure.
+#
+# Invoked by ctest (see bench/CMakeLists.txt) as:
+#   cmake -DBENCH=<bench exe> -DSEED=<decimal seed>
+#         -DOUT1=<artifact> -DOUT2=<artifact> -DTHREADS2=<N>
+#         -P thread_parity.cmake
+#
+# Physics-only export (no --metrics-timing): wall-clock metrics are not
+# expected to be reproducible, the physics must be.
+foreach(var BENCH SEED OUT1 OUT2 THREADS2)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "thread_parity.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env JMB_THREADS=1
+          "${BENCH}" "${SEED}" "--metrics-out=${OUT1}"
+  RESULT_VARIABLE rc1
+  OUTPUT_QUIET)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "bench '${BENCH}' (JMB_THREADS=1) exited with ${rc1}")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env "JMB_THREADS=${THREADS2}"
+          "${BENCH}" "${SEED}" "--metrics-out=${OUT2}"
+  RESULT_VARIABLE rc2
+  OUTPUT_QUIET)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "bench '${BENCH}' (JMB_THREADS=${THREADS2}) exited with ${rc2}")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files "${OUT1}" "${OUT2}"
+  RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+  message(FATAL_ERROR
+    "physics exports differ between JMB_THREADS=1 and JMB_THREADS=${THREADS2}: "
+    "'${OUT1}' vs '${OUT2}'")
+endif()

@@ -5,6 +5,7 @@
 
 #include "linalg/lu.h"
 #include "linalg/pinv.h"
+#include "phy/workspace.h"
 
 namespace jmb::core {
 
@@ -44,7 +45,7 @@ struct NodeOsc {
 
 }  // namespace
 
-Compat11nResult run_compat11n(const Compat11nParams& p, Rng& rng) {
+Compat11nResult run_compat11n(const Compat11nParams& p, Rng& rng, Workspace* ws) {
   const std::size_t n_tx = p.n_aps * p.ants_per_node;
   const std::size_t n_rx = p.n_clients * p.ants_per_node;
   if (n_tx < 2) throw std::invalid_argument("run_compat11n: need >= 2 tx antennas");
@@ -176,7 +177,8 @@ Compat11nResult run_compat11n(const Compat11nParams& p, Rng& rng) {
   // small residual (one error per slave AP, shared by its antennas).
   ChannelMatrixSet h_for_zf(n_rx, n_tx);
   for (std::size_t k = 0; k < n_sc; ++k) h_for_zf.at(k) = h_hat[k];
-  const auto precoder = ZfPrecoder::build(h_for_zf);
+  const auto precoder = ws ? ZfPrecoder::build(h_for_zf, *ws)
+                           : ZfPrecoder::build(h_for_zf);
   result.jmb_stream_sinr.assign(n_rx, rvec(n_sc, 0.0));
   double noise = p.noise_power;
   if (precoder && p.effective_snr_db > 0.0) {
@@ -187,8 +189,9 @@ Compat11nResult run_compat11n(const Compat11nParams& p, Rng& rng) {
     for (std::size_t a = 1; a < p.n_aps; ++a) {
       slave_err[a] = rng.gaussian(p.tx_phase_err_sigma);
     }
+    CMatrix h_now, g;
     for (std::size_t k = 0; k < n_sc; ++k) {
-      CMatrix h_now(n_rx, n_tx);
+      h_now.resize(n_rx, n_tx);
       for (std::size_t r = 0; r < n_rx; ++r) {
         for (std::size_t a = 0; a < n_tx; ++a) {
           const std::size_t ap = ap_of_ant(a);
@@ -201,7 +204,7 @@ Compat11nResult run_compat11n(const Compat11nParams& p, Rng& rng) {
           h_now(r, a) = h_true.at(k)(r, a) * phasor(phi);
         }
       }
-      const CMatrix g = h_now * precoder->weights(k);
+      multiply_into(h_now, precoder->weights(k), g);
       for (std::size_t r = 0; r < n_rx; ++r) {
         const double sig = std::norm(g(r, r));
         double interf = 0.0;

@@ -18,6 +18,10 @@
 #include "chan/oscillator.h"
 #include "core/link_model.h"
 
+namespace jmb {
+class Workspace;
+}
+
 namespace jmb::core {
 
 struct Compat11nParams {
@@ -63,7 +67,10 @@ struct Compat11nResult {
 };
 
 /// Run one end-to-end compat measurement + joint transmission evaluation.
-[[nodiscard]] Compat11nResult run_compat11n(const Compat11nParams& p, Rng& rng);
+/// A non-null `ws` routes the joint ZF build through the workspace's pinv
+/// scratch; results are bitwise-identical either way.
+[[nodiscard]] Compat11nResult run_compat11n(const Compat11nParams& p, Rng& rng,
+                                            Workspace* ws = nullptr);
 
 /// Receiver-side zero-forcing stream SNRs for an n_rx x n_streams MIMO
 /// channel with per-stream transmit power `power`: stream j gets

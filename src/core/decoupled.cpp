@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "phy/workspace.h"
+
 namespace jmb::core {
 
 namespace {
@@ -27,14 +29,16 @@ struct NodeOsc {
 
 rvec mean_sinr_db(const ChannelMatrixSet& h_snapshot,
                   const std::vector<CMatrix>& h_eff,
-                  double noise_power) {
-  const auto precoder = ZfPrecoder::build(h_snapshot);
+                  double noise_power, Workspace* ws) {
+  const auto precoder = ws ? ZfPrecoder::build(h_snapshot, *ws)
+                           : ZfPrecoder::build(h_snapshot);
   const std::size_t nc = h_snapshot.n_clients();
   rvec out(nc, -100.0);
   if (!precoder) return out;
   rvec acc(nc, 0.0);
+  CMatrix g;
   for (std::size_t k = 0; k < h_snapshot.n_subcarriers(); ++k) {
-    const CMatrix g = h_eff[k] * precoder->weights(k);
+    multiply_into(h_eff[k], precoder->weights(k), g);
     for (std::size_t c = 0; c < nc; ++c) {
       const double sig = std::norm(g(c, c));
       double interf = 0.0;
@@ -52,7 +56,7 @@ rvec mean_sinr_db(const ChannelMatrixSet& h_snapshot,
 
 }  // namespace
 
-DecoupledResult run_decoupled(const DecoupledParams& p, Rng& rng) {
+DecoupledResult run_decoupled(const DecoupledParams& p, Rng& rng, Workspace* ws) {
   const std::size_t n = p.n_nodes;
   if (n < 2) throw std::invalid_argument("run_decoupled: need >= 2 nodes");
 
@@ -136,15 +140,16 @@ DecoupledResult run_decoupled(const DecoupledParams& p, Rng& rng) {
   // operating point matches the requested effective SNR.
   double noise = p.noise_power;
   if (p.effective_snr_db > 0.0) {
-    if (const auto pre = ZfPrecoder::build(h_oracle)) {
+    if (const auto pre = ws ? ZfPrecoder::build(h_oracle, *ws)
+                            : ZfPrecoder::build(h_oracle)) {
       noise = pre->scale() * pre->scale() / from_db(p.effective_snr_db);
     }
   }
 
   DecoupledResult out;
-  out.sinr_db = mean_sinr_db(h_bar, h_eff_oracle, noise);
-  out.naive_sinr_db = mean_sinr_db(h_naive, h_eff_oracle, noise);
-  out.oracle_sinr_db = mean_sinr_db(h_oracle, h_eff_oracle, noise);
+  out.sinr_db = mean_sinr_db(h_bar, h_eff_oracle, noise, ws);
+  out.naive_sinr_db = mean_sinr_db(h_naive, h_eff_oracle, noise, ws);
+  out.oracle_sinr_db = mean_sinr_db(h_oracle, h_eff_oracle, noise, ws);
   return out;
 }
 

@@ -13,6 +13,10 @@
 #include "chan/oscillator.h"
 #include "core/link_model.h"
 
+namespace jmb {
+class Workspace;
+}
+
 namespace jmb::core {
 
 struct DecoupledParams {
@@ -44,6 +48,9 @@ struct DecoupledResult {
   rvec oracle_sinr_db;
 };
 
-[[nodiscard]] DecoupledResult run_decoupled(const DecoupledParams& p, Rng& rng);
+/// A non-null `ws` routes every internal ZF build through the workspace's
+/// pinv scratch; results are bitwise-identical either way.
+[[nodiscard]] DecoupledResult run_decoupled(const DecoupledParams& p, Rng& rng,
+                                            Workspace* ws = nullptr);
 
 }  // namespace jmb::core

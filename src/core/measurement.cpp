@@ -3,12 +3,25 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 #include "phy/ofdm.h"
 #include "phy/preamble.h"
 #include "phy/sync.h"
+#include "phy/workspace.h"
 
 namespace jmb::core {
+
+namespace {
+
+/// Shared 64-point plan for the per-round channel-symbol FFTs. Immutable
+/// after construction, so sharing across threads is safe; bitwise-identical
+/// to fft_inplace().
+const FftPlan& plan64() {
+  static const FftPlan plan(phy::kNfft);
+  return plan;
+}
+
+}  // namespace
 
 std::size_t MeasurementSchedule::cfo_block_offset(std::size_t ap) const {
   if (ap >= n_aps) throw std::invalid_argument("cfo_block_offset: bad ap");
@@ -57,9 +70,13 @@ cvec MeasurementSchedule::ap_waveform(std::size_t ap) const {
   return out;
 }
 
-std::optional<ClientMeasurement> process_measurement_frame(
-    const cvec& rx, const MeasurementSchedule& sched, const phy::PhyConfig& cfg) {
-  const phy::Receiver receiver(cfg);
+namespace {
+
+std::optional<ClientMeasurement> process_measurement_frame_impl(
+    const cvec& rx, const MeasurementSchedule& sched, const phy::PhyConfig& cfg,
+    Workspace* ws) {
+  phy::Receiver receiver(cfg);
+  receiver.set_workspace(ws);
   const auto pm = receiver.measure_preamble(rx);
   if (!pm) return std::nullopt;
   // Reference time = sync-header start. The LTF correlator pinned the
@@ -77,13 +94,19 @@ std::optional<ClientMeasurement> process_measurement_frame(
   out.noise_var = pm->noise_var;
   out.per_ap.resize(sched.n_aps);
 
+  // Scratch windows: drawn from the workspace when one is attached so the
+  // per-AP/per-round loops below stay off the heap once capacities are warm.
+  cvec local_win, local_freq;
+  cvec& win = ws ? ws->meas_win : local_win;
+  cvec& freq = ws ? ws->meas_freq : local_freq;
+
   for (std::size_t ap = 0; ap < sched.n_aps; ++ap) {
     // --- Coarse CFO from the AP's dedicated block (lag-64 correlation).
     const std::size_t cfo_at = header + sched.cfo_block_offset(ap);
-    const cvec block(rx.begin() + static_cast<std::ptrdiff_t>(cfo_at),
-                     rx.begin() + static_cast<std::ptrdiff_t>(
-                                      cfo_at + MeasurementSchedule::kCfoBlockLen));
-    double cfo = phy::fine_cfo_hz(block, fs);
+    win.assign(rx.begin() + static_cast<std::ptrdiff_t>(cfo_at),
+               rx.begin() + static_cast<std::ptrdiff_t>(
+                                cfo_at + MeasurementSchedule::kCfoBlockLen));
+    double cfo = phy::fine_cfo_hz(win, fs);
     // The lead's preamble supplies an independent estimate; fuse them.
     if (ap == 0) cfo = 0.5 * (cfo + pm->cfo_hz);
 
@@ -98,12 +121,12 @@ std::optional<ClientMeasurement> process_measurement_frame(
       const std::size_t at =
           header + sched.chan_symbol_offset(ap, r) + phy::kCpLen - kBackoff;
       rel_offset[r] = static_cast<double>(at - header) - ref;
-      cvec seg(rx.begin() + static_cast<std::ptrdiff_t>(at),
-               rx.begin() + static_cast<std::ptrdiff_t>(at + phy::kNfft));
-      seg = phy::correct_cfo(seg, cfo, fs, rel_offset[r]);
-      cvec f = seg;
-      fft_inplace(f);
-      raw[r] = phy::estimate_from_ltf(f);
+      win.assign(rx.begin() + static_cast<std::ptrdiff_t>(at),
+                 rx.begin() + static_cast<std::ptrdiff_t>(at + phy::kNfft));
+      phy::correct_cfo_into(win, cfo, fs, rel_offset[r], win);
+      freq.assign(win.begin(), win.end());
+      plan64().forward(freq);
+      raw[r] = phy::estimate_from_ltf(freq);
     }
 
     // --- Refine the CFO by a least-squares fit of the per-round phases
@@ -132,11 +155,25 @@ std::optional<ClientMeasurement> process_measurement_frame(
         raw[r].rotate(-kTwoPi * residual * rel_offset[r] / fs);
       }
     }
+    const phy::ChannelEstimate avg = phy::average_estimates(raw);
     out.per_ap[ap].channel =
-        phy::denoise_time_support(phy::average_estimates(raw));
+        ws ? phy::denoise_time_support(avg, *ws) : phy::denoise_time_support(avg);
     out.per_ap[ap].cfo_hz = cfo;
   }
   return out;
+}
+
+}  // namespace
+
+std::optional<ClientMeasurement> process_measurement_frame(
+    const cvec& rx, const MeasurementSchedule& sched, const phy::PhyConfig& cfg) {
+  return process_measurement_frame_impl(rx, sched, cfg, nullptr);
+}
+
+std::optional<ClientMeasurement> process_measurement_frame(
+    const cvec& rx, const MeasurementSchedule& sched, const phy::PhyConfig& cfg,
+    Workspace& ws) {
+  return process_measurement_frame_impl(rx, sched, cfg, &ws);
 }
 
 }  // namespace jmb::core

@@ -10,6 +10,10 @@
 
 #include "phy/receiver.h"
 
+namespace jmb {
+class Workspace;
+}
+
 namespace jmb::core {
 
 /// Sample-level schedule of one measurement frame for n_aps APs (AP 0 is
@@ -62,5 +66,12 @@ struct ClientMeasurement {
 /// inside. Returns nullopt if the header isn't found.
 [[nodiscard]] std::optional<ClientMeasurement> process_measurement_frame(
     const cvec& rx, const MeasurementSchedule& sched, const phy::PhyConfig& cfg);
+
+/// Workspace-backed variant: the receiver's preamble buffers, the per-round
+/// CFO/channel FFT windows, and the denoising projection all come from `ws`
+/// instead of the heap. Bitwise-identical to the 3-argument overload.
+[[nodiscard]] std::optional<ClientMeasurement> process_measurement_frame(
+    const cvec& rx, const MeasurementSchedule& sched, const phy::PhyConfig& cfg,
+    Workspace& ws);
 
 }  // namespace jmb::core

@@ -6,6 +6,7 @@
 
 #include "linalg/pinv.h"
 #include "obs/bounds.h"
+#include "phy/workspace.h"
 
 namespace jmb::core {
 
@@ -44,6 +45,21 @@ double zf_leakage_db(const CMatrix& h, const CMatrix& w) {
 std::optional<ZfPrecoder> ZfPrecoder::build(const ChannelMatrixSet& h,
                                             double per_antenna_power,
                                             const obs::ObsSink* obs) {
+  PinvScratch scratch;
+  return build_impl(h, scratch, per_antenna_power, obs);
+}
+
+std::optional<ZfPrecoder> ZfPrecoder::build(const ChannelMatrixSet& h,
+                                            Workspace& ws,
+                                            double per_antenna_power,
+                                            const obs::ObsSink* obs) {
+  return build_impl(h, ws.pinv, per_antenna_power, obs);
+}
+
+std::optional<ZfPrecoder> ZfPrecoder::build_impl(const ChannelMatrixSet& h,
+                                                 PinvScratch& scratch,
+                                                 double per_antenna_power,
+                                                 const obs::ObsSink* obs) {
   if (h.n_subcarriers() == 0 || h.n_clients() == 0 || h.n_tx() == 0) {
     throw std::invalid_argument("ZfPrecoder: empty channel set");
   }
@@ -52,11 +68,9 @@ std::optional<ZfPrecoder> ZfPrecoder::build(const ChannelMatrixSet& h,
         "ZfPrecoder: need at least as many AP antennas as clients");
   }
   ZfPrecoder p;
-  p.w_.reserve(h.n_subcarriers());
+  p.w_.resize(h.n_subcarriers());
   for (std::size_t k = 0; k < h.n_subcarriers(); ++k) {
-    auto w = pinv(h.at(k));
-    if (!w) return std::nullopt;
-    p.w_.push_back(std::move(*w));
+    if (!pinv_into(h.at(k), 0.0, scratch, p.w_[k])) return std::nullopt;
   }
   // One global scale: with unit-power stream symbols, AP antenna i spends
   // mean_k row_power(W_k, i) per subcarrier. Scale so the hungriest

@@ -10,9 +10,15 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "core/types.h"
 #include "obs/sink.h"
+
+namespace jmb {
+struct PinvScratch;
+class Workspace;
+}
 
 namespace jmb::core {
 
@@ -26,6 +32,13 @@ class ZfPrecoder {
   /// distributions sampled over a few strided subcarriers.
   [[nodiscard]] static std::optional<ZfPrecoder> build(
       const ChannelMatrixSet& h, double per_antenna_power = 1.0,
+      const obs::ObsSink* obs = nullptr);
+
+  /// Workspace-backed build: the per-subcarrier pseudo-inverses run through
+  /// `ws.pinv` scratch, so a warm workspace makes the build allocation-free
+  /// apart from first-time growth of `w_`. Bitwise-identical to build().
+  [[nodiscard]] static std::optional<ZfPrecoder> build(
+      const ChannelMatrixSet& h, Workspace& ws, double per_antenna_power = 1.0,
       const obs::ObsSink* obs = nullptr);
 
   /// W for one used subcarrier (n_tx x n_clients), scale included.
@@ -45,7 +58,16 @@ class ZfPrecoder {
 
   /// Per-subcarrier transmit vector for stream symbols x (one per client).
   [[nodiscard]] cvec transmit_vector(std::size_t used_idx, const cvec& x) const {
-    return w_[used_idx] * x;
+    cvec out(w_[used_idx].rows());
+    transmit_vector_into(used_idx, x, out);
+    return out;
+  }
+
+  /// transmit_vector() into a caller-owned span of exactly n_tx() entries.
+  /// Bitwise-identical to the allocating API, which wraps this kernel.
+  void transmit_vector_into(std::size_t used_idx, std::span<const cplx> x,
+                            std::span<cplx> out) const {
+    multiply_into(w_[used_idx], x, out);
   }
 
   [[nodiscard]] std::size_t n_tx() const { return w_.empty() ? 0 : w_[0].rows(); }
@@ -54,6 +76,11 @@ class ZfPrecoder {
   }
 
  private:
+  /// Single implementation behind both build() overloads.
+  [[nodiscard]] static std::optional<ZfPrecoder> build_impl(
+      const ChannelMatrixSet& h, PinvScratch& scratch,
+      double per_antenna_power, const obs::ObsSink* obs);
+
   std::vector<CMatrix> w_;
   double scale_ = 0.0;
 };

@@ -1,0 +1,94 @@
+#include "dsp/fft_plan.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "dsp/fft.h"
+
+namespace jmb {
+
+namespace {
+
+// Stage twiddles via the same `w *= wlen` recurrence the naive transform
+// uses, NOT phasor(ang * k): the recurrence accumulates rounding exactly
+// like the per-block loop in fft.cpp, which is what keeps the planned
+// transform bitwise-identical to the naive one.
+void append_stage_twiddles(std::vector<cplx>& out, std::size_t len, int sign) {
+  const double ang = sign * kTwoPi / static_cast<double>(len);
+  const cplx wlen = phasor(ang);
+  cplx w{1.0, 0.0};
+  for (std::size_t k = 0; k < len / 2; ++k) {
+    out.push_back(w);
+    w *= wlen;
+  }
+}
+
+}  // namespace
+
+FftPlan::FftPlan(std::size_t n) : n_(n), inv_n_(1.0 / static_cast<double>(n)) {
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("FftPlan: size must be a power of two");
+  }
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      swaps_.emplace_back(static_cast<std::uint32_t>(i),
+                          static_cast<std::uint32_t>(j));
+    }
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    append_stage_twiddles(fwd_twiddles_, len, -1);
+    append_stage_twiddles(inv_twiddles_, len, +1);
+  }
+}
+
+void FftPlan::run(std::span<cplx> x, const std::vector<cplx>& twiddles) const {
+  if (x.size() != n_) {
+    throw std::invalid_argument("FftPlan: span size does not match plan");
+  }
+  for (const auto& [i, j] : swaps_) std::swap(x[i], x[j]);
+  // Butterflies over the raw double pairs (array-oriented access,
+  // [complex.numbers.general]). The arithmetic is the exact operation
+  // sequence of the naive transform — (br*wr - bi*wi, br*wi + bi*wr),
+  // then u+v / u-v — so results stay bitwise identical; the restrict
+  // qualifiers let the compiler keep the butterfly in registers instead
+  // of assuming the twiddle table aliases the signal buffer.
+  double* const __restrict d = reinterpret_cast<double*>(x.data());
+  const double* const __restrict tw =
+      reinterpret_cast<const double*>(twiddles.data());
+  std::size_t off = 0;
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    const double* w = tw + 2 * off;
+    for (std::size_t i = 0; i < n_; i += len) {
+      double* a = d + 2 * i;
+      double* b = a + 2 * half;
+      for (std::size_t k = 0; k < half; ++k) {
+        const double wr = w[2 * k];
+        const double wi = w[2 * k + 1];
+        const double br = b[2 * k];
+        const double bi = b[2 * k + 1];
+        const double vr = br * wr - bi * wi;
+        const double vi = br * wi + bi * wr;
+        const double ar = a[2 * k];
+        const double ai = a[2 * k + 1];
+        a[2 * k] = ar + vr;
+        a[2 * k + 1] = ai + vi;
+        b[2 * k] = ar - vr;
+        b[2 * k + 1] = ai - vi;
+      }
+    }
+    off += half;
+  }
+}
+
+void FftPlan::forward(std::span<cplx> x) const { run(x, fwd_twiddles_); }
+
+void FftPlan::inverse(std::span<cplx> x) const {
+  run(x, inv_twiddles_);
+  for (cplx& v : x) v *= inv_n_;
+}
+
+}  // namespace jmb

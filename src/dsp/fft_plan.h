@@ -1,0 +1,47 @@
+// Planned radix-2 FFT: precomputed bit-reversal pairs and per-stage
+// twiddle tables, executing strictly in place over a caller-owned span.
+//
+// Bit-identity contract: the twiddle tables are generated with the exact
+// `w *= wlen` recurrence that the naive transform in fft.cpp runs per
+// butterfly block, so forward()/inverse() perform the same floating-point
+// operations in the same order as fft_inplace()/ifft_inplace() and produce
+// bitwise-identical results. Tests assert this (test_dsp.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace jmb {
+
+class FftPlan {
+ public:
+  /// Builds a plan for a fixed power-of-two size. Throws otherwise.
+  explicit FftPlan(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// In-place forward DFT over exactly size() samples. No scaling.
+  void forward(std::span<cplx> x) const;
+
+  /// In-place inverse DFT with 1/N scaling, matching ifft_inplace().
+  void inverse(std::span<cplx> x) const;
+
+ private:
+  void run(std::span<cplx> x, const std::vector<cplx>& twiddles) const;
+
+  std::size_t n_;
+  double inv_n_;
+  /// (i, j) index pairs with i < j, applied as swaps for the bit-reversal
+  /// permutation before the butterfly stages.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> swaps_;
+  /// Concatenated per-stage twiddles (len/2 entries for each stage
+  /// len = 2, 4, ..., n), one table per transform direction.
+  std::vector<cplx> fwd_twiddles_;
+  std::vector<cplx> inv_twiddles_;
+};
+
+}  // namespace jmb

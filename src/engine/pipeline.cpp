@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
-#include "dsp/fft.h"
 #include "linalg/pinv.h"
 #include "obs/bounds.h"
 #include "phy/ofdm.h"
@@ -104,7 +104,7 @@ void MeasurementStage::run(FrameContext& ctx) {
     // LS fit spans the whole block) than a single preamble correlation —
     // this is what bounds the within-packet phase drift (Section 5.3).
     if (const auto own =
-            process_measurement_frame(buf, sched, sys.params.phy)) {
+            process_measurement_frame(buf, sched, sys.params.phy, sys.ws)) {
       sys.slave_sync[a - 1].set_cfo_estimate(own->per_ap[0].cfo_hz);
     }
     phy::ChannelEstimate ref = pm->chan;
@@ -119,7 +119,7 @@ void MeasurementStage::run(FrameContext& ctx) {
     const cvec buf =
         sys.medium.receive(sys.client_nodes[c], frame_t - kRxMargin / fs,
                            kRxMargin + sched.frame_len() + 200);
-    const auto cm = process_measurement_frame(buf, sched, sys.params.phy);
+    const auto cm = process_measurement_frame(buf, sched, sys.params.phy, sys.ws);
     if (!cm) {
       if (sys.metrics) sys.metrics->stage(kStageMeasure).add_detect_failure();
       all_ok = false;
@@ -143,7 +143,7 @@ void PrecodeStage::run(FrameContext& ctx) {
   if (!ctx.measurement_ok || !ctx.h_measured) return;
   sys.h = std::move(*ctx.h_measured);
   ctx.h_measured.reset();
-  sys.precoder = core::ZfPrecoder::build(sys.h, 1.0, sys.obs);
+  sys.precoder = core::ZfPrecoder::build(sys.h, sys.ws, 1.0, sys.obs);
   if (sys.metrics && sys.precoder) {
     sys.metrics->stage(kStagePrecode).add_condition(
         mean_condition_number(sys.h));
@@ -173,27 +173,31 @@ void SynthesisStage::run(FrameContext& ctx) {
   ctx.wave_len = phy::kLtfLen + n_sym * phy::kSymbolLen;
   ctx.ap_waves.assign(sys.params.n_aps, std::nullopt);
   ctx.ap_tx_time.assign(sys.params.n_aps, 0.0);
+  // Spectrum / LTF-time scratch from the per-trial workspace; the waveform
+  // itself must be a fresh vector (it is moved onto the medium).
+  cvec& spec = sys.ws.spec;
+  cvec& ltf_time = sys.ws.sym_time;
   for (std::size_t a = 0; a < sys.params.n_aps; ++a) {
     // Precoded LTF spectrum for this AP: sum over streams of W(a, j) * L.
-    cvec ltf_spec(phy::kNfft, cplx{});
+    spec.assign(phy::kNfft, cplx{});
     const cvec& l = phy::ltf_freq();
     for (std::size_t k = 0; k < used.size(); ++k) {
       const std::size_t bin = phy::bin_of(used[k]);
       cplx w_sum{};
       for (std::size_t j = 0; j < n_streams; ++j) w_sum += weight_at(k)(a, j);
-      ltf_spec[bin] = w_sum * l[bin];
+      spec[bin] = w_sum * l[bin];
     }
-    cvec ltf_time = ifft(ltf_spec);
-    cvec wave;
-    wave.reserve(ctx.wave_len);
+    ltf_time.assign(spec.begin(), spec.end());
+    sys.ws.fft_plan(phy::kNfft).inverse(ltf_time);
+    cvec wave(ctx.wave_len);
     for (std::size_t i = 0; i < 32; ++i) {
-      wave.push_back(ltf_time[phy::kNfft - 32 + i]);
+      wave[i] = ltf_time[phy::kNfft - 32 + i];
     }
-    wave.insert(wave.end(), ltf_time.begin(), ltf_time.end());
-    wave.insert(wave.end(), ltf_time.begin(), ltf_time.end());
+    std::copy(ltf_time.begin(), ltf_time.end(), wave.begin() + 32);
+    std::copy(ltf_time.begin(), ltf_time.end(), wave.begin() + 32 + phy::kNfft);
 
     for (std::size_t s = 0; s < n_sym; ++s) {
-      cvec spec(phy::kNfft, cplx{});
+      spec.assign(phy::kNfft, cplx{});
       for (std::size_t k = 0; k < used.size(); ++k) {
         const std::size_t bin = phy::bin_of(used[k]);
         cplx acc{};
@@ -202,8 +206,9 @@ void SynthesisStage::run(FrameContext& ctx) {
         }
         spec[bin] = acc;
       }
-      const cvec t = phy::ofdm_modulate(spec);
-      wave.insert(wave.end(), t.begin(), t.end());
+      phy::ofdm_modulate_into(
+          spec, std::span<cplx>(wave).subspan(phy::kLtfLen + s * phy::kSymbolLen,
+                                              phy::kSymbolLen));
     }
 
     if (a == 0) {

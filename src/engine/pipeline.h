@@ -27,6 +27,7 @@
 #include "engine/metrics.h"
 #include "phy/receiver.h"
 #include "phy/transmitter.h"
+#include "phy/workspace.h"
 
 namespace jmb::core {
 
@@ -108,7 +109,9 @@ struct SystemState {
         rng(p.seed),
         h(p.n_clients, p.n_aps),
         tx(p.phy),
-        rx(p.phy) {}
+        rx(p.phy) {
+    rx.set_workspace(&ws);
+  }
 
   core::SystemParams params;
   chan::Medium medium;
@@ -123,6 +126,13 @@ struct SystemState {
 
   core::ChannelMatrixSet h;
   std::optional<core::ZfPrecoder> precoder;
+
+  /// Per-trial scratch arena: FFT plans, pinv scratch, receive buffers and
+  /// the denoising-projection cache. One per SystemState (one per
+  /// TrialRunner worker), so every stage runs lock-free off it. Declared
+  /// before tx/rx so `rx` can bind to it during construction; Workspace is
+  /// non-copyable, which also pins SystemState in place (rx holds &ws).
+  Workspace ws;
 
   phy::Transmitter tx;
   phy::Receiver rx;

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "dsp/fft.h"
 #include "phy/ofdm.h"
 #include "phy/preamble.h"
 #include "phy/sync.h"
@@ -275,19 +274,26 @@ rvec JmbSystem::measure_alignment_series(std::size_t n_rounds, double gap_s) {
     const std::size_t wave_at =
         header_pos + phy::kPreambleLen +
         static_cast<std::size_t>(state_.params.turnaround_s * fs);
-    const cvec corrected = phy::correct_cfo(buf, pm->cfo_hz, fs);
+    // Workspace-backed scratch: full-buffer CFO correction plus the two
+    // per-pair FFT windows (measure_preamble is finished with these).
+    cvec& corrected = state_.ws.corrected;
+    corrected.resize(buf.size());
+    phy::correct_cfo_into(buf, pm->cfo_hz, fs, 0.0, corrected);
 
     cplx delta_acc{};
     for (std::size_t p = 0; p < kPairs; ++p) {
       const std::size_t lead_at = wave_at + 2 * p * phy::kSymbolLen + phy::kCpLen;
       const std::size_t slave_at = lead_at + phy::kSymbolLen;
       if (corrected.size() < slave_at + phy::kNfft) break;
-      cvec fl(corrected.begin() + static_cast<std::ptrdiff_t>(lead_at),
-              corrected.begin() + static_cast<std::ptrdiff_t>(lead_at + phy::kNfft));
-      cvec fsv(corrected.begin() + static_cast<std::ptrdiff_t>(slave_at),
-               corrected.begin() + static_cast<std::ptrdiff_t>(slave_at + phy::kNfft));
-      fft_inplace(fl);
-      fft_inplace(fsv);
+      cvec& fl = state_.ws.meas_win;
+      cvec& fsv = state_.ws.meas_freq;
+      fl.assign(corrected.begin() + static_cast<std::ptrdiff_t>(lead_at),
+                corrected.begin() + static_cast<std::ptrdiff_t>(lead_at + phy::kNfft));
+      fsv.assign(corrected.begin() + static_cast<std::ptrdiff_t>(slave_at),
+                 corrected.begin() + static_cast<std::ptrdiff_t>(slave_at + phy::kNfft));
+      const FftPlan& plan = state_.ws.fft_plan(phy::kNfft);
+      plan.forward(fl);
+      plan.forward(fsv);
       const phy::ChannelEstimate el = phy::estimate_from_ltf(fl);
       const phy::ChannelEstimate es = phy::estimate_from_ltf(fsv);
       delta_acc += es.mean_ratio(el);

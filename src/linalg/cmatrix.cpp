@@ -40,12 +40,10 @@ CMatrix CMatrix::column(const cvec& v) {
   return m;
 }
 
-cplx& CMatrix::operator()(std::size_t r, std::size_t c) {
-  return data_[r * cols_ + c];
-}
-
-const cplx& CMatrix::operator()(std::size_t r, std::size_t c) const {
-  return data_[r * cols_ + c];
+void CMatrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, cplx{});
 }
 
 CMatrix CMatrix::hermitian() const {
@@ -176,6 +174,69 @@ double CMatrix::max_abs_diff(const CMatrix& other) const {
     m = std::max(m, std::abs(data_[i] - other.data_[i]));
   }
   return m;
+}
+
+void multiply_into(const CMatrix& a, const CMatrix& b, CMatrix& out) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("multiply_into: inner dimension mismatch");
+  }
+  out.resize(a.rows(), b.cols());
+  // Same accumulation order (including the zero-skip) as
+  // CMatrix::operator*, so the rounding is identical — but written over
+  // the raw double pairs with restrict-qualified row pointers so the
+  // inner row-update stays in registers. `out` must not alias a or b
+  // (resize() already forbids that for every existing caller).
+  const std::size_t bc = b.cols();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double* const __restrict orow = reinterpret_cast<double*>(&out(r, 0));
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const cplx v = a(r, k);
+      if (v == cplx{}) continue;
+      const double vr = v.real();
+      const double vi = v.imag();
+      const double* const __restrict brow =
+          reinterpret_cast<const double*>(&b(k, 0));
+      for (std::size_t c = 0; c < bc; ++c) {
+        const double br = brow[2 * c];
+        const double bi = brow[2 * c + 1];
+        orow[2 * c] += vr * br - vi * bi;
+        orow[2 * c + 1] += vr * bi + vi * br;
+      }
+    }
+  }
+}
+
+void multiply_into(const CMatrix& a, std::span<const cplx> v,
+                   std::span<cplx> out) {
+  if (a.cols() != v.size() || a.rows() != out.size()) {
+    throw std::invalid_argument("multiply_into: vector dimension mismatch");
+  }
+  // acc += a(r, c) * v[c] over raw doubles, in the same order as the
+  // allocating operator* — bitwise-identical, register-resident.
+  const std::size_t n = a.cols();
+  const double* const __restrict vv = reinterpret_cast<const double*>(v.data());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* const __restrict arow =
+        reinterpret_cast<const double*>(&a(r, 0));
+    double accr = 0.0;
+    double acci = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      const double ar = arow[2 * c];
+      const double ai = arow[2 * c + 1];
+      const double xr = vv[2 * c];
+      const double xi = vv[2 * c + 1];
+      accr += ar * xr - ai * xi;
+      acci += ar * xi + ai * xr;
+    }
+    out[r] = cplx{accr, acci};
+  }
+}
+
+void hermitian_into(const CMatrix& a, CMatrix& out) {
+  out.resize(a.cols(), a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      out(c, r) = std::conj(a(r, c));
 }
 
 std::string CMatrix::str() const {

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,13 +33,25 @@ class CMatrix {
   /// Column vector from a sample run.
   [[nodiscard]] static CMatrix column(const cvec& v);
 
+  /// Reshape to rows x cols and zero every entry. Keeps the underlying
+  /// capacity, so repeated resize() to the same (or smaller) shape never
+  /// reallocates — the workspace-reuse entry point.
+  void resize(std::size_t rows, std::size_t cols);
+
   [[nodiscard]] std::size_t rows() const { return rows_; }
   [[nodiscard]] std::size_t cols() const { return cols_; }
   [[nodiscard]] bool empty() const { return data_.empty(); }
   [[nodiscard]] bool is_square() const { return rows_ == cols_ && rows_ > 0; }
 
-  [[nodiscard]] cplx& operator()(std::size_t r, std::size_t c);
-  [[nodiscard]] const cplx& operator()(std::size_t r, std::size_t c) const;
+  // Element access is defined inline: it is the innermost operation of
+  // every kernel, and an out-of-line call per element dominates the cost
+  // of the small per-subcarrier matrices this class exists for.
+  [[nodiscard]] cplx& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const cplx& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
 
   /// Conjugate transpose A^H.
   [[nodiscard]] CMatrix hermitian() const;
@@ -88,5 +101,19 @@ class CMatrix {
   std::size_t cols_ = 0;
   std::vector<cplx> data_;
 };
+
+/// out = a * b into a preallocated matrix (resized/zeroed in place; no
+/// allocation once capacity is warm). `out` must not alias `a` or `b`.
+/// Same operation order as CMatrix::operator*, so results are bitwise
+/// identical to the allocating API.
+void multiply_into(const CMatrix& a, const CMatrix& b, CMatrix& out);
+
+/// out = a * v for a caller-owned output span of exactly a.rows() entries.
+/// Bitwise-identical to CMatrix::operator*(const cvec&).
+void multiply_into(const CMatrix& a, std::span<const cplx> v,
+                   std::span<cplx> out);
+
+/// out = a^H into a preallocated matrix. `out` must not alias `a`.
+void hermitian_into(const CMatrix& a, CMatrix& out);
 
 }  // namespace jmb

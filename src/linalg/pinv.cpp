@@ -7,20 +7,34 @@
 
 namespace jmb {
 
-std::optional<CMatrix> pinv(const CMatrix& a, double ridge) {
-  const CMatrix ah = a.hermitian();
-  if (a.rows() <= a.cols()) {
-    CMatrix gram = a * ah;  // rows x rows
-    for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
-    const auto gram_inv = inverse(gram);
-    if (!gram_inv) return std::nullopt;
-    return ah * (*gram_inv);
+bool pinv_into(const CMatrix& a, double ridge, PinvScratch& scratch,
+               CMatrix& out) {
+  hermitian_into(a, scratch.ah);
+  // Fat: gram = A A^H (rows x rows); tall: gram = A^H A (cols x cols).
+  const bool fat = a.rows() <= a.cols();
+  if (fat) {
+    multiply_into(a, scratch.ah, scratch.gram);
+  } else {
+    multiply_into(scratch.ah, a, scratch.gram);
   }
-  CMatrix gram = ah * a;  // cols x cols
-  for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
-  const auto gram_inv = inverse(gram);
-  if (!gram_inv) return std::nullopt;
-  return (*gram_inv) * ah;
+  for (std::size_t i = 0; i < scratch.gram.rows(); ++i) {
+    scratch.gram(i, i) += ridge;
+  }
+  if (!scratch.lu.factorize(scratch.gram)) return false;
+  scratch.lu.inverse_into(scratch.gram_inv, scratch.lu_scratch);
+  if (fat) {
+    multiply_into(scratch.ah, scratch.gram_inv, out);
+  } else {
+    multiply_into(scratch.gram_inv, scratch.ah, out);
+  }
+  return true;
+}
+
+std::optional<CMatrix> pinv(const CMatrix& a, double ridge) {
+  PinvScratch scratch;
+  CMatrix out;
+  if (!pinv_into(a, ridge, scratch, out)) return std::nullopt;
+  return out;
 }
 
 namespace {

@@ -8,8 +8,19 @@
 #include <optional>
 
 #include "linalg/cmatrix.h"
+#include "linalg/lu.h"
 
 namespace jmb {
+
+/// Reusable intermediates for pinv_into(). One per workspace; every
+/// buffer reaches steady-state capacity after the first call per shape.
+struct PinvScratch {
+  CMatrix ah;        ///< A^H
+  CMatrix gram;      ///< A A^H or A^H A (+ ridge)
+  CMatrix gram_inv;  ///< inverse of the Gram matrix
+  Lu lu;
+  LuScratch lu_scratch;
+};
 
 /// Moore-Penrose pseudo-inverse.
 ///  - rows <= cols (fat, the distributed-MIMO downlink case):
@@ -18,6 +29,12 @@ namespace jmb {
 /// `ridge` adds Tikhonov regularization; 0 gives the exact pseudo-inverse
 /// for full-rank A, nullopt if the Gram matrix is singular.
 [[nodiscard]] std::optional<CMatrix> pinv(const CMatrix& a, double ridge = 0.0);
+
+/// pinv() into a preallocated output with caller-owned scratch. Returns
+/// false if the Gram matrix is singular (out is then unspecified).
+/// Bitwise-identical to pinv(); the allocating API wraps this kernel.
+[[nodiscard]] bool pinv_into(const CMatrix& a, double ridge, PinvScratch& scratch,
+                             CMatrix& out);
 
 /// Largest singular value via power iteration on A^H A.
 [[nodiscard]] double largest_singular_value(const CMatrix& a, int iters = 60);

@@ -8,6 +8,7 @@
 #include "linalg/pinv.h"
 #include "phy/ofdm.h"
 #include "phy/preamble.h"
+#include "phy/workspace.h"
 
 namespace jmb::phy {
 
@@ -85,46 +86,42 @@ ChannelEstimate average_estimates(const std::vector<ChannelEstimate>& estimates)
   return avg;
 }
 
-ChannelEstimate denoise_time_support(const ChannelEstimate& est,
-                                     std::size_t support) {
+CMatrix make_denoise_projection(std::size_t support) {
   if (support == 0 || support > 52) {
     throw std::invalid_argument("denoise_time_support: support must be 1..52");
   }
   // Basis: B(row k, col l) = e^{-j 2 pi k l / 64} over the 52 used
-  // subcarriers; projection matrix P = B (B^H B)^{-1} B^H cached per
-  // support size (there are few in practice). Guarded by a mutex: trials
-  // run concurrently under engine::TrialRunner. std::map nodes are stable,
-  // so the reference stays valid after the lock is released.
-  static std::mutex cache_mu;
-  static std::map<std::size_t, CMatrix> cache;
-  const CMatrix* projection = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(cache_mu);
-    auto it = cache.find(support);
-    if (it == cache.end()) {
-      CMatrix b(52, support);
-      std::size_t row = 0;
-      for (int k = -26; k <= 26; ++k) {
-        if (k == 0) continue;
-        for (std::size_t l = 0; l < support; ++l) {
-          b(row, l) = phasor(-kTwoPi * static_cast<double>(k) *
-                             static_cast<double>(l) / 64.0);
-        }
-        ++row;
-      }
-      const auto b_pinv = pinv(b);
-      if (!b_pinv) throw std::logic_error("denoise_time_support: basis singular");
-      it = cache.emplace(support, b * (*b_pinv)).first;
+  // subcarriers; projection matrix P = B (B^H B)^{-1} B^H.
+  CMatrix b(52, support);
+  std::size_t row = 0;
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    for (std::size_t l = 0; l < support; ++l) {
+      b(row, l) = phasor(-kTwoPi * static_cast<double>(k) *
+                         static_cast<double>(l) / 64.0);
     }
-    projection = &it->second;
+    ++row;
   }
-  cvec v(52);
+  const auto b_pinv = pinv(b);
+  if (!b_pinv) throw std::logic_error("denoise_time_support: basis singular");
+  return b * (*b_pinv);
+}
+
+namespace {
+
+// Gather the 52 used gains, project, and scatter the result back — the
+// shared back half of both denoise_time_support overloads.
+ChannelEstimate project_estimate(const ChannelEstimate& est,
+                                 const CMatrix& projection, cvec& v,
+                                 cvec& smooth) {
+  v.resize(52);
   std::size_t row = 0;
   for (int k = -26; k <= 26; ++k) {
     if (k == 0) continue;
     v[row++] = est.h[bin_of(k)];
   }
-  const cvec smooth = *projection * v;
+  smooth.resize(52);
+  multiply_into(projection, v, smooth);
   ChannelEstimate out;
   row = 0;
   for (int k = -26; k <= 26; ++k) {
@@ -132,6 +129,36 @@ ChannelEstimate denoise_time_support(const ChannelEstimate& est,
     out.h[bin_of(k)] = smooth[row++];
   }
   return out;
+}
+
+}  // namespace
+
+ChannelEstimate denoise_time_support(const ChannelEstimate& est,
+                                     std::size_t support) {
+  // Process-wide cache for workspace-less callers, guarded by a mutex:
+  // trials run concurrently under engine::TrialRunner. std::map nodes are
+  // stable, so the reference stays valid after the lock is released. The
+  // hot path passes a Workspace instead and never takes this lock.
+  static std::mutex cache_mu;
+  static std::map<std::size_t, CMatrix> cache;
+  const CMatrix* projection = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu);
+    auto it = cache.find(support);
+    if (it == cache.end()) {
+      it = cache.emplace(support, make_denoise_projection(support)).first;
+    }
+    projection = &it->second;
+  }
+  cvec v;
+  cvec smooth;
+  return project_estimate(est, *projection, v, smooth);
+}
+
+ChannelEstimate denoise_time_support(const ChannelEstimate& est, Workspace& ws,
+                                     std::size_t support) {
+  return project_estimate(est, ws.denoise_projection(support), ws.denoise_v,
+                          ws.denoise_smooth);
 }
 
 PilotPhase track_pilots(const cvec& freq_symbol, const ChannelEstimate& chan,

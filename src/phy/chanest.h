@@ -6,7 +6,12 @@
 #include <optional>
 
 #include "dsp/types.h"
+#include "linalg/cmatrix.h"
 #include "phy/params.h"
+
+namespace jmb {
+class Workspace;
+}
 
 namespace jmb::phy {
 
@@ -47,6 +52,18 @@ struct ChannelEstimate {
 /// the estimation noise without biasing real multipath.
 [[nodiscard]] ChannelEstimate denoise_time_support(const ChannelEstimate& est,
                                                    std::size_t support = 20);
+
+/// denoise_time_support() using the per-trial workspace: the projection
+/// matrix comes from the workspace's lock-free cache and the intermediates
+/// live in workspace buffers. Bitwise-identical to the overload above.
+[[nodiscard]] ChannelEstimate denoise_time_support(const ChannelEstimate& est,
+                                                   Workspace& ws,
+                                                   std::size_t support = 20);
+
+/// Build the least-squares projection matrix P = B (B^H B)^{-1} B^H that
+/// restricts a 52-subcarrier estimate to `support` time-domain taps.
+/// Shared by the legacy process-wide cache and Workspace's per-trial one.
+[[nodiscard]] CMatrix make_denoise_projection(std::size_t support);
 
 /// Pilot-based tracking of common phase error (residual CFO) and phase
 /// slope across subcarriers (timing drift / SFO), per OFDM symbol.

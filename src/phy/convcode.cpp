@@ -69,17 +69,23 @@ std::size_t punctured_length(std::size_t n_in, CodeRate rate) {
   throw std::logic_error("punctured_length: bad rate");
 }
 
-std::vector<double> depuncture(const std::vector<double>& llr,
-                               std::size_t n_info, CodeRate rate) {
+void depuncture_into(std::span<const double> llr, std::size_t n_info,
+                     CodeRate rate, std::vector<double>& out) {
   if (llr.size() != punctured_length(n_info, rate)) {
     throw std::invalid_argument("depuncture: LLR length mismatch");
   }
   const PuncturePattern p = pattern_for(rate);
-  std::vector<double> out(n_info * 2, 0.0);  // erasure = LLR 0
+  out.assign(n_info * 2, 0.0);  // erasure = LLR 0
   std::size_t src = 0;
   for (std::size_t i = 0; i < out.size(); ++i) {
     if (p.keep[i % p.period]) out[i] = llr[src++];
   }
+}
+
+std::vector<double> depuncture(const std::vector<double>& llr,
+                               std::size_t n_info, CodeRate rate) {
+  std::vector<double> out;
+  depuncture_into(llr, n_info, rate, out);
   return out;
 }
 

@@ -2,6 +2,8 @@
 // 802.11 puncturing patterns for rates 2/3 and 3/4.
 #pragma once
 
+#include <span>
+
 #include "phy/params.h"
 #include "phy/scrambler.h"  // BitVec
 
@@ -32,5 +34,10 @@ constexpr unsigned kGenB = 0b1111001;
 /// punctured_length(n_info, rate).
 [[nodiscard]] std::vector<double> depuncture(const std::vector<double>& llr,
                                              std::size_t n_info, CodeRate rate);
+
+/// depuncture() into a reused vector (resized/zeroed in place;
+/// allocation-free once the buffer is warm).
+void depuncture_into(std::span<const double> llr, std::size_t n_info,
+                     CodeRate rate, std::vector<double>& out);
 
 }  // namespace jmb::phy

@@ -6,6 +6,7 @@
 #include "phy/interleaver.h"
 #include "phy/modulation.h"
 #include "phy/viterbi.h"
+#include "phy/workspace.h"
 
 namespace jmb::phy {
 
@@ -115,25 +116,28 @@ std::vector<cvec> encode_psdu(const ByteVec& psdu, const Mcs& mcs,
 
 std::optional<ByteVec> decode_psdu(
     const std::vector<std::vector<double>>& llr_per_symbol,
-    const SignalField& sig) {
+    const SignalField& sig, Workspace& ws) {
   const Mcs& mcs = rate_set()[sig.rate_index];
   if (llr_per_symbol.size() != n_data_symbols(sig.length, mcs)) {
     return std::nullopt;
   }
-  std::vector<double> llr;
+  std::vector<double>& llr = ws.llr_concat;
+  llr.clear();
   llr.reserve(llr_per_symbol.size() * mcs.n_cbps());
   for (const auto& sym : llr_per_symbol) {
     if (sym.size() != mcs.n_cbps()) return std::nullopt;
-    const std::vector<double> dei = deinterleave_soft(sym, mcs);
-    llr.insert(llr.end(), dei.begin(), dei.end());
+    deinterleave_soft_into(sym, mcs, ws.llr_dei);
+    llr.insert(llr.end(), ws.llr_dei.begin(), ws.llr_dei.end());
   }
 
   const std::size_t total_bits = llr_per_symbol.size() * mcs.n_dbps();
-  const std::vector<double> mother = depuncture(llr, total_bits, mcs.code_rate);
+  depuncture_into(llr, total_bits, mcs.code_rate, ws.llr_mother);
   // The scrambled tail was zeroed, but intermediate pad/tail handling means
   // the trellis terminates only at the very end of the padded stream; decode
   // unterminated-tolerant (terminated=true falls back internally if needed).
-  const BitVec scrambled = viterbi_decode(mother, total_bits, /*terminated=*/false);
+  viterbi_decode_into(ws.llr_mother, total_bits, /*terminated=*/false,
+                      ws.viterbi, ws.decoded_bits);
+  const BitVec& scrambled = ws.decoded_bits;
 
   // Recover the scrambler seed: SERVICE bits were zeros, so the first 7
   // scrambled bits equal the scrambling sequence. Search the 127 seeds.
@@ -161,6 +165,13 @@ std::optional<ByteVec> decode_psdu(
   BitVec psdu_bits(descrambled.begin() + static_cast<std::ptrdiff_t>(first),
                    descrambled.begin() + static_cast<std::ptrdiff_t>(last));
   return bits_to_bytes(psdu_bits);
+}
+
+std::optional<ByteVec> decode_psdu(
+    const std::vector<std::vector<double>>& llr_per_symbol,
+    const SignalField& sig) {
+  Workspace ws;
+  return decode_psdu(llr_per_symbol, sig, ws);
 }
 
 }  // namespace jmb::phy

@@ -9,6 +9,10 @@
 #include "phy/bits.h"
 #include "phy/params.h"
 
+namespace jmb {
+class Workspace;
+}
+
 namespace jmb::phy {
 
 /// Default scrambler seed used by the transmitter (any nonzero 7-bit value;
@@ -45,5 +49,13 @@ struct SignalField {
 [[nodiscard]] std::optional<ByteVec> decode_psdu(
     const std::vector<std::vector<double>>& llr_per_symbol,
     const SignalField& sig);
+
+/// decode_psdu() with the per-symbol deinterleave, depuncture and Viterbi
+/// buffers drawn from the per-trial workspace — no per-symbol heap churn.
+/// Bitwise-identical to the overload above (which wraps this kernel with a
+/// throwaway workspace).
+[[nodiscard]] std::optional<ByteVec> decode_psdu(
+    const std::vector<std::vector<double>>& llr_per_symbol,
+    const SignalField& sig, Workspace& ws);
 
 }  // namespace jmb::phy

@@ -3,6 +3,7 @@
 // and across constellation bit positions.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "phy/params.h"
@@ -22,5 +23,16 @@ namespace jmb::phy {
 
 /// The composite permutation: out[perm[k]] = in[k] for interleave.
 [[nodiscard]] std::vector<std::size_t> interleave_permutation(const Mcs& mcs);
+
+/// Shared immutable permutation table (one per modulation order — the
+/// permutation does not depend on the code rate). Built once, so per-symbol
+/// interleaving never allocates.
+[[nodiscard]] const std::vector<std::size_t>& cached_interleave_permutation(
+    const Mcs& mcs);
+
+/// deinterleave_soft() into a reused vector (cleared first; allocation-free
+/// once the buffer is warm).
+void deinterleave_soft_into(std::span<const double> llr, const Mcs& mcs,
+                            std::vector<double>& out);
 
 }  // namespace jmb::phy

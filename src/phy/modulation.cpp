@@ -1,5 +1,6 @@
 #include "phy/modulation.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -75,13 +76,16 @@ const cvec& constellation(Modulation m) {
   throw std::logic_error("constellation: bad modulation");
 }
 
-cvec modulate(const BitVec& bits, Modulation m) {
+void modulate_into(std::span<const std::uint8_t> bits, Modulation m,
+                   std::span<cplx> out) {
   const std::size_t nbits = bits_per_symbol(m);
   if (bits.size() % nbits != 0) {
     throw std::invalid_argument("modulate: bit count not a multiple of bits/symbol");
   }
+  if (out.size() != bits.size() / nbits) {
+    throw std::invalid_argument("modulate: output size mismatch");
+  }
   const cvec& pts = constellation(m);
-  cvec out(bits.size() / nbits);
   for (std::size_t s = 0; s < out.size(); ++s) {
     unsigned v = 0;
     for (std::size_t b = 0; b < nbits; ++b) {
@@ -89,13 +93,19 @@ cvec modulate(const BitVec& bits, Modulation m) {
     }
     out[s] = pts[v];
   }
+}
+
+cvec modulate(const BitVec& bits, Modulation m) {
+  cvec out(bits.size() / bits_per_symbol(m));
+  modulate_into(bits, m, out);
   return out;
 }
 
-BitVec demodulate_hard(const cvec& symbols, Modulation m) {
+void demodulate_hard_into(std::span<const cplx> symbols, Modulation m,
+                          BitVec& out) {
   const std::size_t nbits = bits_per_symbol(m);
   const cvec& pts = constellation(m);
-  BitVec out;
+  out.clear();
   out.reserve(symbols.size() * nbits);
   for (const cplx& y : symbols) {
     std::size_t best = 0;
@@ -111,18 +121,24 @@ BitVec demodulate_hard(const cvec& symbols, Modulation m) {
       out.push_back(static_cast<std::uint8_t>((best >> b) & 1u));
     }
   }
+}
+
+BitVec demodulate_hard(const cvec& symbols, Modulation m) {
+  BitVec out;
+  demodulate_hard_into(symbols, m, out);
   return out;
 }
 
-std::vector<double> demodulate_soft(const cvec& symbols, Modulation m,
-                                    const rvec& noise_var_per_symbol) {
+void demodulate_soft_into(std::span<const cplx> symbols, Modulation m,
+                          std::span<const double> noise_var_per_symbol,
+                          std::vector<double>& out) {
   if (symbols.size() != noise_var_per_symbol.size()) {
     throw std::invalid_argument("demodulate_soft: noise vector size mismatch");
   }
   const std::size_t nbits = bits_per_symbol(m);
   const cvec& pts = constellation(m);
-  std::vector<double> llr;
-  llr.reserve(symbols.size() * nbits);
+  out.clear();
+  out.reserve(symbols.size() * nbits);
   for (std::size_t s = 0; s < symbols.size(); ++s) {
     const cplx y = symbols[s];
     const double nv = std::max(noise_var_per_symbol[s], 1e-12);
@@ -138,9 +154,15 @@ std::vector<double> demodulate_soft(const cvec& symbols, Modulation m,
           d0 = std::min(d0, d);
         }
       }
-      llr.push_back((d1 - d0) / nv);
+      out.push_back((d1 - d0) / nv);
     }
   }
+}
+
+std::vector<double> demodulate_soft(const cvec& symbols, Modulation m,
+                                    const rvec& noise_var_per_symbol) {
+  std::vector<double> llr;
+  demodulate_soft_into(symbols, m, noise_var_per_symbol, llr);
   return llr;
 }
 

@@ -1,6 +1,7 @@
 // Gray-coded constellation mapping and soft demapping (802.11a 17.3.5.8).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "dsp/types.h"
@@ -32,5 +33,23 @@ namespace jmb::phy {
                                                   double noise_var);
 [[nodiscard]] std::vector<double> demodulate_soft(
     const cvec& symbols, Modulation m, const rvec& noise_var_per_symbol);
+
+// ---- Allocation-free kernels (workspace-owned outputs) -------------------
+// The allocating APIs above wrap these, so the arithmetic has a single
+// implementation and results are bitwise identical.
+
+/// modulate() into a span of exactly bits.size()/bits_per_symbol entries.
+void modulate_into(std::span<const std::uint8_t> bits, Modulation m,
+                   std::span<cplx> out);
+
+/// demodulate_hard() into a reused vector (cleared first; capacity kept,
+/// so the call is allocation-free once the buffer is warm).
+void demodulate_hard_into(std::span<const cplx> symbols, Modulation m,
+                          BitVec& out);
+
+/// demodulate_soft() into a reused vector (cleared first).
+void demodulate_soft_into(std::span<const cplx> symbols, Modulation m,
+                          std::span<const double> noise_var_per_symbol,
+                          std::vector<double>& out);
 
 }  // namespace jmb::phy

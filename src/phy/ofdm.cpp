@@ -1,16 +1,32 @@
 #include "phy/ofdm.h"
 
+#include <algorithm>
 #include <stdexcept>
 
-#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 
 namespace jmb::phy {
 
-cvec map_subcarriers(const cvec& data48, std::size_t symbol_index) {
+namespace {
+
+// One immutable plan for the OFDM transform size, shared by every thread
+// (FftPlan is read-only after construction).
+const FftPlan& plan64() {
+  static const FftPlan kPlan(kNfft);
+  return kPlan;
+}
+
+}  // namespace
+
+void map_subcarriers_into(std::span<const cplx> data48,
+                          std::size_t symbol_index, std::span<cplx> freq) {
   if (data48.size() != kNumDataCarriers) {
     throw std::invalid_argument("map_subcarriers: need 48 data symbols");
   }
-  cvec freq(kNfft);
+  if (freq.size() != kNfft) {
+    throw std::invalid_argument("map_subcarriers: need a kNfft output");
+  }
+  std::fill(freq.begin(), freq.end(), cplx{});
   const auto& dc = data_carriers();
   for (std::size_t i = 0; i < kNumDataCarriers; ++i) {
     freq[bin_of(dc[i])] = data48[i];
@@ -21,54 +37,96 @@ cvec map_subcarriers(const cvec& data48, std::size_t symbol_index) {
   for (std::size_t i = 0; i < kNumPilots; ++i) {
     freq[bin_of(pc[i])] = pol * pb[i];
   }
+}
+
+cvec map_subcarriers(const cvec& data48, std::size_t symbol_index) {
+  cvec freq(kNfft);
+  map_subcarriers_into(data48, symbol_index, freq);
   return freq;
 }
 
-cvec ofdm_modulate(const cvec& freq_symbol) {
+void ofdm_modulate_into(std::span<const cplx> freq_symbol,
+                        std::span<cplx> out) {
   if (freq_symbol.size() != kNfft) {
     throw std::invalid_argument("ofdm_modulate: need kNfft frequency values");
   }
-  const cvec time = ifft(freq_symbol);
-  cvec out(kSymbolLen);
+  if (out.size() != kSymbolLen) {
+    throw std::invalid_argument("ofdm_modulate: need a kSymbolLen output");
+  }
+  // IFFT in place in the payload slot of the output, then copy the tail
+  // forward as the cyclic prefix — same transform, no scratch buffer.
+  const std::span<cplx> time = out.subspan(kCpLen, kNfft);
+  std::copy(freq_symbol.begin(), freq_symbol.end(), time.begin());
+  plan64().inverse(time);
   for (std::size_t i = 0; i < kCpLen; ++i) out[i] = time[kNfft - kCpLen + i];
-  for (std::size_t i = 0; i < kNfft; ++i) out[kCpLen + i] = time[i];
+}
+
+cvec ofdm_modulate(const cvec& freq_symbol) {
+  cvec out(kSymbolLen);
+  ofdm_modulate_into(freq_symbol, out);
   return out;
 }
 
-cvec ofdm_demodulate(const cvec& time_symbol, std::size_t cp_skip) {
+void ofdm_demodulate_into(std::span<const cplx> time_symbol,
+                          std::span<cplx> freq, std::size_t cp_skip) {
   if (time_symbol.size() < kSymbolLen) {
     throw std::invalid_argument("ofdm_demodulate: need kSymbolLen samples");
   }
   if (cp_skip > kCpLen) {
     throw std::invalid_argument("ofdm_demodulate: cp_skip beyond the CP");
   }
-  cvec window(time_symbol.begin() + static_cast<std::ptrdiff_t>(cp_skip),
-              time_symbol.begin() + static_cast<std::ptrdiff_t>(cp_skip + kNfft));
-  fft_inplace(window);
-  return window;
+  if (freq.size() != kNfft) {
+    throw std::invalid_argument("ofdm_demodulate: need a kNfft output");
+  }
+  std::copy(time_symbol.begin() + static_cast<std::ptrdiff_t>(cp_skip),
+            time_symbol.begin() + static_cast<std::ptrdiff_t>(cp_skip + kNfft),
+            freq.begin());
+  plan64().forward(freq);
 }
 
-cvec extract_data(const cvec& freq_symbol) {
+cvec ofdm_demodulate(const cvec& time_symbol, std::size_t cp_skip) {
+  cvec freq(kNfft);
+  ofdm_demodulate_into(time_symbol, freq, cp_skip);
+  return freq;
+}
+
+void extract_data_into(std::span<const cplx> freq_symbol,
+                       std::span<cplx> out) {
   if (freq_symbol.size() != kNfft) {
     throw std::invalid_argument("extract_data: need kNfft values");
   }
-  cvec out(kNumDataCarriers);
+  if (out.size() != kNumDataCarriers) {
+    throw std::invalid_argument("extract_data: need a 48-entry output");
+  }
   const auto& dc = data_carriers();
   for (std::size_t i = 0; i < kNumDataCarriers; ++i) {
     out[i] = freq_symbol[bin_of(dc[i])];
   }
+}
+
+cvec extract_data(const cvec& freq_symbol) {
+  cvec out(kNumDataCarriers);
+  extract_data_into(freq_symbol, out);
   return out;
 }
 
-cvec extract_pilots(const cvec& freq_symbol) {
+void extract_pilots_into(std::span<const cplx> freq_symbol,
+                         std::span<cplx> out) {
   if (freq_symbol.size() != kNfft) {
     throw std::invalid_argument("extract_pilots: need kNfft values");
   }
-  cvec out(kNumPilots);
+  if (out.size() != kNumPilots) {
+    throw std::invalid_argument("extract_pilots: need a 4-entry output");
+  }
   const auto& pc = pilot_carriers();
   for (std::size_t i = 0; i < kNumPilots; ++i) {
     out[i] = freq_symbol[bin_of(pc[i])];
   }
+}
+
+cvec extract_pilots(const cvec& freq_symbol) {
+  cvec out(kNumPilots);
+  extract_pilots_into(freq_symbol, out);
   return out;
 }
 

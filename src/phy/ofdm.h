@@ -1,6 +1,14 @@
 // OFDM symbol assembly: subcarrier mapping, IFFT + cyclic prefix on the
 // transmit side; FFT + subcarrier extraction on the receive side.
+//
+// Each operation exists twice: an allocating convenience API (below) and a
+// `_into` span kernel that writes caller-owned buffers (typically from the
+// per-trial jmb::Workspace) without touching the heap. The convenience
+// APIs are thin wrappers over the kernels, so there is a single
+// implementation of the arithmetic and results are bitwise identical.
 #pragma once
+
+#include <span>
 
 #include "dsp/types.h"
 #include "phy/params.h"
@@ -25,5 +33,30 @@ namespace jmb::phy {
 
 /// Extract the 4 pilot subcarriers.
 [[nodiscard]] cvec extract_pilots(const cvec& freq_symbol);
+
+// ---- Allocation-free span kernels ----------------------------------------
+
+/// map_subcarriers() into a caller-owned kNfft span (zeroed here first).
+void map_subcarriers_into(std::span<const cplx> data48,
+                          std::size_t symbol_index, std::span<cplx> freq);
+
+/// ofdm_modulate() into a caller-owned kSymbolLen span. The IFFT runs in
+/// place inside `out`, so no scratch buffer is needed. `out` must not
+/// alias `freq_symbol`.
+void ofdm_modulate_into(std::span<const cplx> freq_symbol,
+                        std::span<cplx> out);
+
+/// ofdm_demodulate() into a caller-owned kNfft span. `freq` must not
+/// alias `time_symbol`.
+void ofdm_demodulate_into(std::span<const cplx> time_symbol,
+                          std::span<cplx> freq, std::size_t cp_skip = kCpLen);
+
+/// extract_data() into a caller-owned kNumDataCarriers span.
+void extract_data_into(std::span<const cplx> freq_symbol,
+                       std::span<cplx> out);
+
+/// extract_pilots() into a caller-owned kNumPilots span.
+void extract_pilots_into(std::span<const cplx> freq_symbol,
+                         std::span<cplx> out);
 
 }  // namespace jmb::phy

@@ -3,21 +3,33 @@
 #include <algorithm>
 #include <cmath>
 
-#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 #include "phy/modulation.h"
 #include "phy/ofdm.h"
 #include "phy/sync.h"
+#include "phy/workspace.h"
 
 namespace jmb::phy {
 
 namespace {
 
-// FFT of a bare 64-sample window starting at `pos` (no CP handling).
-cvec fft_window(const cvec& x, std::size_t pos) {
-  cvec w(x.begin() + static_cast<std::ptrdiff_t>(pos),
-         x.begin() + static_cast<std::ptrdiff_t>(pos + kNfft));
-  fft_inplace(w);
-  return w;
+// Every helper takes the (possibly null) per-trial workspace and binds
+// each buffer it needs via `cvec local; cvec& buf = ws ? ws->x : local;`
+// — one implementation, so the workspace path cannot diverge from the
+// allocating path.
+
+const FftPlan& plan64() {
+  static const FftPlan kPlan(kNfft);
+  return kPlan;
+}
+
+// FFT of a bare 64-sample window starting at `pos` (no CP handling),
+// written into `out`.
+void fft_window_into(const cvec& x, std::size_t pos, cvec& out) {
+  out.resize(kNfft);
+  std::copy(x.begin() + static_cast<std::ptrdiff_t>(pos),
+            x.begin() + static_cast<std::ptrdiff_t>(pos + kNfft), out.begin());
+  plan64().forward(out);
 }
 
 // Noise variance estimate from the two (ideally identical) LTF symbols.
@@ -34,51 +46,54 @@ double ltf_noise_var(const cvec& f1, const cvec& f2) {
   return std::max(acc / (2.0 * n), 1e-12);
 }
 
-struct SymbolDecode {
-  cvec data48;         // equalized, phase-corrected data symbols
-  rvec noise48;        // post-equalization noise variance per data carrier
-};
-
-// Demodulate/equalize one OFDM symbol whose 80 samples start at `sym_start`.
-SymbolDecode decode_symbol(const cvec& corrected, std::size_t sym_start,
-                           std::size_t backoff, const ChannelEstimate& chan,
-                           double noise_var, std::size_t symbol_index) {
+// Demodulate/equalize one OFDM symbol whose 80 samples start at
+// `sym_start`, leaving the equalized data and per-carrier noise variances
+// in `freq`/`data48`/`noise48`.
+void decode_symbol(const cvec& corrected, std::size_t sym_start,
+                   std::size_t backoff, const ChannelEstimate& chan,
+                   double noise_var, std::size_t symbol_index, cvec& freq,
+                   cvec& data48, rvec& noise48) {
   const std::size_t win = sym_start + kCpLen - backoff;
-  const cvec f = fft_window(corrected, win);
-  const PilotPhase pp = track_pilots(f, chan, symbol_index);
+  fft_window_into(corrected, win, freq);
+  const PilotPhase pp = track_pilots(freq, chan, symbol_index);
 
-  SymbolDecode out;
-  out.data48.resize(kNumDataCarriers);
-  out.noise48.resize(kNumDataCarriers);
+  data48.resize(kNumDataCarriers);
+  noise48.resize(kNumDataCarriers);
   const auto& dc = data_carriers();
   for (std::size_t i = 0; i < kNumDataCarriers; ++i) {
     const std::size_t b = bin_of(dc[i]);
     const cplx h = chan.h[b];
     const double hp = std::max(std::norm(h), 1e-12);
-    out.data48[i] = f[b] / h;
-    out.noise48[i] = noise_var / hp;
+    data48[i] = freq[b] / h;
+    noise48[i] = noise_var / hp;
   }
-  apply_phase_correction(out.data48, pp);
-  return out;
+  apply_phase_correction(data48, pp);
 }
 
 // Shared back half of reception: channel-estimate in pm, symbols start
 // right after the two LTF repetitions at pm.ltf_start.
 RxResult decode_after_ltf(const cvec& corrected, const PreambleMeasurement& pm,
-                          std::size_t timing_backoff) {
+                          std::size_t timing_backoff, Workspace* ws) {
   RxResult res;
   res.preamble = pm;
   const std::size_t backoff = std::min(pm.ltf_start, timing_backoff);
   const std::size_t payload = pm.ltf_start + 2 * kNfft;
 
+  cvec local_freq;
+  cvec& freq = ws ? ws->sym_freq : local_freq;
+  cvec local_data48;
+  cvec& data48 = ws ? ws->data48 : local_data48;
+  rvec local_noise48;
+  rvec& noise48 = ws ? ws->noise48 : local_noise48;
+
   if (corrected.size() < payload + kSymbolLen) {
     res.fail_reason = "buffer too short for SIGNAL";
     return res;
   }
-  const SymbolDecode sig_sym =
-      decode_symbol(corrected, payload, backoff, pm.chan, pm.noise_var, 0);
+  decode_symbol(corrected, payload, backoff, pm.chan, pm.noise_var, 0, freq,
+                data48, noise48);
   const auto sig = decode_signal_symbol(
-      sig_sym.data48,
+      data48,
       std::max(pm.noise_var / std::max(pm.chan.mean_gain_power(), 1e-12), 1e-12));
   if (!sig) {
     res.fail_reason = "SIGNAL decode failed";
@@ -94,26 +109,34 @@ RxResult decode_after_ltf(const cvec& corrected, const PreambleMeasurement& pm,
     return res;
   }
 
-  std::vector<std::vector<double>> llr_per_symbol;
-  llr_per_symbol.reserve(n_sym);
+  std::vector<std::vector<double>> local_llr;
+  std::vector<std::vector<double>>& llr_per_symbol =
+      ws ? ws->llr_per_symbol : local_llr;
+  llr_per_symbol.resize(n_sym);
+  BitVec local_hard;
+  BitVec& hard = ws ? ws->hard_bits : local_hard;
+  cvec local_nearest;
+  cvec& nearest = ws ? ws->nearest : local_nearest;
+
   double evm_err = 0.0, evm_sig = 0.0;
   for (std::size_t s = 0; s < n_sym; ++s) {
     const std::size_t sym_start = payload + (1 + s) * kSymbolLen;
-    const SymbolDecode d = decode_symbol(corrected, sym_start, backoff,
-                                         pm.chan, pm.noise_var, s + 1);
-    llr_per_symbol.push_back(
-        demodulate_soft(d.data48, mcs.modulation, d.noise48));
+    decode_symbol(corrected, sym_start, backoff, pm.chan, pm.noise_var, s + 1,
+                  freq, data48, noise48);
+    demodulate_soft_into(data48, mcs.modulation, noise48, llr_per_symbol[s]);
     // EVM against the nearest constellation points.
-    const BitVec hard = demodulate_hard(d.data48, mcs.modulation);
-    const cvec nearest = modulate(hard, mcs.modulation);
-    for (std::size_t i = 0; i < d.data48.size(); ++i) {
-      evm_err += std::norm(d.data48[i] - nearest[i]);
+    demodulate_hard_into(data48, mcs.modulation, hard);
+    nearest.resize(data48.size());
+    modulate_into(hard, mcs.modulation, nearest);
+    for (std::size_t i = 0; i < data48.size(); ++i) {
+      evm_err += std::norm(data48[i] - nearest[i]);
       evm_sig += std::norm(nearest[i]);
     }
   }
   res.evm_snr_db = to_db(evm_sig / std::max(evm_err, 1e-12));
 
-  const auto psdu = decode_psdu(llr_per_symbol, *sig);
+  const auto psdu = ws ? decode_psdu(llr_per_symbol, *sig, *ws)
+                       : decode_psdu(llr_per_symbol, *sig);
   if (!psdu) {
     res.fail_reason = "payload decode failed";
     return res;
@@ -123,23 +146,37 @@ RxResult decode_after_ltf(const cvec& corrected, const PreambleMeasurement& pm,
   return res;
 }
 
+// correct_cfo over the whole buffer into a reusable destination.
+void correct_cfo_buf(const cvec& rx, double cfo_hz, double fs, cvec& out) {
+  out.resize(rx.size());
+  correct_cfo_into(rx, cfo_hz, fs, 0.0, out);
+}
+
 }  // namespace
 
 std::optional<PreambleMeasurement> Receiver::measure_preamble(
     const cvec& rx, std::size_t search_from) const {
+  cvec local_corrected;
+  cvec& corrected = ws_ ? ws_->corrected : local_corrected;
+  cvec local_a;
+  cvec& win_a = ws_ ? ws_->win_a : local_a;
+  cvec local_b;
+  cvec& win_b = ws_ ? ws_->win_b : local_b;
+  cvec local_freq;
+  cvec& freq_scratch = ws_ ? ws_->sym_freq : local_freq;
+
   const auto det = detect_packet(rx, search_from);
   std::size_t stf = 0;
   double coarse = 0.0;
-  cvec corrected;
   std::optional<std::size_t> ltf;
   if (det) {
     stf = det->stf_start;
     if (rx.size() < stf + kPreambleLen + kSymbolLen) return std::nullopt;
     // Coarse CFO from the STF body (skip the detection edge).
-    cvec stf_win(rx.begin() + static_cast<std::ptrdiff_t>(stf + 8),
+    win_a.assign(rx.begin() + static_cast<std::ptrdiff_t>(stf + 8),
                  rx.begin() + static_cast<std::ptrdiff_t>(stf + 152));
-    coarse = coarse_cfo_hz(stf_win, cfg_.sample_rate_hz);
-    corrected = correct_cfo(rx, coarse, cfg_.sample_rate_hz);
+    coarse = coarse_cfo_hz(win_a, cfg_.sample_rate_hz);
+    correct_cfo_buf(rx, coarse, cfg_.sample_rate_hz, corrected);
     // The first LTF symbol nominally starts at stf + 192; search around it.
     ltf = locate_ltf(corrected, stf + 150, std::min(rx.size(), stf + 240));
   } else {
@@ -157,10 +194,10 @@ std::optional<PreambleMeasurement> Receiver::measure_preamble(
       *raw_ltf -= kNfft;
     }
     if (rx.size() < *raw_ltf + 2 * kNfft + kSymbolLen) return std::nullopt;
-    cvec two(rx.begin() + static_cast<std::ptrdiff_t>(*raw_ltf),
-             rx.begin() + static_cast<std::ptrdiff_t>(*raw_ltf + 2 * kNfft));
-    coarse = fine_cfo_hz(two, cfg_.sample_rate_hz);
-    corrected = correct_cfo(rx, coarse, cfg_.sample_rate_hz);
+    win_b.assign(rx.begin() + static_cast<std::ptrdiff_t>(*raw_ltf),
+                 rx.begin() + static_cast<std::ptrdiff_t>(*raw_ltf + 2 * kNfft));
+    coarse = fine_cfo_hz(win_b, cfg_.sample_rate_hz);
+    correct_cfo_buf(rx, coarse, cfg_.sample_rate_hz, corrected);
     // Refine the location post-correction; it may land on the (identical)
     // second repetition, which the symmetric +-window below tolerates.
     ltf = locate_ltf(corrected, *raw_ltf - std::min<std::size_t>(*raw_ltf, 8),
@@ -172,23 +209,25 @@ std::optional<PreambleMeasurement> Receiver::measure_preamble(
   const std::size_t ltf_start = *ltf;
   if (rx.size() < ltf_start + 2 * kNfft) return std::nullopt;
 
-  cvec ltf_win(corrected.begin() + static_cast<std::ptrdiff_t>(ltf_start),
-               corrected.begin() + static_cast<std::ptrdiff_t>(ltf_start + 2 * kNfft));
-  const double fine = fine_cfo_hz(ltf_win, cfg_.sample_rate_hz);
+  freq_scratch.assign(
+      corrected.begin() + static_cast<std::ptrdiff_t>(ltf_start),
+      corrected.begin() + static_cast<std::ptrdiff_t>(ltf_start + 2 * kNfft));
+  const double fine = fine_cfo_hz(freq_scratch, cfg_.sample_rate_hz);
   const double total_cfo = coarse + fine;
 
-  corrected = correct_cfo(rx, total_cfo, cfg_.sample_rate_hz);
+  correct_cfo_buf(rx, total_cfo, cfg_.sample_rate_hz, corrected);
 
   const std::size_t w1 = ltf_start - std::min(ltf_start, kTimingBackoff);
-  const cvec f1 = fft_window(corrected, w1);
-  const cvec f2 = fft_window(corrected, w1 + kNfft);
+  fft_window_into(corrected, w1, win_a);
+  fft_window_into(corrected, w1 + kNfft, win_b);
 
   PreambleMeasurement pm;
   pm.stf_start = stf;
   pm.ltf_start = ltf_start;
   pm.cfo_hz = total_cfo;
-  pm.noise_var = ltf_noise_var(f1, f2);
-  pm.chan = average_estimates({estimate_from_ltf(f1), estimate_from_ltf(f2)});
+  pm.noise_var = ltf_noise_var(win_a, win_b);
+  pm.chan =
+      average_estimates({estimate_from_ltf(win_a), estimate_from_ltf(win_b)});
   pm.snr_db = to_db(std::max(pm.chan.mean_gain_power(), 1e-12) / pm.noise_var);
   return pm;
 }
@@ -200,16 +239,24 @@ RxResult Receiver::receive(const cvec& rx, std::size_t search_from) const {
     res.fail_reason = "no preamble detected";
     return res;
   }
-  const cvec corrected = correct_cfo(rx, pm->cfo_hz, cfg_.sample_rate_hz);
+  cvec local_corrected;
+  cvec& corrected = ws_ ? ws_->corrected : local_corrected;
+  correct_cfo_buf(rx, pm->cfo_hz, cfg_.sample_rate_hz, corrected);
   // Payload symbols start right after the second LTF repetition; the FFT
   // windows inside use the same back-off as the channel-estimate windows.
-  return decode_after_ltf(corrected, *pm, kTimingBackoff);
+  return decode_after_ltf(corrected, *pm, kTimingBackoff, ws_);
 }
 
 RxResult Receiver::receive_payload(const cvec& rx, std::size_t payload_start,
                                    double cfo_hz) const {
   RxResult res;
-  const cvec corrected = correct_cfo(rx, cfo_hz, cfg_.sample_rate_hz);
+  cvec local_corrected;
+  cvec& corrected = ws_ ? ws_->corrected : local_corrected;
+  correct_cfo_buf(rx, cfo_hz, cfg_.sample_rate_hz, corrected);
+  cvec local_a;
+  cvec& win_a = ws_ ? ws_->win_a : local_a;
+  cvec local_b;
+  cvec& win_b = ws_ ? ws_->win_b : local_b;
 
   // The payload begins with its own double-guard LTF: 32-sample GI2 then
   // two 64-sample symbols. Search a window wide enough for a few samples
@@ -228,17 +275,18 @@ RxResult Receiver::receive_payload(const cvec& rx, std::size_t payload_start,
   }
   const std::size_t backoff = std::min(ltf_start, kTimingBackoff);
   const std::size_t w1 = ltf_start - backoff;
-  const cvec f1 = fft_window(corrected, w1);
-  const cvec f2 = fft_window(corrected, w1 + kNfft);
+  fft_window_into(corrected, w1, win_a);
+  fft_window_into(corrected, w1 + kNfft, win_b);
 
   PreambleMeasurement pm;
   pm.stf_start = payload_start;
   pm.ltf_start = ltf_start;
   pm.cfo_hz = cfo_hz;
-  pm.noise_var = ltf_noise_var(f1, f2);
-  pm.chan = average_estimates({estimate_from_ltf(f1), estimate_from_ltf(f2)});
+  pm.noise_var = ltf_noise_var(win_a, win_b);
+  pm.chan =
+      average_estimates({estimate_from_ltf(win_a), estimate_from_ltf(win_b)});
   pm.snr_db = to_db(std::max(pm.chan.mean_gain_power(), 1e-12) / pm.noise_var);
-  return decode_after_ltf(corrected, pm, kTimingBackoff);
+  return decode_after_ltf(corrected, pm, kTimingBackoff, ws_);
 }
 
 }  // namespace jmb::phy

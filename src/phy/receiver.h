@@ -9,6 +9,10 @@
 #include "phy/frame.h"
 #include "phy/params.h"
 
+namespace jmb {
+class Workspace;
+}
+
 namespace jmb::phy {
 
 /// Preamble measurements — the quantities a JMB slave AP extracts from the
@@ -37,6 +41,13 @@ class Receiver {
  public:
   explicit Receiver(PhyConfig cfg = {}) : cfg_(cfg) {}
 
+  /// Attach a per-trial workspace: every internal buffer (CFO-corrected
+  /// copy, FFT windows, LLRs, Viterbi trellis) is drawn from it instead of
+  /// the heap. The receiver never owns the workspace; the caller keeps it
+  /// alive across calls and must not share one workspace between threads.
+  /// Results are bitwise-identical with or without a workspace.
+  void set_workspace(Workspace* ws) { ws_ = ws; }
+
   /// Detect and measure a preamble at/after `search_from`.
   [[nodiscard]] std::optional<PreambleMeasurement> measure_preamble(
       const cvec& rx, std::size_t search_from = 0) const;
@@ -59,6 +70,7 @@ class Receiver {
   static constexpr std::size_t kTimingBackoff = 4;
 
   PhyConfig cfg_;
+  Workspace* ws_ = nullptr;
 };
 
 }  // namespace jmb::phy

@@ -170,12 +170,20 @@ double ltf_metric_at(const cvec& rx, std::size_t pos) {
   return std::norm(corr) / (local * energy(ref));
 }
 
-cvec correct_cfo(const cvec& x, double cfo_hz, double sample_rate_hz, double n0) {
-  cvec out(x.size());
+void correct_cfo_into(std::span<const cplx> x, double cfo_hz,
+                      double sample_rate_hz, double n0, std::span<cplx> out) {
+  if (out.size() != x.size()) {
+    throw std::invalid_argument("correct_cfo: output size mismatch");
+  }
   const double step = -kTwoPi * cfo_hz / sample_rate_hz;
   for (std::size_t n = 0; n < x.size(); ++n) {
     out[n] = x[n] * phasor(step * (static_cast<double>(n) + n0));
   }
+}
+
+cvec correct_cfo(const cvec& x, double cfo_hz, double sample_rate_hz, double n0) {
+  cvec out(x.size());
+  correct_cfo_into(x, cfo_hz, sample_rate_hz, n0, out);
   return out;
 }
 

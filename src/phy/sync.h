@@ -8,6 +8,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "dsp/types.h"
 #include "phy/params.h"
@@ -57,5 +58,11 @@ struct Detection {
 /// Remove a frequency offset: y[n] = x[n] * e^{-j 2 pi f (n + n0) / fs}.
 [[nodiscard]] cvec correct_cfo(const cvec& x, double cfo_hz,
                                double sample_rate_hz, double n0 = 0.0);
+
+/// correct_cfo() into a caller-owned span of exactly x.size() entries.
+/// `out` may alias `x` (the transform is elementwise). The allocating API
+/// wraps this kernel, so results are bitwise identical.
+void correct_cfo_into(std::span<const cplx> x, double cfo_hz,
+                      double sample_rate_hz, double n0, std::span<cplx> out);
 
 }  // namespace jmb::phy

@@ -1,5 +1,7 @@
 #include "phy/transmitter.h"
 
+#include <span>
+
 #include "phy/ofdm.h"
 #include "phy/preamble.h"
 
@@ -8,10 +10,11 @@ namespace jmb::phy {
 std::vector<cvec> Transmitter::build_freq_symbols(const ByteVec& psdu,
                                                   const Mcs& mcs,
                                                   unsigned scrambler_seed) const {
-  std::vector<cvec> out;
   const SignalField sig{rate_index(mcs), psdu.size()};
-  out.push_back(map_subcarriers(build_signal_symbol(sig), 0));
   const std::vector<cvec> data = encode_psdu(psdu, mcs, scrambler_seed);
+  std::vector<cvec> out;
+  out.reserve(1 + data.size());
+  out.push_back(map_subcarriers(build_signal_symbol(sig), 0));
   for (std::size_t s = 0; s < data.size(); ++s) {
     out.push_back(map_subcarriers(data[s], s + 1));
   }
@@ -19,11 +22,12 @@ std::vector<cvec> Transmitter::build_freq_symbols(const ByteVec& psdu,
 }
 
 cvec Transmitter::synthesize(const std::vector<cvec>& freq_symbols) {
-  cvec out;
-  out.reserve(freq_symbols.size() * kSymbolLen);
-  for (const cvec& f : freq_symbols) {
-    const cvec t = ofdm_modulate(f);
-    out.insert(out.end(), t.begin(), t.end());
+  // Modulate each symbol directly into its kSymbolLen slot of the output —
+  // one buffer, no per-symbol temporaries.
+  cvec out(freq_symbols.size() * kSymbolLen);
+  for (std::size_t s = 0; s < freq_symbols.size(); ++s) {
+    ofdm_modulate_into(freq_symbols[s],
+                       std::span<cplx>(out).subspan(s * kSymbolLen, kSymbolLen));
   }
   return out;
 }

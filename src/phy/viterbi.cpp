@@ -43,19 +43,23 @@ const Trellis& trellis() {
 
 }  // namespace
 
-BitVec viterbi_decode(const std::vector<double>& llr, std::size_t n_info,
-                      bool terminated) {
+void viterbi_decode_into(std::span<const double> llr, std::size_t n_info,
+                         bool terminated, ViterbiScratch& scratch,
+                         BitVec& out) {
   if (llr.size() != 2 * n_info) {
     throw std::invalid_argument("viterbi_decode: need 2*n_info soft bits");
   }
   const Trellis& t = trellis();
 
-  std::vector<double> metric(kNumStates, kNegInf);
-  metric[0] = 0.0;  // encoder starts in the all-zero state
-  std::vector<double> next_metric(kNumStates);
-  // survivor[step][state] = (predecessor state << 1) | input bit
-  std::vector<std::array<std::uint8_t, kNumStates>> survivor(n_info);
-  std::vector<std::array<std::uint8_t, kNumStates>> survivor_bit(n_info);
+  scratch.metric.assign(kNumStates, kNegInf);
+  scratch.metric[0] = 0.0;  // encoder starts in the all-zero state
+  scratch.next_metric.resize(kNumStates);
+  scratch.survivor.resize(n_info);
+  scratch.survivor_bit.resize(n_info);
+  std::vector<double>& metric = scratch.metric;
+  std::vector<double>& next_metric = scratch.next_metric;
+  auto& survivor = scratch.survivor;
+  auto& survivor_bit = scratch.survivor_bit;
 
   for (std::size_t step = 0; step < n_info; ++step) {
     const double la = llr[2 * step];      // LLR for output bit A
@@ -106,11 +110,18 @@ BitVec viterbi_decode(const std::vector<double>& llr, std::size_t n_info,
   }
 
   // Trace back.
-  BitVec bits(n_info);
+  out.assign(n_info, 0);
   for (std::size_t step = n_info; step-- > 0;) {
-    bits[step] = survivor_bit[step][state];
+    out[step] = survivor_bit[step][state];
     state = survivor[step][state];
   }
+}
+
+BitVec viterbi_decode(const std::vector<double>& llr, std::size_t n_info,
+                      bool terminated) {
+  ViterbiScratch scratch;
+  BitVec bits;
+  viterbi_decode_into(llr, n_info, terminated, scratch, bits);
   return bits;
 }
 

@@ -1,11 +1,23 @@
 // Soft-decision Viterbi decoder for the 802.11 K=7 convolutional code.
 #pragma once
 
+#include <array>
+#include <span>
 #include <vector>
 
 #include "phy/convcode.h"
 
 namespace jmb::phy {
+
+/// Reusable trellis buffers for viterbi_decode_into(). One per workspace;
+/// sized on first use and reused across frames without reallocation.
+struct ViterbiScratch {
+  std::vector<double> metric;
+  std::vector<double> next_metric;
+  /// survivor[step][state] = predecessor state; survivor_bit = input bit.
+  std::vector<std::array<std::uint8_t, kNumStates>> survivor;
+  std::vector<std::array<std::uint8_t, kNumStates>> survivor_bit;
+};
 
 /// Decode `2*n_info` mother-rate soft bits into `n_info` information bits.
 ///
@@ -16,6 +28,13 @@ namespace jmb::phy {
 [[nodiscard]] BitVec viterbi_decode(const std::vector<double>& llr,
                                     std::size_t n_info,
                                     bool terminated = true);
+
+/// viterbi_decode() with caller-owned scratch and output — allocation-free
+/// once the scratch is warm. Bitwise-identical to the allocating API
+/// (which wraps this kernel).
+void viterbi_decode_into(std::span<const double> llr, std::size_t n_info,
+                         bool terminated, ViterbiScratch& scratch,
+                         BitVec& out);
 
 /// Hard-decision convenience wrapper: bits -> +-1 LLRs -> decode.
 [[nodiscard]] BitVec viterbi_decode_hard(const BitVec& coded,

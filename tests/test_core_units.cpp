@@ -10,6 +10,7 @@
 #include "core/precoder.h"
 #include "core/types.h"
 #include "dsp/stats.h"
+#include "phy/workspace.h"
 
 namespace jmb::core {
 namespace {
@@ -111,6 +112,36 @@ TEST(ZfPrecoderTest, TransmitVectorMatchesWeights) {
   const cvec expect = p->weights(11) * x;
   for (std::size_t i = 0; i < tx.size(); ++i) {
     EXPECT_NEAR(std::abs(tx[i] - expect[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(ZfPrecoderTest, WorkspaceBuildIsBitwiseIdentical) {
+  Rng rng(6);
+  const ChannelMatrixSet h = random_channel_set(3, 5, rng);
+  const auto legacy = ZfPrecoder::build(h);
+  Workspace ws;
+  const auto reusing = ZfPrecoder::build(h, ws);
+  ASSERT_TRUE(legacy.has_value());
+  ASSERT_TRUE(reusing.has_value());
+  EXPECT_EQ(legacy->scale(), reusing->scale());
+  for (std::size_t k = 0; k < h.n_subcarriers(); ++k) {
+    const CMatrix& a = legacy->weights(k);
+    const CMatrix& b = reusing->weights(k);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      for (std::size_t c = 0; c < a.cols(); ++c) {
+        EXPECT_EQ(a(r, c).real(), b(r, c).real());
+        EXPECT_EQ(a(r, c).imag(), b(r, c).imag());
+      }
+    }
+  }
+  // transmit_vector_into matches the allocating wrapper bitwise.
+  const cvec x{cplx{0.3, 0.1}, cplx{-0.2, 0.9}, cplx{0.5, -0.4}};
+  cvec into(reusing->n_tx());
+  reusing->transmit_vector_into(19, x, into);
+  const cvec alloc = reusing->transmit_vector(19, x);
+  for (std::size_t i = 0; i < into.size(); ++i) {
+    EXPECT_EQ(alloc[i].real(), into[i].real());
+    EXPECT_EQ(alloc[i].imag(), into[i].imag());
   }
 }
 

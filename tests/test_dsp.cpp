@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 #include "dsp/resampler.h"
 #include "dsp/rng.h"
 #include "dsp/stats.h"
@@ -275,6 +276,49 @@ TEST(Resampler, OutOfRangeIsSilence) {
   EXPECT_EQ(interp_cubic(x, -0.5), (cplx{0.0, 0.0}));
   EXPECT_EQ(interp_cubic(x, 5.0), (cplx{0.0, 0.0}));
   EXPECT_EQ(interp_cubic(cvec{}, 0.0), (cplx{0.0, 0.0}));
+}
+
+// The FftPlan contract is BITWISE identity with the naive transform —
+// equality, not closeness, because the golden physics exports depend on it.
+TEST(FftPlan, ForwardBitwiseMatchesNaive) {
+  Rng rng(17);
+  for (std::size_t n : {2u, 8u, 64u, 256u}) {
+    const FftPlan plan(n);
+    cvec x(n);
+    for (cplx& v : x) v = rng.cgaussian();
+    cvec naive = x;
+    cvec planned = x;
+    fft_inplace(naive);
+    plan.forward(planned);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(naive[i].real(), planned[i].real()) << "n=" << n << " i=" << i;
+      EXPECT_EQ(naive[i].imag(), planned[i].imag()) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(FftPlan, InverseBitwiseMatchesNaive) {
+  Rng rng(23);
+  for (std::size_t n : {4u, 64u, 128u}) {
+    const FftPlan plan(n);
+    cvec x(n);
+    for (cplx& v : x) v = rng.cgaussian();
+    cvec naive = x;
+    cvec planned = x;
+    ifft_inplace(naive);
+    plan.inverse(planned);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(naive[i].real(), planned[i].real()) << "n=" << n << " i=" << i;
+      EXPECT_EQ(naive[i].imag(), planned[i].imag()) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(FftPlan, RejectsNonPowerOfTwoAndWrongSpan) {
+  EXPECT_THROW(FftPlan(48), std::invalid_argument);
+  const FftPlan plan(64);
+  cvec x(32);
+  EXPECT_THROW(plan.forward(x), std::invalid_argument);
 }
 
 }  // namespace

@@ -232,5 +232,104 @@ TEST(SingularValues, BoundsFrobeniusNorm) {
   EXPECT_GE(smax * std::sqrt(5.0), a.frobenius_norm() - 1e-9);
 }
 
+// ---- Into-kernel parity: the allocating APIs wrap the _into kernels, so
+// the results must be bitwise equal, and warm buffers must be reusable.
+
+void expect_bitwise_equal(const CMatrix& a, const CMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(a(r, c).real(), b(r, c).real()) << r << "," << c;
+      EXPECT_EQ(a(r, c).imag(), b(r, c).imag()) << r << "," << c;
+    }
+  }
+}
+
+TEST(IntoKernels, MultiplyIntoBitwiseMatchesOperator) {
+  Rng rng(31);
+  const CMatrix a = random_matrix(rng, 3, 5);
+  const CMatrix b = random_matrix(rng, 5, 4);
+  CMatrix out;
+  multiply_into(a, b, out);
+  expect_bitwise_equal(a * b, out);
+  // Reuse with a different shape: resize keeps capacity, zeroes content.
+  const CMatrix c = random_matrix(rng, 2, 2);
+  const CMatrix d = random_matrix(rng, 2, 2);
+  multiply_into(c, d, out);
+  expect_bitwise_equal(c * d, out);
+}
+
+TEST(IntoKernels, MatrixVectorMultiplyIntoBitwiseMatchesOperator) {
+  Rng rng(37);
+  const CMatrix a = random_matrix(rng, 4, 3);
+  cvec v(3);
+  for (cplx& x : v) x = rng.cgaussian();
+  cvec out(4);
+  multiply_into(a, v, out);
+  const cvec ref = a * v;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].real(), out[i].real());
+    EXPECT_EQ(ref[i].imag(), out[i].imag());
+  }
+}
+
+TEST(IntoKernels, HermitianIntoBitwiseMatchesAllocating) {
+  Rng rng(41);
+  const CMatrix a = random_matrix(rng, 3, 4);
+  CMatrix out;
+  hermitian_into(a, out);
+  expect_bitwise_equal(a.hermitian(), out);
+}
+
+TEST(IntoKernels, LuFactorizeSolveIntoMatchesLegacySolve) {
+  Rng rng(43);
+  const CMatrix a = random_matrix(rng, 4, 4);
+  cvec b(4);
+  for (cplx& x : b) x = rng.cgaussian();
+
+  const Lu legacy(a);
+  ASSERT_TRUE(legacy.ok());
+  const cvec x_legacy = legacy.solve(b);
+
+  Lu reusable;
+  LuScratch scratch;
+  // Factorize twice (second over a different matrix, then back) to prove
+  // the factorization state fully resets between uses.
+  ASSERT_TRUE(reusable.factorize(random_matrix(rng, 3, 3)));
+  ASSERT_TRUE(reusable.factorize(a));
+  cvec x_into(4);
+  reusable.solve_into(b, x_into, scratch);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(x_legacy[i].real(), x_into[i].real());
+    EXPECT_EQ(x_legacy[i].imag(), x_into[i].imag());
+  }
+
+  CMatrix inv_into;
+  reusable.inverse_into(inv_into, scratch);
+  const auto inv_legacy = inverse(a);
+  ASSERT_TRUE(inv_legacy.has_value());
+  expect_bitwise_equal(*inv_legacy, inv_into);
+}
+
+TEST(IntoKernels, PinvIntoBitwiseMatchesPinvAndReusesScratch) {
+  Rng rng(47);
+  PinvScratch scratch;
+  CMatrix out;
+  for (const auto& [r, c] : {std::pair<std::size_t, std::size_t>{2, 4},
+                            {4, 2},
+                            {3, 3}}) {
+    const CMatrix a = random_matrix(rng, r, c);
+    const auto ref = pinv(a);
+    ASSERT_TRUE(ref.has_value());
+    ASSERT_TRUE(pinv_into(a, 0.0, scratch, out));
+    expect_bitwise_equal(*ref, out);
+  }
+  // Singular input reports failure both ways.
+  const CMatrix s{{cplx{1, 0}, cplx{1, 0}}, {cplx{1, 0}, cplx{1, 0}}};
+  EXPECT_FALSE(pinv(s).has_value());
+  EXPECT_FALSE(pinv_into(s, 0.0, scratch, out));
+}
+
 }  // namespace
 }  // namespace jmb

@@ -13,6 +13,7 @@
 #include "phy/receiver.h"
 #include "phy/sync.h"
 #include "phy/transmitter.h"
+#include "phy/workspace.h"
 
 namespace jmb::phy {
 namespace {
@@ -174,6 +175,60 @@ TEST(LowSnrFallback, FullReceiveAtLowSnrBpsk) {
     if (res.ok && res.psdu == psdu) ++ok;
   }
   EXPECT_GE(ok, 6);
+}
+
+// ---- Workspace parity: attaching a workspace only changes where the
+// intermediates live; every output must be bitwise identical.
+
+TEST(WorkspaceParity, ReceiveIsBitwiseIdenticalWithWorkspace) {
+  Rng rng(21);
+  const Transmitter tx;
+  const Receiver legacy;
+  Receiver reusing;
+  Workspace ws;
+  reusing.set_workspace(&ws);
+
+  ByteVec psdu(80);
+  for (auto& b : psdu) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const TxFrame frame =
+      tx.build_frame(psdu, {Modulation::kQpsk, CodeRate::kHalf});
+  const double nvar = mean_power(frame.samples) / from_db(15.0);
+  for (int trial = 0; trial < 5; ++trial) {
+    cvec buf(400 + frame.samples.size());
+    for (auto& v : buf) v = rng.cgaussian(nvar);
+    for (std::size_t i = 0; i < frame.samples.size(); ++i) {
+      buf[200 + i] += frame.samples[i];
+    }
+    const RxResult a = legacy.receive(buf);
+    const RxResult b = reusing.receive(buf);  // workspace-backed, reused
+    ASSERT_EQ(a.ok, b.ok);
+    ASSERT_EQ(a.header_ok, b.header_ok);
+    EXPECT_EQ(a.psdu, b.psdu);
+    EXPECT_EQ(a.evm_snr_db, b.evm_snr_db);
+    EXPECT_EQ(a.preamble.cfo_hz, b.preamble.cfo_hz);
+    EXPECT_EQ(a.preamble.ltf_start, b.preamble.ltf_start);
+    EXPECT_EQ(a.preamble.noise_var, b.preamble.noise_var);
+  }
+}
+
+TEST(WorkspaceParity, DenoiseMatchesLegacyMutexCache) {
+  Rng rng(22);
+  Workspace ws;
+  for (int trial = 0; trial < 3; ++trial) {
+    cvec taps{rng.cgaussian(), 0.4 * rng.cgaussian(), 0.1 * rng.cgaussian()};
+    ChannelEstimate est = from_taps(taps);
+    for (int k = -26; k <= 26; ++k) {
+      if (k == 0) continue;
+      est.set(k, est.at(k) + rng.cgaussian(1e-3));
+    }
+    const ChannelEstimate a = denoise_time_support(est);
+    const ChannelEstimate b = denoise_time_support(est, ws);
+    for (int k = -26; k <= 26; ++k) {
+      if (k == 0) continue;
+      EXPECT_EQ(a.at(k).real(), b.at(k).real()) << "k=" << k;
+      EXPECT_EQ(a.at(k).imag(), b.at(k).imag()) << "k=" << k;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,124 @@
+// Zero-allocation contract for the steady-state frame loop.
+//
+// This binary links jmb_alloc_count, which replaces the global operator
+// new/delete with counting versions (armed via set_alloc_counting or the
+// JMB_COUNT_ALLOCS environment variable). A few warm-up frames let every
+// workspace buffer reach steady-state capacity; after that, one full
+// tx->rx->precode frame's worth of span kernels must not touch the heap.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/precoder.h"
+#include "core/types.h"
+#include "obs/alloc_count.h"
+#include "phy/convcode.h"
+#include "phy/interleaver.h"
+#include "phy/modulation.h"
+#include "phy/ofdm.h"
+#include "phy/viterbi.h"
+#include "phy/workspace.h"
+
+namespace jmb {
+namespace {
+
+using phy::kNfft;
+using phy::kNumDataCarriers;
+using phy::kSymbolLen;
+
+TEST(ZeroAlloc, CountersObserveAnExplicitAllocation) {
+  obs::reset_alloc_counts();
+  obs::set_alloc_counting(true);
+  {
+    std::vector<double> v(1024, 0.0);
+    ASSERT_EQ(v.size(), 1024u);
+  }
+  obs::set_alloc_counting(false);
+  const obs::AllocCounts c = obs::alloc_counts();
+  EXPECT_GE(c.allocs, 1u);
+  EXPECT_GE(c.deallocs, 1u);
+  EXPECT_GE(c.bytes, 1024u * sizeof(double));
+}
+
+TEST(ZeroAlloc, SteadyStateFrameKernelsDoNotAllocate) {
+  const phy::Mcs mcs{phy::Modulation::kQpsk, phy::CodeRate::kHalf};
+  Workspace ws;
+
+  // Deterministic channel set: well conditioned, full rank everywhere.
+  core::ChannelMatrixSet h(2, 2);
+  const std::size_t n_sc = h.n_subcarriers();
+  for (std::size_t k = 0; k < n_sc; ++k) {
+    const double t = static_cast<double>(k) / static_cast<double>(n_sc);
+    h.at(k) = CMatrix{{cplx{1.2, 0.1 * t}, cplx{0.3, -0.2}},
+                      {cplx{-0.25, 0.4}, cplx{0.9 + 0.1 * t, -0.05}}};
+  }
+  const auto precoder = core::ZfPrecoder::build(h, ws);
+  ASSERT_TRUE(precoder.has_value());
+
+  // Preallocated frame buffers (what SystemState/Workspace own in the
+  // engine; plain locals here so the test pins down the kernel contract).
+  cvec data_in(kNumDataCarriers), freq(kNfft), sym(kSymbolLen), freq2(kNfft);
+  cvec data_out(kNumDataCarriers), pilots(phy::kNumPilots);
+  cvec remod(kNumDataCarriers);
+  rvec noise48(kNumDataCarriers, 1e-2);
+  CMatrix w_scratch;
+  cvec x{cplx{0.7, -0.7}, cplx{-0.7, 0.7}};
+  cvec txv(2);
+  for (std::size_t i = 0; i < data_in.size(); ++i) {
+    const double re = (i % 2 == 0) ? 0.7071 : -0.7071;
+    const double im = (i % 3 == 0) ? 0.7071 : -0.7071;
+    data_in[i] = cplx{re, im};
+  }
+
+  bool all_ok = true;
+  const auto frame_iter = [&](std::size_t it) {
+    // Transmit side: map + modulate one OFDM symbol.
+    phy::map_subcarriers_into(data_in, it % 7, freq);
+    phy::ofdm_modulate_into(freq, sym);
+    // Receive side: demodulate, extract, soft/hard demap, EVM re-modulate.
+    phy::ofdm_demodulate_into(sym, freq2);
+    phy::extract_data_into(freq2, data_out);
+    phy::extract_pilots_into(freq2, pilots);
+    phy::demodulate_soft_into(data_out, mcs.modulation, noise48, ws.llr_concat);
+    phy::demodulate_hard_into(data_out, mcs.modulation, ws.hard_bits);
+    phy::modulate_into(ws.hard_bits, mcs.modulation, remod);
+    // Decode chain: deinterleave, depuncture, Viterbi.
+    phy::deinterleave_soft_into(ws.llr_concat, mcs, ws.llr_dei);
+    phy::depuncture_into(ws.llr_dei, kNumDataCarriers, mcs.code_rate,
+                         ws.llr_mother);
+    phy::viterbi_decode_into(ws.llr_mother, kNumDataCarriers,
+                             /*terminated=*/false, ws.viterbi, ws.decoded_bits);
+    // Precode path: per-subcarrier pseudo-inverse + transmit vector.
+    all_ok &= pinv_into(h.at(it % n_sc), 0.0, ws.pinv, w_scratch);
+    precoder->transmit_vector_into(it % n_sc, x, txv);
+    (void)ws.fft_plan(kNfft);
+  };
+
+  // Warm-up: builds interleaver tables, FFT plans and buffer capacities.
+  for (std::size_t it = 0; it < 3; ++it) frame_iter(it);
+  ASSERT_TRUE(all_ok);
+
+  obs::reset_alloc_counts();
+  obs::set_alloc_counting(true);
+  for (std::size_t it = 3; it < 200; ++it) frame_iter(it);
+  obs::set_alloc_counting(false);
+
+  const obs::AllocCounts c = obs::alloc_counts();
+  EXPECT_EQ(c.allocs, 0u)
+      << "steady-state frame kernels allocated " << c.allocs << " times ("
+      << c.bytes << " bytes)";
+  EXPECT_EQ(c.deallocs, 0u);
+  EXPECT_TRUE(all_ok);
+
+  // The counters ride along in timing exports via the PR 2 registry.
+  obs::MetricRegistry reg;
+  obs::export_alloc_metrics(reg);
+  const obs::MetricRegistry::Entry* e = reg.find("alloc/new_calls");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->cls, obs::MetricClass::kTiming);
+  EXPECT_EQ(std::get<obs::Gauge>(e->metric).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace jmb
