@@ -58,15 +58,32 @@ struct BenchOptions {
   std::uint64_t seed = 1;
   std::string metrics_out;     ///< --metrics-out= / JMB_METRICS_OUT
   std::string trace_out;       ///< --trace-out= / JMB_TRACE_OUT
+  std::string fault_plan;      ///< --fault-plan= / JMB_FAULT_PLAN
   bool timing_metrics = false; ///< --metrics-timing / JMB_METRICS_TIMING
   /// Allocated when trace_out is set; wire into TrialRunnerOptions::trace.
   std::shared_ptr<obs::TraceRecorder> trace;
   /// Run parameters recorded in bench_result.json (n_aps, trials, ...).
   std::vector<std::pair<std::string, double>> params;
 
+  // Fault summary for the bench_result "faults" object; benches that
+  // inject faults call set_fault_plan() + add_fault_stat(). Left untouched
+  // (has_faults == false), the export is byte-identical to a fault-free
+  // bench's.
+  bool has_faults = false;
+  std::uint64_t fault_events = 0;
+  std::vector<std::pair<std::string, double>> fault_stats;
+
   [[nodiscard]] obs::TraceRecorder* trace_ptr() const { return trace.get(); }
   void add_param(std::string name, double value) {
     params.emplace_back(std::move(name), value);
+  }
+  void set_fault_plan(std::string source, std::uint64_t n_events) {
+    has_faults = true;
+    fault_plan = std::move(source);
+    fault_events = n_events;
+  }
+  void add_fault_stat(std::string name, double value) {
+    fault_stats.emplace_back(std::move(name), value);
   }
 };
 
@@ -84,6 +101,8 @@ inline BenchOptions parse_options(int& argc, char** argv, std::string figure) {
       opts.metrics_out = arg.substr(std::strlen("--metrics-out="));
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       opts.trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg.rfind("--fault-plan=", 0) == 0) {
+      opts.fault_plan = arg.substr(std::strlen("--fault-plan="));
     } else if (arg == "--metrics-timing") {
       opts.timing_metrics = true;
     } else {
@@ -98,6 +117,7 @@ inline BenchOptions parse_options(int& argc, char** argv, std::string figure) {
   };
   opts.metrics_out = env_or("JMB_METRICS_OUT", opts.metrics_out);
   opts.trace_out = env_or("JMB_TRACE_OUT", opts.trace_out);
+  opts.fault_plan = env_or("JMB_FAULT_PLAN", opts.fault_plan);
   if (const char* env = std::getenv("JMB_METRICS_TIMING")) {
     if (*env != '\0' && std::string_view(env) != "0") {
       opts.timing_metrics = true;
@@ -119,6 +139,10 @@ inline int finish(const BenchOptions& opts, const engine::TrialRunner& runner) {
     info.figure = opts.figure;
     info.seed = opts.seed;
     info.params = opts.params;
+    info.has_faults = opts.has_faults;
+    info.fault_plan = opts.fault_plan.empty() ? "builtin" : opts.fault_plan;
+    info.fault_events = opts.fault_events;
+    info.fault_stats = opts.fault_stats;
     const bool csv = opts.metrics_out.size() >= 4 &&
                      opts.metrics_out.compare(opts.metrics_out.size() - 4, 4,
                                               ".csv") == 0;

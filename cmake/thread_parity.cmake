@@ -6,7 +6,11 @@
 # Invoked by ctest (see bench/CMakeLists.txt) as:
 #   cmake -DBENCH=<bench exe> -DSEED=<decimal seed>
 #         -DOUT1=<artifact> -DOUT2=<artifact> -DTHREADS2=<N>
+#         [-DEXTRA_ARGS=<;-separated extra bench args>]
 #         -P thread_parity.cmake
+#
+# EXTRA_ARGS (e.g. --fault-plan=plan.json) are appended to both bench
+# invocations, so faulted runs are held to the same parity bar.
 #
 # Physics-only export (no --metrics-timing): wall-clock metrics are not
 # expected to be reproducible, the physics must be.
@@ -15,10 +19,13 @@ foreach(var BENCH SEED OUT1 OUT2 THREADS2)
     message(FATAL_ERROR "thread_parity.cmake: missing -D${var}=...")
   endif()
 endforeach()
+if(NOT DEFINED EXTRA_ARGS)
+  set(EXTRA_ARGS "")
+endif()
 
 execute_process(
   COMMAND "${CMAKE_COMMAND}" -E env JMB_THREADS=1
-          "${BENCH}" "${SEED}" "--metrics-out=${OUT1}"
+          "${BENCH}" "${SEED}" "--metrics-out=${OUT1}" ${EXTRA_ARGS}
   RESULT_VARIABLE rc1
   OUTPUT_QUIET)
 if(NOT rc1 EQUAL 0)
@@ -27,7 +34,7 @@ endif()
 
 execute_process(
   COMMAND "${CMAKE_COMMAND}" -E env "JMB_THREADS=${THREADS2}"
-          "${BENCH}" "${SEED}" "--metrics-out=${OUT2}"
+          "${BENCH}" "${SEED}" "--metrics-out=${OUT2}" ${EXTRA_ARGS}
   RESULT_VARIABLE rc2
   OUTPUT_QUIET)
 if(NOT rc2 EQUAL 0)

@@ -20,6 +20,8 @@ const Oscillator& Medium::oscillator(NodeId id) const {
   return nodes_.at(id).osc;
 }
 
+Oscillator& Medium::oscillator_mutable(NodeId id) { return nodes_.at(id).osc; }
+
 double Medium::noise_var(NodeId id) const { return nodes_.at(id).noise_var; }
 
 void Medium::set_noise_var(NodeId id, double noise_var) {

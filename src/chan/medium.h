@@ -41,6 +41,9 @@ class Medium {
 
   [[nodiscard]] std::size_t n_nodes() const { return nodes_.size(); }
   [[nodiscard]] const Oscillator& oscillator(NodeId id) const;
+  /// Mutable oscillator handle for fault injection (phase jumps / CFO
+  /// steps); everything else should use the const accessor.
+  [[nodiscard]] Oscillator& oscillator_mutable(NodeId id);
   [[nodiscard]] double noise_var(NodeId id) const;
   /// Adjust a receiver's noise floor (used to calibrate operating SNR).
   void set_noise_var(NodeId id, double noise_var);

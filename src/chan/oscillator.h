@@ -30,8 +30,11 @@ class Oscillator {
  public:
   explicit Oscillator(OscillatorParams p);
 
-  /// Deterministic carrier offset in Hz relative to nominal.
-  [[nodiscard]] double cfo_hz() const { return params_.ppm * 1e-6 * params_.carrier_hz; }
+  /// Deterministic carrier offset in Hz relative to nominal, including
+  /// any injected drift-rate steps.
+  [[nodiscard]] double cfo_hz() const {
+    return params_.ppm * 1e-6 * params_.carrier_hz + injected_cfo_hz_;
+  }
 
   /// Actual sample rate of this node's converters.
   [[nodiscard]] double sample_rate_hz() const {
@@ -52,9 +55,23 @@ class Oscillator {
 
   [[nodiscard]] const OscillatorParams& params() const { return params_; }
 
+  /// Fault injection (fault/injector.h): an instantaneous carrier-phase
+  /// jump — a micro phase-hit such as a PLL cycle slip or a supply glitch.
+  /// Accumulates across calls; affects rotation_at() from now on.
+  void inject_phase_jump(double radians) { injected_phase_rad_ += radians; }
+  /// Fault injection: a drift-rate step — the crystal's frequency walks to
+  /// a new operating point (temperature shock, aging step). Accumulates
+  /// into cfo_hz() so both the carrier rotation and every consumer of the
+  /// deterministic offset see it.
+  void inject_cfo_step(double hz) { injected_cfo_hz_ += hz; }
+  [[nodiscard]] double injected_phase_rad() const { return injected_phase_rad_; }
+  [[nodiscard]] double injected_cfo_hz() const { return injected_cfo_hz_; }
+
  private:
   OscillatorParams params_;
   double sigma_per_sample_ = 0.0;  ///< phase-noise increment std dev
+  double injected_phase_rad_ = 0.0;
+  double injected_cfo_hz_ = 0.0;
 
   /// Sparse checkpoints of the random walk (every kCheckpointStride
   /// samples), filled in lazily; mutable cache of a deterministic process.

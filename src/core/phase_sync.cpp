@@ -15,6 +15,7 @@ void SlavePhaseSync::set_reference(const phy::ChannelEstimate& h_lead_at_t0,
   reference_ = h_lead_at_t0;
   t0_ = t0_seconds;
   last_header_phase_.reset();
+  last_residual_rad_ = 0.0;
 }
 
 void SlavePhaseSync::observe_cfo(double preamble_cfo_hz) {
@@ -51,9 +52,11 @@ SlaveCorrection SlavePhaseSync::on_sync_header(
   // ambiguity is resolved with the current average — the same trick GPS
   // disciplining uses, and what "continuously averaged ... across multiple
   // transmissions" amounts to in practice.
+  last_innovation_hz_ =
+      cfo_avg_.empty() ? 0.0 : std::abs(preamble_cfo_hz - cfo_avg_.value());
   if (obs_ && !cfo_avg_.empty()) {
     obs_->observe("phase_sync/cfo_innovation_hz", obs::kHzBounds,
-                  std::abs(preamble_cfo_hz - cfo_avg_.value()));
+                  last_innovation_hz_);
   }
   cfo_avg_.add(preamble_cfo_hz);
   const double phase_now = std::arg(corr.phasor_at_header);
@@ -61,15 +64,15 @@ SlaveCorrection SlavePhaseSync::on_sync_header(
     const double dt = t1_seconds - last_header_t_;
     if (dt > 1e-9) {
       const double coarse = cfo_avg_.value();
+      // Residual phase error: how far the header-to-header phase walk
+      // strays from the averaged-CFO prediction — the quantity whose
+      // distribution the paper's Fig. 7 tracks, and the resilience
+      // controller's per-AP health evidence.
+      last_residual_rad_ = std::abs(std::remainder(
+          phase_now - *last_header_phase_ - kTwoPi * coarse * dt, kTwoPi));
       if (obs_) {
-        // Residual phase error: how far the header-to-header phase walk
-        // strays from the averaged-CFO prediction — the quantity whose
-        // distribution the paper's Fig. 7 tracks.
-        obs_->observe(
-            "phase_sync/residual_phase_rad", obs::kPhaseRadBounds,
-            std::abs(std::remainder(
-                phase_now - *last_header_phase_ - kTwoPi * coarse * dt,
-                kTwoPi)));
+        obs_->observe("phase_sync/residual_phase_rad", obs::kPhaseRadBounds,
+                      last_residual_rad_);
       }
       // Expected whole turns between headers at the coarse estimate.
       const double pred_cycles = coarse * dt;

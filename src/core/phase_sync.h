@@ -79,6 +79,16 @@ class SlavePhaseSync {
   /// into `sink`'s registry (null detaches). Caller keeps ownership.
   void attach_obs(const obs::ObsSink* sink) { obs_ = sink; }
 
+  /// Telemetry from the most recent on_sync_header(): how far the
+  /// header-to-header phase walk strayed from the averaged-CFO prediction
+  /// (0 until two headers have been seen) and the preamble CFO innovation
+  /// against the long-term average. The resilience controller consumes
+  /// these as per-AP sync-health evidence.
+  [[nodiscard]] double last_residual_rad() const { return last_residual_rad_; }
+  [[nodiscard]] double last_cfo_innovation_hz() const {
+    return last_innovation_hz_;
+  }
+
  private:
   const obs::ObsSink* obs_ = nullptr;
   PhaseSyncParams params_;
@@ -89,6 +99,9 @@ class SlavePhaseSync {
   /// Previous sync-header phase sample for the ratio-based refinement.
   std::optional<double> last_header_phase_;
   double last_header_t_ = 0.0;
+
+  double last_residual_rad_ = 0.0;
+  double last_innovation_hz_ = 0.0;
 };
 
 }  // namespace jmb::core

@@ -56,6 +56,56 @@ std::optional<ZfPrecoder> ZfPrecoder::build(const ChannelMatrixSet& h,
   return build_impl(h, ws.pinv, per_antenna_power, obs);
 }
 
+std::optional<ZfPrecoder> ZfPrecoder::build_masked(
+    const ChannelMatrixSet& h, std::span<const std::uint8_t> active_tx,
+    Workspace& ws, double per_antenna_power, const obs::ObsSink* obs) {
+  if (active_tx.size() != h.n_tx()) {
+    throw std::invalid_argument("ZfPrecoder::build_masked: mask size mismatch");
+  }
+  std::size_t n_active = 0;
+  for (const std::uint8_t a : active_tx) n_active += (a != 0) ? 1 : 0;
+  if (n_active == h.n_tx()) {
+    // Full set active: take the ordinary path so results stay bitwise
+    // identical to build() (no reduce/expand round trip).
+    return build_impl(h, ws.pinv, per_antenna_power, obs);
+  }
+  if (n_active < h.n_clients()) return std::nullopt;
+
+  ChannelMatrixSet reduced(h.n_clients(), n_active);
+  for (std::size_t k = 0; k < h.n_subcarriers(); ++k) {
+    const CMatrix& full = h.at(k);
+    CMatrix& r = reduced.at(k);
+    for (std::size_t c = 0; c < h.n_clients(); ++c) {
+      std::size_t j = 0;
+      for (std::size_t i = 0; i < h.n_tx(); ++i) {
+        if (active_tx[i] != 0) r(c, j++) = full(c, i);
+      }
+    }
+  }
+  std::optional<ZfPrecoder> small =
+      build_impl(reduced, ws.pinv, per_antenna_power, obs);
+  if (!small) return std::nullopt;
+
+  // Re-expand to full n_tx rows: excluded APs transmit exactly zero, so
+  // synthesis can keep indexing weights by absolute AP id.
+  ZfPrecoder p;
+  p.scale_ = small->scale_;
+  p.w_.resize(h.n_subcarriers());
+  for (std::size_t k = 0; k < h.n_subcarriers(); ++k) {
+    CMatrix& w = p.w_[k];
+    w.resize(h.n_tx(), h.n_clients());
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < h.n_tx(); ++i) {
+      if (active_tx[i] == 0) continue;
+      for (std::size_t c = 0; c < h.n_clients(); ++c) {
+        w(i, c) = small->w_[k](j, c);
+      }
+      ++j;
+    }
+  }
+  return p;
+}
+
 std::optional<ZfPrecoder> ZfPrecoder::build_impl(const ChannelMatrixSet& h,
                                                  PinvScratch& scratch,
                                                  double per_antenna_power,

@@ -9,6 +9,7 @@
 // w_i = h_i* / |h_i| per AP — SNR grows ~ N^2 with coherent combining.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 
@@ -39,6 +40,17 @@ class ZfPrecoder {
   /// apart from first-time growth of `w_`. Bitwise-identical to build().
   [[nodiscard]] static std::optional<ZfPrecoder> build(
       const ChannelMatrixSet& h, Workspace& ws, double per_antenna_power = 1.0,
+      const obs::ObsSink* obs = nullptr);
+
+  /// Resilience build: zero-force from the *reduced* H formed by the
+  /// transmit antennas with a nonzero entry in `active_tx` (1 per AP), the
+  /// re-derivation a quarantine triggers. Weight matrices keep full n_tx
+  /// rows — excluded APs get zero rows — so downstream synthesis indexing
+  /// is unchanged. Requires active count >= n_clients; with every antenna
+  /// active this is bitwise-identical to build().
+  [[nodiscard]] static std::optional<ZfPrecoder> build_masked(
+      const ChannelMatrixSet& h, std::span<const std::uint8_t> active_tx,
+      Workspace& ws, double per_antenna_power = 1.0,
       const obs::ObsSink* obs = nullptr);
 
   /// W for one used subcarrier (n_tx x n_clients), scale included.

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fault/injector.h"
+#include "fault/resilience.h"
 #include "linalg/pinv.h"
 #include "obs/bounds.h"
 #include "phy/ofdm.h"
@@ -14,20 +16,83 @@
 
 namespace jmb::engine {
 
+namespace {
+
+/// Routes fault-session point events into the physical world: oscillator
+/// phase jumps / drift-rate steps land on the owning medium node. Crash
+/// and restart edges need no physical action here — the session's own
+/// up/down mask gates transmissions at the stage hook points.
+class EngineFaultHost final : public fault::FaultHost {
+ public:
+  explicit EngineFaultHost(SystemState& sys) : sys_(sys) {}
+
+  void on_phase_jump(std::size_t ap, double rad) override {
+    if (ap < sys_.ap_nodes.size()) {
+      sys_.medium.oscillator_mutable(sys_.ap_nodes[ap]).inject_phase_jump(rad);
+    }
+  }
+  void on_cfo_step(std::size_t ap, double hz) override {
+    if (ap < sys_.ap_nodes.size()) {
+      sys_.medium.oscillator_mutable(sys_.ap_nodes[ap]).inject_cfo_step(hz);
+    }
+  }
+
+ private:
+  SystemState& sys_;
+};
+
+/// Advance the fault timeline to the current simulated time. With no
+/// pending edges this is two comparisons — cheap enough for every frame —
+/// and it never allocates (the host is a stack object).
+void pump_faults(SystemState& sys) {
+  if (!sys.fault) return;
+  const std::size_t before = sys.fault->events_applied();
+  EngineFaultHost host(sys);
+  sys.fault->advance_to(sys.now, host);
+  if (sys.resilience && sys.fault->events_applied() != before) {
+    sys.resilience->note_fault(sys.fault->last_fault_t());
+  }
+}
+
+}  // namespace
+
 SyncOutcome run_sync_header(SystemState& sys) {
+  pump_faults(sys);
   const double fs = sys.params.phy.sample_rate_hz;
   SyncOutcome out;
   out.header_t = sys.now;
-  sys.medium.transmit(sys.ap_nodes[0], out.header_t, phy::preamble_time());
   out.per_slave.resize(sys.params.n_aps - 1);
+  const bool lead_down = sys.fault && sys.fault->ap_down(0);
+  if (!lead_down) {
+    sys.medium.transmit(sys.ap_nodes[0], out.header_t, phy::preamble_time());
+  }
   for (std::size_t a = 1; a < sys.params.n_aps; ++a) {
-    const cvec buf = sys.medium.receive(sys.ap_nodes[a],
-                                        out.header_t - kRxMargin / fs,
-                                        kRxMargin + phy::kPreambleLen + 180);
-    const auto pm = sys.rx.measure_preamble(buf);
-    if (pm && sys.slave_sync[a - 1].has_reference()) {
-      out.per_slave[a - 1] =
-          sys.slave_sync[a - 1].on_sync_header(pm->chan, pm->cfo_hz, out.header_t);
+    // A crashed slave neither listens nor reports; with the lead down
+    // there is no header on the air to measure.
+    const bool slave_down = sys.fault && sys.fault->ap_down(a);
+    if (!lead_down && !slave_down) {
+      const cvec buf = sys.medium.receive(sys.ap_nodes[a],
+                                          out.header_t - kRxMargin / fs,
+                                          kRxMargin + phy::kPreambleLen + 180);
+      auto pm = sys.rx.measure_preamble(buf);
+      if (pm && sys.fault && sys.fault->sync_header_lost(a)) pm.reset();
+      if (pm && sys.fault) {
+        // Corruption window: the header decodes, but the channel
+        // observation carries an extra phase error.
+        const double err = sys.fault->sync_header_phase_error(a);
+        if (err != 0.0) pm->chan.rotate(err);
+      }
+      if (pm && sys.slave_sync[a - 1].has_reference()) {
+        out.per_slave[a - 1] = sys.slave_sync[a - 1].on_sync_header(
+            pm->chan, pm->cfo_hz, out.header_t);
+      }
+    }
+    if (sys.resilience) {
+      const bool ok = out.per_slave[a - 1].has_value();
+      sys.resilience->on_sync_result(
+          a, ok, ok ? sys.slave_sync[a - 1].last_residual_rad() : 0.0,
+          ok ? sys.slave_sync[a - 1].last_cfo_innovation_hz() : 0.0,
+          out.header_t);
     }
   }
   out.tx_start = out.header_t + static_cast<double>(phy::kPreambleLen) / fs +
@@ -68,6 +133,7 @@ double mean_condition_number(const core::ChannelMatrixSet& h,
 
 void MeasurementStage::run(FrameContext& ctx) {
   SystemState& sys = ctx.sys;
+  pump_faults(sys);
   sys.medium.clear_transmissions();
   sys.medium.evolve_links_to(sys.now);
   const double fs = sys.params.phy.sample_rate_hz;
@@ -76,8 +142,17 @@ void MeasurementStage::run(FrameContext& ctx) {
   const core::MeasurementSchedule& sched = *ctx.sched;
   const double frame_t = sys.now;
 
+  // With the lead crashed there is no reference transmitter: the epoch is
+  // lost, but simulated time still advances so the world keeps moving.
+  if (sys.fault && sys.fault->ap_down(0)) {
+    if (sys.metrics) sys.metrics->stage(kStageMeasure).add_detect_failure();
+    sys.now = frame_t + static_cast<double>(sched.frame_len() + 400) / fs;
+    return;
+  }
+
   sys.medium.transmit(sys.ap_nodes[0], frame_t, sched.ap_waveform(0));
   for (std::size_t a = 1; a < sys.params.n_aps; ++a) {
+    if (sys.fault && sys.fault->ap_down(a)) continue;  // crashed: silent
     const double jitter = sys.rng.gaussian(sys.params.trigger_jitter_s);
     sys.medium.transmit(sys.ap_nodes[a],
                         frame_t + sys.ap_tx_offset_s[a] + jitter,
@@ -91,6 +166,7 @@ void MeasurementStage::run(FrameContext& ctx) {
   // negligible, and the long-term average tightens it further.
   const double ref_dt = static_cast<double>(sched.reference_offset()) / fs;
   for (std::size_t a = 1; a < sys.params.n_aps; ++a) {
+    if (sys.fault && sys.fault->ap_down(a)) continue;  // crashed: no capture
     const cvec buf = sys.medium.receive(sys.ap_nodes[a], frame_t - kRxMargin / fs,
                                         kRxMargin + sched.frame_len() + 200);
     const auto pm = sys.rx.measure_preamble(buf);
@@ -134,7 +210,14 @@ void MeasurementStage::run(FrameContext& ctx) {
   }
   sys.now = frame_t + static_cast<double>(sched.frame_len() + 400) / fs;
   if (!all_ok) return;
-  ctx.h_measured = std::move(h);
+  if (sys.fault && sys.fault->stale_channel() && sys.h.n_subcarriers() > 0) {
+    // Stale-channel window: the epoch physically ran (time advanced, RNG
+    // streams evolved) but the distribution system re-delivers the
+    // previous snapshot — the precoder ages while the world moves on.
+    ctx.h_measured = sys.h;
+  } else {
+    ctx.h_measured = std::move(h);
+  }
   ctx.measurement_ok = true;
 }
 
@@ -143,7 +226,19 @@ void PrecodeStage::run(FrameContext& ctx) {
   if (!ctx.measurement_ok || !ctx.h_measured) return;
   sys.h = std::move(*ctx.h_measured);
   ctx.h_measured.reset();
-  sys.precoder = core::ZfPrecoder::build(sys.h, sys.ws, 1.0, sys.obs);
+  if (sys.resilience) {
+    // This measurement epoch re-anchored every participating reference:
+    // probation APs rejoin here with trustworthy state.
+    sys.resilience->on_remeasure(sys.now);
+  }
+  if (sys.resilience && sys.resilience->any_quarantined()) {
+    // Shrink the joint transmission to the surviving set: zero-force from
+    // the reduced H so quarantined APs carry exactly zero weight.
+    sys.precoder = core::ZfPrecoder::build_masked(
+        sys.h, sys.resilience->active(), sys.ws, 1.0, sys.obs);
+  } else {
+    sys.precoder = core::ZfPrecoder::build(sys.h, sys.ws, 1.0, sys.obs);
+  }
   if (sys.metrics && sys.precoder) {
     sys.metrics->stage(kStagePrecode).add_condition(
         mean_condition_number(sys.h));
@@ -212,12 +307,16 @@ void SynthesisStage::run(FrameContext& ctx) {
     }
 
     if (a == 0) {
+      if (sys.fault && sys.fault->ap_down(0)) continue;  // lead crashed
       ctx.ap_tx_time[0] = ctx.sync.tx_start;
       ctx.ap_waves[0] = std::move(wave);
       continue;
     }
     const auto& corr = ctx.sync.per_slave[a - 1];
     if (!corr) continue;  // slave failed to sync: it sits this one out
+    if (sys.resilience && sys.resilience->quarantined(a)) {
+      continue;  // quarantined: excluded from the joint set until readmitted
+    }
     ++ctx.result.slaves_synced;
     if (!sys.params.disable_slave_correction) {
       apply_slave_correction(sys, wave, *corr, ctx.sync.tx_start,
@@ -254,11 +353,13 @@ void DecodeStage::run(FrameContext& ctx) {
   SystemState& sys = ctx.sys;
   const double fs = sys.params.phy.sample_rate_hz;
   ctx.result.per_client.resize(sys.params.n_clients);
+  bool all_ok = true;
   for (std::size_t c = 0; c < sys.params.n_clients; ++c) {
     const cvec& buf = ctx.client_bufs[c];
     const auto pm = sys.rx.measure_preamble(buf);
     if (!pm) {
       ctx.result.per_client[c].fail_reason = "sync header not detected";
+      all_ok = false;
       if (sys.metrics) sys.metrics->stage(kStageDecode).add_detect_failure();
       if (sys.obs) sys.obs->count("decode/preamble_miss");
       continue;
@@ -271,6 +372,7 @@ void DecodeStage::run(FrameContext& ctx) {
     ctx.result.per_client[c] = sys.rx.receive_payload(buf, payload_start,
                                                       pm->cfo_hz);
     const phy::RxResult& r = ctx.result.per_client[c];
+    if (!r.ok) all_ok = false;
     if (sys.metrics && !r.ok) {
       sys.metrics->stage(kStageDecode).add_detect_failure();
     }
@@ -280,6 +382,11 @@ void DecodeStage::run(FrameContext& ctx) {
         sys.obs->observe("decode/evm_snr_db", obs::kDbBounds, r.evm_snr_db);
       }
     }
+  }
+  if (sys.resilience && all_ok && ctx.result.per_client.size() > 0) {
+    // First fully-delivered joint transmission after a quarantine stamps
+    // the recovery latency (idempotent until the next quarantine).
+    sys.resilience->on_recovered(sys.now);
   }
 }
 

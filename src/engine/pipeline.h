@@ -94,6 +94,11 @@ struct JointResult {
 
 }  // namespace jmb::core
 
+namespace jmb::fault {
+class FaultSession;
+class ResilienceController;
+}  // namespace jmb::fault
+
 namespace jmb::engine {
 
 /// Samples of slack kept before scheduled frames in receive buffers.
@@ -141,6 +146,14 @@ struct SystemState {
   StageMetricsSet* metrics = nullptr;
   /// Physics-probe sink (registry + optional trace); null = probes off.
   obs::ObsSink* obs = nullptr;
+  /// Fault-injection session for this trial (null = no impairments). The
+  /// stages pump its timeline to sys.now and poll its windows at the
+  /// natural hook points; owned by the caller (see fault/injector.h).
+  fault::FaultSession* fault = nullptr;
+  /// Sync-loss detection / quarantine state machine (null = disabled).
+  /// When attached, run_sync_header feeds it per-slave evidence and
+  /// PrecodeStage re-derives the precoder from the surviving set.
+  fault::ResilienceController* resilience = nullptr;
   /// Frames pushed through the pipeline; labels trace spans.
   std::uint64_t frame_seq = 0;
 };

@@ -99,6 +99,19 @@ class JmbSystem {
     for (auto& s : state_.slave_sync) s.attach_obs(sink);
   }
 
+  /// Attach a per-trial fault session: the stages pump its timeline and
+  /// poll its impairment windows (null detaches — and a null or
+  /// empty-plan session leaves every output bit-identical to a run
+  /// without one). Caller keeps ownership.
+  void attach_fault(fault::FaultSession* session) { state_.fault = session; }
+
+  /// Attach a resilience controller: run_sync_header feeds it per-slave
+  /// sync evidence and the precode stage shrinks the joint set to its
+  /// surviving APs (null detaches). Caller keeps ownership.
+  void attach_resilience(fault::ResilienceController* ctrl) {
+    state_.resilience = ctrl;
+  }
+
   /// The shared world the pipeline stages operate on — for driving the
   /// stages directly (tests, custom probes) and read-only diagnostics.
   [[nodiscard]] engine::SystemState& state() { return state_; }

@@ -1,7 +1,10 @@
 #include "net/mac.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "fault/injector.h"
+#include "fault/resilience.h"
 #include "net/scheduler.h"
 #include "rate/effective_snr.h"
 #include "rate/per.h"
@@ -20,6 +23,49 @@ void finalize(MacReport& report, const MacParams& params) {
     report.total_goodput_mbps += c.goodput_mbps;
   }
 }
+
+/// Advance the fault timeline to virtual time t and forward new injection
+/// edges to the controller's latency bookkeeping.
+void pump_mac_faults(fault::FaultSession* fault,
+                     fault::ResilienceController* ctrl, double t) {
+  if (!fault) return;
+  const std::size_t before = fault->events_applied();
+  fault->advance_to(t);
+  if (ctrl && fault->events_applied() != before) {
+    ctrl->note_fault(fault->last_fault_t());
+  }
+}
+
+/// Tracks the controller's quarantine / recovery counters across the run
+/// and folds each new latency sample into running means.
+struct LatencyAccumulator {
+  std::size_t seen_quarantines = 0;
+  std::size_t seen_recoveries = 0;
+  double detect_sum = 0.0;
+  double recover_sum = 0.0;
+
+  void sample(const fault::ResilienceController& ctrl) {
+    if (ctrl.quarantine_events() > seen_quarantines) {
+      seen_quarantines = ctrl.quarantine_events();
+      detect_sum += ctrl.last_detect_latency_s();
+    }
+    if (ctrl.recoveries() > seen_recoveries) {
+      seen_recoveries = ctrl.recoveries();
+      recover_sum += ctrl.last_recover_latency_s();
+    }
+  }
+  void fold_into(MacReport& report) const {
+    report.quarantines = seen_quarantines;
+    if (seen_quarantines > 0) {
+      report.mean_time_to_detect_s =
+          detect_sum / static_cast<double>(seen_quarantines);
+    }
+    if (seen_recoveries > 0) {
+      report.mean_time_to_recover_s =
+          recover_sum / static_cast<double>(seen_recoveries);
+    }
+  }
+};
 
 }  // namespace
 
@@ -161,6 +207,258 @@ MacReport run_jmb_mac(std::size_t n_aps, std::size_t n_clients,
       }
     }
   }
+  finalize(report, params);
+  return report;
+}
+
+MacReport run_baseline_mac_resilient(std::size_t n_aps, std::size_t n_clients,
+                                     const MaskedLinkStateFn& link_state,
+                                     const MacParams& params,
+                                     fault::FaultSession* fault) {
+  MacReport report;
+  report.per_client.resize(n_clients);
+  Rng rng(params.seed);
+  double t = 0.0;
+  std::size_t turn = 0;
+
+  DownlinkQueue queue;
+  std::uint64_t next_id = 0;
+  std::vector<std::uint8_t> up(n_aps, 1);
+
+  while (t < params.duration_s) {
+    pump_mac_faults(fault, nullptr, t);
+    for (std::size_t a = 0; a < n_aps; ++a) {
+      up[a] = (fault && fault->ap_down(a)) ? 0 : 1;
+    }
+    const std::size_t client = turn % n_clients;
+    ++turn;
+    if (params.saturated) {
+      queue.push({client, params.psdu_bytes, 0, t, 0, next_id++});
+    }
+    auto pkt = queue.pop();
+    if (!pkt) break;
+
+    // Each client transmits from its best *surviving* AP — the mask makes
+    // the link model re-associate instantly, the per-AP independence that
+    // 802.11 keeps and joint transmission gives up.
+    const LinkState ls = link_state(pkt->client, up);
+    const auto rate_idx = rate::select_rate(ls.subcarrier_snr);
+    if (!rate_idx) {
+      t += rate::frame_airtime_s(pkt->bytes, phy::rate_set()[0],
+                                 params.airtime.sample_rate_hz);
+      ++report.per_client[pkt->client].failed_attempts;
+      ++report.per_client[pkt->client].dropped;
+      continue;
+    }
+    const phy::Mcs& mcs = phy::rate_set()[*rate_idx];
+    const double airtime =
+        rate::frame_airtime_s(pkt->bytes, mcs, params.airtime.sample_rate_hz);
+    t += airtime;
+    report.data_airtime_s += airtime;
+
+    const double per =
+        rate::frame_error_prob(ls.subcarrier_snr, *rate_idx, pkt->bytes);
+    if (rng.uniform() >= per) {
+      ++report.per_client[pkt->client].delivered;
+    } else {
+      ++report.per_client[pkt->client].failed_attempts;
+      if (++pkt->retries <= params.max_retries) {
+        queue.push_front(*pkt);
+      } else {
+        ++report.per_client[pkt->client].dropped;
+      }
+    }
+  }
+  if (fault) report.faults_injected = fault->events_applied();
+  finalize(report, params);
+  return report;
+}
+
+MacReport run_jmb_mac_resilient(std::size_t n_aps, std::size_t n_clients,
+                                std::size_t n_streams,
+                                const MaskedLinkStateFn& link_state,
+                                const MacParams& params,
+                                fault::FaultSession* fault,
+                                fault::ResilienceController* resilience) {
+  MacReport report;
+  report.per_client.resize(n_clients);
+  Rng rng(params.seed);
+  DownlinkQueue queue;
+  std::uint64_t next_id = 0;
+  std::size_t rr = 0;
+
+  double t = 0.0;
+  double next_measurement = 0.0;
+  std::size_t lead = 0;
+  std::size_t lead_misses = 0;
+  LatencyAccumulator latency;
+  std::vector<std::uint8_t> all_active(n_aps, 1);
+
+  // The joint set the MAC *believes* in: the controller's surviving APs,
+  // or everyone when no controller is attached.
+  const auto believed = [&]() -> const std::vector<std::uint8_t>& {
+    return resilience ? resilience->active() : all_active;
+  };
+
+  while (t < params.duration_s) {
+    pump_mac_faults(fault, resilience, t);
+
+    if (t >= next_measurement ||
+        (resilience && resilience->needs_remeasure())) {
+      const double meas =
+          rate::measurement_airtime_s(n_aps, n_clients, params.airtime);
+      t += meas;
+      report.measurement_airtime_s += meas;
+      next_measurement = t + params.coherence_time_s;
+      if (resilience) resilience->on_remeasure(t);
+      continue;
+    }
+
+    // Lead liveness: a dead lead means no sync headers at all. After
+    // lead_miss_threshold headerless slots the MAC declares it down and
+    // elects the lowest-indexed surviving AP.
+    const bool lead_down = fault && fault->ap_down(lead);
+    if (lead_down) {
+      // A headerless slot costs the sync-header + turnaround airtime the
+      // slaves spent waiting for a transmission that never came.
+      t += static_cast<double>(phy::kPreambleLen) /
+               params.airtime.sample_rate_hz +
+           params.airtime.turnaround_s;
+      if (++lead_misses >= params.lead_miss_threshold) {
+        if (resilience) {
+          resilience->mark_down(lead, t);
+          latency.sample(*resilience);
+          const std::size_t next_lead = resilience->elect_lead(lead);
+          if (next_lead < n_aps && next_lead != lead) {
+            lead = next_lead;
+            ++report.lead_elections;
+          }
+        } else {
+          // No controller: naive failover to the next AP index.
+          lead = (lead + 1) % n_aps;
+          ++report.lead_elections;
+        }
+        lead_misses = 0;
+      }
+      continue;
+    }
+    lead_misses = 0;
+
+    // Per-slave sync-header evidence for this slot.
+    if (resilience) {
+      for (std::size_t a = 0; a < n_aps; ++a) {
+        if (a == lead) continue;
+        const bool down = fault && fault->ap_down(a);
+        const bool lost = !down && fault && fault->sync_header_lost(a);
+        const double residual =
+            (!down && !lost && fault)
+                ? std::abs(fault->sync_header_phase_error(a))
+                : 0.0;
+        resilience->on_sync_result(a, !down && !lost, residual, 0.0, t);
+      }
+      latency.sample(*resilience);
+      if (resilience->needs_remeasure()) continue;  // epoch first
+    }
+
+    if (params.saturated) {
+      std::size_t attempts = 0;
+      while (queue.size() < n_streams && attempts < 4 * n_streams) {
+        ++attempts;
+        const std::size_t client = rr % n_clients;
+        ++rr;
+        if (fault && fault->backhaul_packet_lost()) {
+          // Lost on the wire between gateway and APs; counted, not queued.
+          ++report.backhaul_drops;
+          ++report.per_client[client].dropped;
+          continue;
+        }
+        queue.push({client, params.psdu_bytes, 0, t, 0, next_id++});
+      }
+    }
+    if (fault) t += fault->backhaul_delay_s();  // distribution stall
+
+    std::vector<Packet> batch = queue.pop_joint(n_streams);
+    if (batch.empty()) {
+      if (params.saturated) {
+        // The backhaul ate every candidate packet: the slot idles while
+        // the queue refills. Charge the idle slot so time always advances
+        // (a 100%-loss window must not hang the simulation).
+        t += static_cast<double>(phy::kPreambleLen) /
+                 params.airtime.sample_rate_hz +
+             params.airtime.turnaround_s;
+        continue;
+      }
+      break;
+    }
+    ++report.joint_transmissions;
+
+    // Detection lag is where joint transmission pays: an AP that crashed
+    // but is still believed active leaves a dead row in the precoder and
+    // the whole joint frame is ruined.
+    bool stale_member = false;
+    if (fault) {
+      for (std::size_t a = 0; a < n_aps; ++a) {
+        if (believed()[a] && fault->ap_down(a)) stale_member = true;
+      }
+    }
+
+    std::vector<LinkState> states;
+    std::optional<std::size_t> rate_idx;
+    if (!stale_member) {
+      states.reserve(batch.size());
+      for (const Packet& p : batch) {
+        states.push_back(link_state(p.client, believed()));
+        const auto r = rate::select_rate(states.back().subcarrier_snr);
+        if (!rate_idx || (r && *r < *rate_idx)) rate_idx = r;
+        if (!r) rate_idx = std::nullopt;
+        if (!rate_idx) break;
+      }
+    }
+    if (stale_member || !rate_idx) {
+      t += rate::joint_frame_airtime_s(params.psdu_bytes, phy::rate_set()[0],
+                                       params.airtime);
+      for (Packet& p : batch) {
+        ++report.per_client[p.client].failed_attempts;
+        if (++p.retries <= params.max_retries) {
+          queue.push_front(p);
+        } else {
+          ++report.per_client[p.client].dropped;
+        }
+      }
+      continue;
+    }
+
+    const phy::Mcs& mcs = phy::rate_set()[*rate_idx];
+    const double airtime =
+        rate::joint_frame_airtime_s(params.psdu_bytes, mcs, params.airtime);
+    t += airtime;
+    report.data_airtime_s += airtime;
+
+    bool all_delivered = true;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Packet& p = batch[i];
+      const double per = rate::frame_error_prob(states[i].subcarrier_snr,
+                                                *rate_idx, p.bytes);
+      if (rng.uniform() >= per) {
+        ++report.per_client[p.client].delivered;
+      } else {
+        all_delivered = false;
+        ++report.per_client[p.client].failed_attempts;
+        if (++p.retries <= params.max_retries) {
+          queue.push_front(p);
+        } else {
+          ++report.per_client[p.client].dropped;
+        }
+      }
+    }
+    if (resilience && all_delivered) {
+      resilience->on_recovered(t);
+      latency.sample(*resilience);
+    }
+  }
+  if (fault) report.faults_injected = fault->events_applied();
+  if (resilience) latency.sample(*resilience);
+  latency.fold_into(report);
   finalize(report, params);
   return report;
 }

@@ -7,12 +7,18 @@
 // sample-level system.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "dsp/rng.h"
 #include "net/queue.h"
 #include "rate/airtime.h"
+
+namespace jmb::fault {
+class FaultSession;
+class ResilienceController;
+}  // namespace jmb::fault
 
 namespace jmb::net {
 
@@ -24,6 +30,12 @@ struct LinkState {
 /// client index -> link state at the current instant.
 using LinkStateFn = std::function<LinkState(std::size_t client)>;
 
+/// client index + the set of APs currently participating (1 = active) ->
+/// link state. Lets the closed-form link model price in the SNR drop when
+/// the joint set shrinks after a crash or quarantine.
+using MaskedLinkStateFn = std::function<LinkState(
+    std::size_t client, const std::vector<std::uint8_t>& active_aps)>;
+
 struct MacParams {
   double duration_s = 1.0;
   std::size_t psdu_bytes = 1500;
@@ -32,6 +44,9 @@ struct MacParams {
   rate::AirtimeParams airtime;
   std::uint64_t seed = 1;
   bool saturated = true;  ///< backlogged traffic to every client
+  /// Consecutive joint transmissions without the lead's sync header before
+  /// the MAC declares the lead dead and re-elects (resilient variant).
+  std::size_t lead_miss_threshold = 3;
 };
 
 struct ClientStats {
@@ -48,6 +63,14 @@ struct MacReport {
   double measurement_airtime_s = 0.0;
   double duration_s = 0.0;
   std::size_t joint_transmissions = 0;  ///< 0 for the baseline
+
+  // --- resilience accounting (run_*_resilient variants; zero elsewhere) ---
+  std::size_t lead_elections = 0;   ///< times the MAC re-elected a lead
+  std::size_t faults_injected = 0;  ///< plan events whose begin edge fired
+  std::size_t quarantines = 0;      ///< controller quarantine events
+  std::size_t backhaul_drops = 0;   ///< downlink packets lost on the backhaul
+  double mean_time_to_detect_s = 0.0;   ///< fault -> quarantine latency
+  double mean_time_to_recover_s = 0.0;  ///< fault -> first clean joint tx
 };
 
 /// Baseline 802.11: one AP talks at a time; each client gets an equal
@@ -65,5 +88,31 @@ struct MacReport {
                                     std::size_t n_streams,
                                     const LinkStateFn& link_state,
                                     const MacParams& params);
+
+/// Baseline 802.11 under faults: each client associates with its best
+/// *up* AP (the mask handed to `link_state` carries the session's up/down
+/// state), so a crash only strands clients with no surviving AP —
+/// per-AP independence is exactly what JMB's joint transmission gives up.
+/// `fault` may be null, which reduces to run_baseline_mac semantics.
+[[nodiscard]] MacReport run_baseline_mac_resilient(
+    std::size_t n_aps, std::size_t n_clients,
+    const MaskedLinkStateFn& link_state, const MacParams& params,
+    fault::FaultSession* fault);
+
+/// JMB under faults with detection and failover. The session's timeline
+/// is pumped as virtual time advances; every joint transmission feeds the
+/// controller per-slave sync-header evidence. While a crashed AP is still
+/// *believed* active (detection lag) the stale precoder ruins the whole
+/// joint transmission; once quarantined, the MAC triggers an immediate
+/// re-measurement epoch and continues on the surviving set (the mask
+/// passed to `link_state`). A dead lead is declared after
+/// `params.lead_miss_threshold` headerless slots and a new lead elected
+/// from the surviving set. `fault` and `resilience` may be null (either
+/// reduces that mechanism to a no-op); with both null this is
+/// run_jmb_mac with a MaskedLinkStateFn.
+[[nodiscard]] MacReport run_jmb_mac_resilient(
+    std::size_t n_aps, std::size_t n_clients, std::size_t n_streams,
+    const MaskedLinkStateFn& link_state, const MacParams& params,
+    fault::FaultSession* fault, fault::ResilienceController* resilience);
 
 }  // namespace jmb::net

@@ -7,9 +7,14 @@
 namespace jmb::net {
 
 void EventScheduler::at(double t, Handler fn) {
-  if (t < now_) {
-    throw std::invalid_argument("EventScheduler::at: time in the past");
+  if (std::isnan(t)) {
+    throw std::invalid_argument("EventScheduler::at: NaN time");
   }
+  // Clamp past timestamps to the current clock instead of rejecting them:
+  // a handler that computes "fire at rx_time - guard" can legitimately
+  // land epsilon behind now(), and the intent is "as soon as possible".
+  // The event still runs in FIFO order after everything already due.
+  if (t < now_) t = now_;
   queue_.push(Event{t, seq_++, std::move(fn)});
 }
 

@@ -15,7 +15,9 @@ class EventScheduler {
  public:
   using Handler = std::function<void()>;
 
-  /// Schedule `fn` at absolute virtual time t (seconds). t must be >= now.
+  /// Schedule `fn` at absolute virtual time t (seconds). Times in the
+  /// past are clamped to now() — the event fires as soon as possible, in
+  /// FIFO order after events already due. NaN times throw.
   void at(double t, Handler fn);
 
   /// Schedule `fn` after a delay from now.

@@ -35,4 +35,18 @@ inline constexpr double kDbBounds[] = {
 inline constexpr double kCondBounds[] = {
     1.0, 1.2, 1.5, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0, 50.0, 100.0, 1e3, 1e6};
 
+/// Simulated-time latencies in seconds (fault time-to-detect /
+/// time-to-recover; spans sub-millisecond detection through multi-second
+/// outages).
+inline constexpr double kLatencySBounds[] = {
+    1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 0.01, 0.02, 0.05,
+    0.1,  0.2,  0.5,  1.0,  2.0,  5.0,  10.0, 30.0};
+
+/// Goodput in Mb/s (MAC-level throughput distributions from the
+/// resilience sweeps; spans a starved single stream through a 10-AP
+/// joint transmission).
+inline constexpr double kMbpsBounds[] = {
+    0.5,  1.0,  2.0,   3.0,   5.0,   7.5,   10.0,  15.0,  20.0,
+    30.0, 50.0, 75.0,  100.0, 150.0, 200.0, 300.0, 500.0};
+
 }  // namespace jmb::obs

@@ -57,6 +57,13 @@ JsonValue bench_result_doc(const BenchRunInfo& info, const MetricRegistry& reg,
   JsonObject params;
   for (const auto& [k, v] : info.params) params.emplace_back(k, v);
   root.emplace_back("params", std::move(params));
+  if (info.has_faults) {
+    JsonObject faults;
+    faults.emplace_back("plan", info.fault_plan);
+    faults.emplace_back("events", static_cast<double>(info.fault_events));
+    for (const auto& [k, v] : info.fault_stats) faults.emplace_back(k, v);
+    root.emplace_back("faults", std::move(faults));
+  }
   JsonArray metrics;
   for (const MetricRegistry::Entry& e : reg.entries()) {
     if (e.cls == MetricClass::kTiming && !include_timing) continue;

@@ -22,6 +22,16 @@ struct BenchRunInfo {
   std::uint64_t seed = 0;
   /// Free-form run parameters (n_ap, trials, snr_db, ...).
   std::vector<std::pair<std::string, double>> params;
+
+  // --- fault-injection summary (resilience benches only) ---
+  /// When set, a "faults" object is emitted. Runs without fault injection
+  /// leave this false so their artifacts stay byte-identical to pre-fault
+  /// exports.
+  bool has_faults = false;
+  std::string fault_plan;         ///< plan source: file path or builder name
+  std::uint64_t fault_events = 0; ///< plan events scheduled per trial
+  /// Aggregated recovery stats (quarantines, mean_time_to_detect_s, ...).
+  std::vector<std::pair<std::string, double>> fault_stats;
 };
 
 /// Build the bench_result.v1 document for a merged registry.

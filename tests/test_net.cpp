@@ -47,11 +47,33 @@ TEST(Scheduler, HandlersCanScheduleMore) {
   EXPECT_EQ(count, 10);
 }
 
-TEST(Scheduler, RejectsPastEvents) {
+TEST(Scheduler, PastEventsClampToNow) {
   EventScheduler sched;
   sched.at(1.0, [] {});
   sched.run();
-  EXPECT_THROW(sched.at(0.5, [] {}), std::invalid_argument);
+  // Regression: scheduling behind the clock must clamp to now() and fire
+  // as soon as possible, not throw or run at a time before now().
+  double fired_at = -1.0;
+  sched.at(0.5, [&] { fired_at = sched.now(); });
+  EXPECT_EQ(sched.run(), 1u);
+  EXPECT_NEAR(fired_at, 1.0, 1e-12);
+  EXPECT_NEAR(sched.now(), 1.0, 1e-12);
+}
+
+TEST(Scheduler, ClampedEventsKeepFifoOrderBehindDueWork) {
+  EventScheduler sched;
+  sched.at(1.0, [] {});
+  sched.run();
+  std::vector<int> order;
+  sched.at(1.0, [&] { order.push_back(0); });  // already due
+  sched.at(0.25, [&] { order.push_back(1); }); // clamped to 1.0, queued after
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(Scheduler, RejectsNanTime) {
+  EventScheduler sched;
+  EXPECT_THROW(sched.at(std::nan(""), [] {}), std::invalid_argument);
 }
 
 TEST(Scheduler, RunUntilAdvancesClock) {
@@ -104,6 +126,55 @@ TEST(Queue, JointSelectionFewerClientsThanStreams) {
   const auto batch = q.pop_joint(4);
   EXPECT_EQ(batch.size(), 1u);  // only one distinct client available
   EXPECT_TRUE(q.pop_joint(0).empty());
+}
+
+TEST(Queue, JointSelectionAllPacketsOneClient) {
+  DownlinkQueue q;
+  for (std::size_t i = 0; i < 5; ++i) {
+    q.push({7, 1500, 0, 0.0, 0, i});
+  }
+  // Every packet targets one client: a joint transmission degenerates to
+  // a single stream, takes only the head, and leaves the rest untouched.
+  const auto batch = q.pop_joint(3);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].id, 0u);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.head().id, 1u);
+}
+
+TEST(Queue, PushFrontRetryOrderAfterFailedJoint) {
+  DownlinkQueue q;
+  // Three clients' heads go out jointly; the transmission fails and the
+  // MAC re-queues the batch at the front, as run_jmb_mac does.
+  for (std::size_t i = 0; i < 3; ++i) {
+    q.push({i, 1500, 0, 0.0, 0, i});       // ids 0,1,2 (one per client)
+    q.push({i, 1500, 0, 0.0, 0, 10 + i});  // backlog ids 10,11,12
+  }
+  auto batch = q.pop_joint(3);
+  ASSERT_EQ(batch.size(), 3u);
+  for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+    ++it->retries;
+    q.push_front(*it);
+  }
+  // Retries drain before the backlog, in the original batch order.
+  const auto again = q.pop_joint(3);
+  ASSERT_EQ(again.size(), 3u);
+  EXPECT_EQ(again[0].id, 0u);
+  EXPECT_EQ(again[1].id, 1u);
+  EXPECT_EQ(again[2].id, 2u);
+  EXPECT_EQ(again[0].retries, 1);
+  EXPECT_EQ(q.head().id, 10u);
+}
+
+TEST(Queue, HeadOnEmptyThrowsAndQueueStaysUsable) {
+  DownlinkQueue q;
+  EXPECT_THROW((void)q.head(), std::logic_error);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_TRUE(q.pop_joint(2).empty());
+  // The failed accesses must not corrupt the queue.
+  q.push({0, 1500, 0, 0.0, 0, 42});
+  EXPECT_EQ(q.head().id, 42u);
+  EXPECT_EQ(q.size(), 1u);
 }
 
 LinkStateFn flat_links(double snr_db) {

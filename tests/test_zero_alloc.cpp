@@ -12,6 +12,8 @@
 
 #include "core/precoder.h"
 #include "core/types.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "obs/alloc_count.h"
 #include "phy/convcode.h"
 #include "phy/interleaver.h"
@@ -71,8 +73,22 @@ TEST(ZeroAlloc, SteadyStateFrameKernelsDoNotAllocate) {
     data_in[i] = cplx{re, im};
   }
 
+  // An attached-but-idle fault session: the plan's only event lies far
+  // beyond the simulated horizon, so pumping it every frame exercises the
+  // hot-path timeline advance (and the window queries) without ever
+  // crossing an edge. None of it may touch the heap.
+  const fault::FaultPlan plan =
+      fault::FaultPlan::single_crash(/*ap=*/1, /*t_s=*/1e9, /*outage_s=*/1.0,
+                                     /*seed=*/7);
+  fault::FaultSession fault_session(plan, /*n_aps=*/2, /*trial_seed=*/11);
+
   bool all_ok = true;
   const auto frame_iter = [&](std::size_t it) {
+    fault_session.advance_to(static_cast<double>(it) * 1e-3);
+    all_ok &= !fault_session.ap_down(0) && !fault_session.ap_down(1);
+    all_ok &= !fault_session.sync_header_lost(1);
+    all_ok &= !fault_session.stale_channel();
+    all_ok &= fault_session.backhaul_delay_s() == 0.0;
     // Transmit side: map + modulate one OFDM symbol.
     phy::map_subcarriers_into(data_in, it % 7, freq);
     phy::ofdm_modulate_into(freq, sym);
