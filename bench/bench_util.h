@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,20 +23,45 @@
 
 namespace jmb::bench {
 
-/// Parse a full decimal seed or die with a usage message naming `source`.
-inline std::uint64_t parse_seed_or_die(const char* text, const char* source,
-                                       const char* prog) {
+/// Strict decimal parse: digits only, no leading whitespace or sign
+/// (strtoull alone would silently wrap "-1" to 2^64-1), no trailing
+/// garbage, no overflow. Returns false on any violation.
+inline bool parse_u64(const char* text, std::uint64_t& out) {
+  if (text == nullptr || *text < '0' || *text > '9') return false;
   errno = 0;
   char* end = nullptr;
   const unsigned long long v = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE) {
+  if (*end != '\0' || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+/// Parse a full decimal seed or die with a usage message naming `source`.
+inline std::uint64_t parse_seed_or_die(const char* text, const char* source,
+                                       const char* prog) {
+  std::uint64_t v = 0;
+  if (!parse_u64(text, v)) {
     std::fprintf(stderr,
                  "%s: invalid seed '%s' (from %s); expected a decimal "
                  "integer\nusage: %s [seed]   (or set JMB_SEED)\n",
-                 prog, text, source, prog);
+                 prog, text == nullptr ? "" : text, source, prog);
     std::exit(2);
   }
   return v;
+}
+
+/// Parse a decimal count argument (client counts, trial counts, ...) or
+/// die with the same strictness as parse_seed_or_die.
+inline std::size_t parse_count_or_die(const char* text, const char* what,
+                                      const char* prog) {
+  std::uint64_t v = 0;
+  if (!parse_u64(text, v) || v > static_cast<std::uint64_t>(SIZE_MAX)) {
+    std::fprintf(stderr,
+                 "%s: invalid %s '%s'; expected a decimal integer\n", prog,
+                 what, text == nullptr ? "" : text);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(v);
 }
 
 /// Seed from argv[1] or JMB_SEED, defaulting to 1. Every bench prints it.

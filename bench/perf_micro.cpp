@@ -15,6 +15,9 @@
 #include "phy/transmitter.h"
 #include "phy/viterbi.h"
 #include "phy/workspace.h"
+#include "simd/aligned.h"
+#include "simd/backend.h"
+#include "simd/kernels.h"
 
 namespace {
 
@@ -223,6 +226,79 @@ void BM_PrecodeTransmitVectorInto(benchmark::State& state) {
 }
 BENCHMARK(BM_PrecodeTransmitVectorInto);
 
+// ---- SIMD dispatch comparison -------------------------------------------
+// Forced-backend variants of the two hottest kernel consumers: the planned
+// FFT and the per-antenna precoder application over packed weight rows.
+// The dispatch contract makes backends bitwise interchangeable, so these
+// runs differ only in speed. Registered from main() for whatever backends
+// this CPU supports.
+
+void BM_FftPlannedBackend(benchmark::State& state, simd::Backend be,
+                          std::size_t n) {
+  simd::set_backend(be);
+  Rng rng(1);
+  const cvec x = rng.cgaussian_vec(n);
+  const FftPlan plan(n);
+  simd::acvec y(n);
+  for (auto _ : state) {
+    std::copy(x.begin(), x.end(), y.begin());
+    plan.forward(std::span<cplx>(y.data(), y.size()));
+    benchmark::DoNotOptimize(y.data());
+  }
+  simd::reset_backend_cache();
+}
+
+void BM_PrecoderApplyBackend(benchmark::State& state, simd::Backend be) {
+  simd::set_backend(be);
+  Rng rng(8);
+  const core::ChannelMatrixSet h = core::random_channel_set(4, 4, rng);
+  Workspace ws;
+  const auto p = core::ZfPrecoder::build(h, ws);
+  const std::size_t n_sc = h.n_subcarriers();
+  // Four per-stream symbol rows accumulated into one antenna row, exactly
+  // the SynthesisStage data-symbol path over the packed weights.
+  std::vector<simd::acvec> xs(4, simd::acvec(n_sc));
+  for (auto& xrow : xs) {
+    for (auto& v : xrow) v = rng.cgaussian();
+  }
+  simd::acvec acc(n_sc);
+  const simd::Kernels& kern = simd::active_kernels();
+  for (auto _ : state) {
+    for (std::size_t a = 0; a < 4; ++a) {
+      std::fill(acc.begin(), acc.end(), cplx{});
+      const double* wrows[4];
+      const double* xrows[4];
+      for (std::size_t j = 0; j < 4; ++j) {
+        wrows[j] =
+            reinterpret_cast<const double*>(p->weight_row(a, j).data());
+        xrows[j] = reinterpret_cast<const double*>(xs[j].data());
+      }
+      kern.cmacn(reinterpret_cast<double*>(acc.data()), wrows, xrows, 4,
+                 n_sc);
+      benchmark::DoNotOptimize(acc.data());
+    }
+  }
+  simd::reset_backend_cache();
+}
+
+void register_backend_benchmarks() {
+  for (const simd::Backend be :
+       {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kAvx2,
+        simd::Backend::kAvx512, simd::Backend::kNeon}) {
+    if (!simd::backend_available(be)) continue;
+    const std::string name = simd::backend_name(be);
+    benchmark::RegisterBenchmark(
+        ("BM_Fft64Planned/" + name).c_str(),
+        [be](benchmark::State& s) { BM_FftPlannedBackend(s, be, 64); });
+    benchmark::RegisterBenchmark(
+        ("BM_Fft1024Planned/" + name).c_str(),
+        [be](benchmark::State& s) { BM_FftPlannedBackend(s, be, 1024); });
+    benchmark::RegisterBenchmark(
+        ("BM_PrecoderApply52/" + name).c_str(),
+        [be](benchmark::State& s) { BM_PrecoderApplyBackend(s, be); });
+  }
+}
+
 void BM_BeamformingSinr10x10(benchmark::State& state) {
   Rng rng(7);
   const core::ChannelMatrixSet h = core::random_channel_set(10, 10, rng);
@@ -313,6 +389,7 @@ int main(int argc, char** argv) {
   opts.timing_metrics = true;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  register_backend_benchmarks();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

@@ -1,0 +1,51 @@
+# Golden parity test for the SIMD dispatch layer: the physics metrics a
+# figure bench exports must be byte-identical whether the kernels run on
+# the forced scalar backend or the best native one (JMB_SIMD unset). This
+# is the dispatch contract from DESIGN.md "SIMD model" checked end-to-end
+# through a real figure, not just kernel-by-kernel unit parity.
+#
+# Invoked by ctest (see bench/CMakeLists.txt) as:
+#   cmake -DBENCH=<bench exe> -DSEED=<decimal seed>
+#         -DOUT1=<artifact> -DOUT2=<artifact>
+#         [-DEXTRA_ARGS=<;-separated extra bench args>]
+#         -P simd_parity.cmake
+#
+# Physics-only export (no --metrics-timing): wall-clock metrics are not
+# expected to be reproducible, the physics must be.
+foreach(var BENCH SEED OUT1 OUT2)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "simd_parity.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+if(NOT DEFINED EXTRA_ARGS)
+  set(EXTRA_ARGS "")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env JMB_SIMD=scalar
+          "${BENCH}" "${SEED}" "--metrics-out=${OUT1}" ${EXTRA_ARGS}
+  RESULT_VARIABLE rc1
+  OUTPUT_QUIET)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "bench '${BENCH}' (JMB_SIMD=scalar) exited with ${rc1}")
+endif()
+
+# --unset=JMB_SIMD: the native leg must pick the machine's best backend
+# even when the surrounding environment (e.g. a CI job matrix) pins one.
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env --unset=JMB_SIMD
+          "${BENCH}" "${SEED}" "--metrics-out=${OUT2}" ${EXTRA_ARGS}
+  RESULT_VARIABLE rc2
+  OUTPUT_QUIET)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "bench '${BENCH}' (native SIMD) exited with ${rc2}")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files "${OUT1}" "${OUT2}"
+  RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+  message(FATAL_ERROR
+    "physics exports differ between JMB_SIMD=scalar and the native backend: "
+    "'${OUT1}' vs '${OUT2}'")
+endif()

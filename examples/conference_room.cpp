@@ -24,9 +24,10 @@ int main(int argc, char** argv) {
   using namespace jmb;
   auto opts = bench::parse_options(argc, argv, "conference_room");
   const std::size_t n_max =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+      argc > 1 ? bench::parse_count_or_die(argv[1], "client count", argv[0])
+               : 8;
   const std::uint64_t seed =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+      argc > 2 ? bench::parse_seed_or_die(argv[2], "argv[2]", argv[0]) : 42;
   opts.seed = seed;
   opts.add_param("n_max", static_cast<double>(n_max));
 

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   using namespace jmb;
   auto opts = bench::parse_options(argc, argv, "wifi_n_upgrade");
   const std::uint64_t seed =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+      argc > 1 ? bench::parse_seed_or_die(argv[1], "argv[1]", argv[0]) : 11;
   opts.seed = seed;
 
   engine::TrialRunner runner(

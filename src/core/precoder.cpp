@@ -103,7 +103,21 @@ std::optional<ZfPrecoder> ZfPrecoder::build_masked(
       ++j;
     }
   }
+  p.pack();
   return p;
+}
+
+void ZfPrecoder::pack() {
+  const std::size_t n_sc = w_.size();
+  const std::size_t nt = n_tx();
+  const std::size_t ns = n_streams();
+  packed_.resize(nt * ns * n_sc);
+  for (std::size_t a = 0; a < nt; ++a) {
+    for (std::size_t j = 0; j < ns; ++j) {
+      cplx* const row = packed_.data() + (a * ns + j) * n_sc;
+      for (std::size_t k = 0; k < n_sc; ++k) row[k] = w_[k](a, j);
+    }
+  }
 }
 
 std::optional<ZfPrecoder> ZfPrecoder::build_impl(const ChannelMatrixSet& h,
@@ -135,6 +149,7 @@ std::optional<ZfPrecoder> ZfPrecoder::build_impl(const ChannelMatrixSet& h,
   if (worst <= 0.0) return std::nullopt;
   p.scale_ = std::sqrt(per_antenna_power / worst);
   for (CMatrix& w : p.w_) w *= cplx{p.scale_, 0.0};
+  p.pack();
 
   if (obs) {
     // Probe a handful of strided subcarriers — cheap relative to the

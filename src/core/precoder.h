@@ -15,6 +15,7 @@
 
 #include "core/types.h"
 #include "obs/sink.h"
+#include "simd/aligned.h"
 
 namespace jmb {
 struct PinvScratch;
@@ -58,6 +59,17 @@ class ZfPrecoder {
     return w_[used_idx];
   }
 
+  /// Packed SoA view of the scaled weights for one (AP antenna, stream)
+  /// pair: element k is weights(k)(a, j), contiguous across all used
+  /// subcarriers. This is the layout the subcarrier-batched SIMD
+  /// synthesis kernels consume — same values as weights(), just
+  /// transposed into cache-line-aligned runs.
+  [[nodiscard]] std::span<const cplx> weight_row(std::size_t a,
+                                                 std::size_t j) const {
+    const std::size_t n_sc = w_.size();
+    return {packed_.data() + (a * n_streams() + j) * n_sc, n_sc};
+  }
+
   /// The common effective gain: clients receive scale * x (per subcarrier).
   [[nodiscard]] double scale() const { return scale_; }
 
@@ -93,7 +105,11 @@ class ZfPrecoder {
       const ChannelMatrixSet& h, PinvScratch& scratch,
       double per_antenna_power, const obs::ObsSink* obs);
 
+  /// Re-fill packed_ from w_ (call whenever w_ changes).
+  void pack();
+
   std::vector<CMatrix> w_;
+  simd::acvec packed_;  ///< SoA copy behind weight_row()
   double scale_ = 0.0;
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "dsp/fft.h"
+#include "simd/kernels.h"
 
 namespace jmb {
 
@@ -49,39 +50,15 @@ void FftPlan::run(std::span<cplx> x, const std::vector<cplx>& twiddles) const {
     throw std::invalid_argument("FftPlan: span size does not match plan");
   }
   for (const auto& [i, j] : swaps_) std::swap(x[i], x[j]);
-  // Butterflies over the raw double pairs (array-oriented access,
-  // [complex.numbers.general]). The arithmetic is the exact operation
-  // sequence of the naive transform — (br*wr - bi*wi, br*wi + bi*wr),
-  // then u+v / u-v — so results stay bitwise identical; the restrict
-  // qualifiers let the compiler keep the butterfly in registers instead
-  // of assuming the twiddle table aliases the signal buffer.
-  double* const __restrict d = reinterpret_cast<double*>(x.data());
-  const double* const __restrict tw =
-      reinterpret_cast<const double*>(twiddles.data());
-  std::size_t off = 0;
-  for (std::size_t len = 2; len <= n_; len <<= 1) {
-    const std::size_t half = len / 2;
-    const double* w = tw + 2 * off;
-    for (std::size_t i = 0; i < n_; i += len) {
-      double* a = d + 2 * i;
-      double* b = a + 2 * half;
-      for (std::size_t k = 0; k < half; ++k) {
-        const double wr = w[2 * k];
-        const double wi = w[2 * k + 1];
-        const double br = b[2 * k];
-        const double bi = b[2 * k + 1];
-        const double vr = br * wr - bi * wi;
-        const double vi = br * wi + bi * wr;
-        const double ar = a[2 * k];
-        const double ai = a[2 * k + 1];
-        a[2 * k] = ar + vr;
-        a[2 * k + 1] = ai + vi;
-        b[2 * k] = ar - vr;
-        b[2 * k + 1] = ai - vi;
-      }
-    }
-    off += half;
-  }
+  // Butterfly passes over the raw double pairs (array-oriented access,
+  // [complex.numbers.general]) via the dispatched SIMD kernel. Every
+  // backend runs the exact operation sequence of the naive transform —
+  // (br*wr - bi*wi, br*wi + bi*wr), then u+v / u-v — per butterfly,
+  // vectorized only across the independent k lanes of a stage, so
+  // results stay bitwise identical to the scalar reference.
+  double* const d = reinterpret_cast<double*>(x.data());
+  const double* const tw = reinterpret_cast<const double*>(twiddles.data());
+  simd::active_kernels().fft_run(d, tw, n_);
 }
 
 void FftPlan::forward(std::span<cplx> x) const { run(x, fwd_twiddles_); }

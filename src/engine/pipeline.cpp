@@ -13,10 +13,42 @@
 #include "obs/bounds.h"
 #include "phy/ofdm.h"
 #include "phy/preamble.h"
+#include "simd/kernels.h"
 
 namespace jmb::engine {
 
 namespace {
+
+/// Maximal runs of used-subcarrier indices whose FFT bins are contiguous
+/// (for the 802.11 grid: k 0..25 -> bins 38..63, k 26..51 -> bins 1..26).
+/// The subcarrier-batched synthesis kernels run once per run, over
+/// contiguous weight-row and spectrum memory.
+struct UsedRun {
+  std::size_t k0;   ///< first used-subcarrier index
+  std::size_t bin0; ///< its FFT bin; bins advance by 1 within the run
+  std::size_t len;
+};
+
+/// Stack bound for the fused per-run stream-pointer arrays handed to
+/// cmacn; larger systems fall back to the scalar per-bin loop.
+constexpr std::size_t kMaxFusedStreams = 32;
+
+const std::vector<UsedRun>& used_bin_runs() {
+  static const std::vector<UsedRun> kRuns = [] {
+    std::vector<UsedRun> runs;
+    const auto& used = core::used_subcarriers();
+    std::size_t k0 = 0;
+    for (std::size_t k = 1; k <= used.size(); ++k) {
+      if (k == used.size() ||
+          phy::bin_of(used[k]) != phy::bin_of(used[k - 1]) + 1) {
+        runs.push_back({k0, phy::bin_of(used[k0]), k - k0});
+        k0 = k;
+      }
+    }
+    return runs;
+  }();
+  return kRuns;
+}
 
 /// Routes fault-session point events into the physical world: oscillator
 /// phase jumps / drift-rate steps land on the owning medium node. Crash
@@ -270,17 +302,44 @@ void SynthesisStage::run(FrameContext& ctx) {
   ctx.ap_tx_time.assign(sys.params.n_aps, 0.0);
   // Spectrum / LTF-time scratch from the per-trial workspace; the waveform
   // itself must be a fresh vector (it is moved onto the medium).
-  cvec& spec = sys.ws.spec;
-  cvec& ltf_time = sys.ws.sym_time;
+  auto& spec = sys.ws.spec;
+  auto& ltf_time = sys.ws.sym_time;
+  // Fast path: the ZF precoder exposes packed per-(antenna, stream)
+  // weight rows, so the per-bin stream sums run through the dispatched
+  // subcarrier-batched kernels over the two contiguous used-bin runs.
+  // The per-bin accumulation order over j is unchanged (j is the outer
+  // loop, each bin's partial sum lives in spec), so the spectrum is
+  // bitwise identical to the scalar per-bin loop below, which remains
+  // the reference for weight overrides (transmit-diversity MRT).
+  const bool packed = !ctx.weights_override && sys.precoder.has_value() &&
+                      n_streams <= kMaxFusedStreams;
+  const auto& runs = used_bin_runs();
+  const simd::Kernels& kern = simd::active_kernels();
   for (std::size_t a = 0; a < sys.params.n_aps; ++a) {
     // Precoded LTF spectrum for this AP: sum over streams of W(a, j) * L.
     spec.assign(phy::kNfft, cplx{});
     const cvec& l = phy::ltf_freq();
-    for (std::size_t k = 0; k < used.size(); ++k) {
-      const std::size_t bin = phy::bin_of(used[k]);
-      cplx w_sum{};
-      for (std::size_t j = 0; j < n_streams; ++j) w_sum += weight_at(k)(a, j);
-      spec[bin] = w_sum * l[bin];
+    if (packed) {
+      double* const spec_d = reinterpret_cast<double*>(spec.data());
+      const double* const l_d = reinterpret_cast<const double*>(l.data());
+      for (std::size_t j = 0; j < n_streams; ++j) {
+        const double* const wrow = reinterpret_cast<const double*>(
+            sys.precoder->weight_row(a, j).data());
+        for (const UsedRun& r : runs) {
+          kern.cacc(spec_d + 2 * r.bin0, wrow + 2 * r.k0, r.len);
+        }
+      }
+      for (const UsedRun& r : runs) {
+        kern.cmul_ew(spec_d + 2 * r.bin0, spec_d + 2 * r.bin0,
+                     l_d + 2 * r.bin0, r.len);
+      }
+    } else {
+      for (std::size_t k = 0; k < used.size(); ++k) {
+        const std::size_t bin = phy::bin_of(used[k]);
+        cplx w_sum{};
+        for (std::size_t j = 0; j < n_streams; ++j) w_sum += weight_at(k)(a, j);
+        spec[bin] = w_sum * l[bin];
+      }
     }
     ltf_time.assign(spec.begin(), spec.end());
     sys.ws.fft_plan(phy::kNfft).inverse(ltf_time);
@@ -293,13 +352,29 @@ void SynthesisStage::run(FrameContext& ctx) {
 
     for (std::size_t s = 0; s < n_sym; ++s) {
       spec.assign(phy::kNfft, cplx{});
-      for (std::size_t k = 0; k < used.size(); ++k) {
-        const std::size_t bin = phy::bin_of(used[k]);
-        cplx acc{};
-        for (std::size_t j = 0; j < n_streams; ++j) {
-          acc += weight_at(k)(a, j) * streams[j][s][bin];
+      if (packed) {
+        double* const spec_d = reinterpret_cast<double*>(spec.data());
+        for (const UsedRun& r : runs) {
+          const double* wrows[kMaxFusedStreams];
+          const double* xrows[kMaxFusedStreams];
+          for (std::size_t j = 0; j < n_streams; ++j) {
+            wrows[j] = reinterpret_cast<const double*>(
+                           sys.precoder->weight_row(a, j).data()) +
+                       2 * r.k0;
+            xrows[j] = reinterpret_cast<const double*>(streams[j][s].data()) +
+                       2 * r.bin0;
+          }
+          kern.cmacn(spec_d + 2 * r.bin0, wrows, xrows, n_streams, r.len);
         }
-        spec[bin] = acc;
+      } else {
+        for (std::size_t k = 0; k < used.size(); ++k) {
+          const std::size_t bin = phy::bin_of(used[k]);
+          cplx acc{};
+          for (std::size_t j = 0; j < n_streams; ++j) {
+            acc += weight_at(k)(a, j) * streams[j][s][bin];
+          }
+          spec[bin] = acc;
+        }
       }
       phy::ofdm_modulate_into(
           spec, std::span<cplx>(wave).subspan(phy::kLtfLen + s * phy::kSymbolLen,

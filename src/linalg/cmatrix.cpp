@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "simd/kernels.h"
+
 namespace jmb {
 
 CMatrix::CMatrix(std::size_t rows, std::size_t cols)
@@ -182,26 +184,20 @@ void multiply_into(const CMatrix& a, const CMatrix& b, CMatrix& out) {
   }
   out.resize(a.rows(), b.cols());
   // Same accumulation order (including the zero-skip) as
-  // CMatrix::operator*, so the rounding is identical — but written over
-  // the raw double pairs with restrict-qualified row pointers so the
-  // inner row-update stays in registers. `out` must not alias a or b
-  // (resize() already forbids that for every existing caller).
+  // CMatrix::operator*, so the rounding is identical — the dispatched
+  // caxpy_acc kernel runs the row update out[c] += v*b[c] in the scalar
+  // operation order per lane, batched across the independent columns.
+  // `out` must not alias a or b (resize() already forbids that for every
+  // existing caller).
+  const simd::Kernels& kern = simd::active_kernels();
   const std::size_t bc = b.cols();
   for (std::size_t r = 0; r < a.rows(); ++r) {
-    double* const __restrict orow = reinterpret_cast<double*>(&out(r, 0));
+    double* const orow = reinterpret_cast<double*>(&out(r, 0));
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const cplx v = a(r, k);
       if (v == cplx{}) continue;
-      const double vr = v.real();
-      const double vi = v.imag();
-      const double* const __restrict brow =
-          reinterpret_cast<const double*>(&b(k, 0));
-      for (std::size_t c = 0; c < bc; ++c) {
-        const double br = brow[2 * c];
-        const double bi = brow[2 * c + 1];
-        orow[2 * c] += vr * br - vi * bi;
-        orow[2 * c + 1] += vr * bi + vi * br;
-      }
+      const double* const brow = reinterpret_cast<const double*>(&b(k, 0));
+      kern.caxpy_acc(orow, brow, v.real(), v.imag(), bc);
     }
   }
 }
@@ -211,32 +207,29 @@ void multiply_into(const CMatrix& a, std::span<const cplx> v,
   if (a.cols() != v.size() || a.rows() != out.size()) {
     throw std::invalid_argument("multiply_into: vector dimension mismatch");
   }
-  // acc += a(r, c) * v[c] over raw doubles, in the same order as the
-  // allocating operator* — bitwise-identical, register-resident.
-  const std::size_t n = a.cols();
-  const double* const __restrict vv = reinterpret_cast<const double*>(v.data());
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    const double* const __restrict arow =
-        reinterpret_cast<const double*>(&a(r, 0));
-    double accr = 0.0;
-    double acci = 0.0;
-    for (std::size_t c = 0; c < n; ++c) {
-      const double ar = arow[2 * c];
-      const double ai = arow[2 * c + 1];
-      const double xr = vv[2 * c];
-      const double xi = vv[2 * c + 1];
-      accr += ar * xr - ai * xi;
-      acci += ar * xi + ai * xr;
-    }
-    out[r] = cplx{accr, acci};
+  // acc += a(r, c) * v[c] in the same order as the allocating operator*,
+  // batched across the independent output rows by the dispatched kernel
+  // — each lane keeps the scalar per-row accumulation order, so results
+  // are bitwise identical.
+  if (a.rows() == 0) return;
+  if (a.cols() == 0) {
+    std::fill(out.begin(), out.end(), cplx{});
+    return;
   }
+  simd::active_kernels().cmatvec(reinterpret_cast<const double*>(&a(0, 0)),
+                                 a.rows(), a.cols(),
+                                 reinterpret_cast<const double*>(v.data()),
+                                 reinterpret_cast<double*>(out.data()));
 }
 
 void hermitian_into(const CMatrix& a, CMatrix& out) {
   out.resize(a.cols(), a.rows());
-  for (std::size_t r = 0; r < a.rows(); ++r)
-    for (std::size_t c = 0; c < a.cols(); ++c)
-      out(c, r) = std::conj(a(r, c));
+  if (a.rows() == 0 || a.cols() == 0) return;
+  // Pure data movement + sign flip; the kernel batches down each output
+  // row (a strided column of `a`).
+  simd::active_kernels().hermitian(reinterpret_cast<const double*>(&a(0, 0)),
+                                   a.rows(), a.cols(),
+                                   reinterpret_cast<double*>(&out(0, 0)));
 }
 
 std::string CMatrix::str() const {

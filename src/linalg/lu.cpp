@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd/kernels.h"
+
 namespace jmb {
 
 namespace {
@@ -53,25 +55,19 @@ bool Lu::factorize(const CMatrix& a) {
       std::swap(piv_[p], piv_[k]);
       pivot_sign_ = -pivot_sign_;
     }
-    // Eliminate below the pivot. The row update runs over raw double
-    // pairs with restrict row pointers (rows r and k are distinct), with
-    // the same operation order as `lu_(r, c) -= f * lu_(k, c)` — results
-    // are bitwise unchanged, the compiler just keeps the row in registers.
+    // Eliminate below the pivot. The dispatched caxpy_sub kernel runs
+    // row[c] -= f * krow[c] in the same operation order as
+    // `lu_(r, c) -= f * lu_(k, c)` per lane (rows r and k are distinct),
+    // batched across the independent trailing columns — results are
+    // bitwise unchanged.
     const cplx inv_pivot = 1.0 / lu_(k, k);
-    const double* const __restrict krow =
-        reinterpret_cast<const double*>(&lu_(k, 0));
+    const simd::Kernels& kern = simd::active_kernels();
+    const double* const krow = reinterpret_cast<const double*>(&lu_(k, 0));
     for (std::size_t r = k + 1; r < n; ++r) {
       const cplx f = lu_(r, k) * inv_pivot;
       lu_(r, k) = f;
-      const double fr = f.real();
-      const double fi = f.imag();
-      double* const __restrict rrow = reinterpret_cast<double*>(&lu_(r, 0));
-      for (std::size_t c = k + 1; c < n; ++c) {
-        const double ur = krow[2 * c];
-        const double ui = krow[2 * c + 1];
-        rrow[2 * c] -= fr * ur - fi * ui;
-        rrow[2 * c + 1] -= fr * ui + fi * ur;
-      }
+      double* const rrow = reinterpret_cast<double*>(&lu_(r, 0));
+      kern.caxpy_sub(rrow, krow, f.real(), f.imag(), k + 1, n);
     }
   }
   return ok_;

@@ -5,7 +5,11 @@
 #include <limits>
 #include <stdexcept>
 
+#include "simd/kernels.h"
+
 namespace jmb::phy {
+
+static_assert(kNumStates == simd::kViterbiStates);
 
 namespace {
 
@@ -41,6 +45,33 @@ const Trellis& trellis() {
   return kT;
 }
 
+// Branch-metric sign table for the dispatched ACS kernel. Next state
+// ns = (b << 5) | m has exactly two predecessors, 2m (even) and 2m + 1
+// (odd), both hypothesizing input bit b; the branch metric contribution
+// of coded output bit X is +llr when the trellis emits 0 and -llr when it
+// emits 1, i.e. sign * llr with sign in {+1.0, -1.0}. Multiplying by
+// ±1.0 is exact, so the kernel's sign-table form is bitwise the ternary
+// `out ? -l : l` of the sequential reference. Layout: for b in {0, 1},
+// four blocks of 32 — A-even, A-odd, B-even, B-odd.
+const std::array<double, 4 * kNumStates>& acs_sign_table() {
+  alignas(64) static const std::array<double, 4 * kNumStates> kS = [] {
+    std::array<double, 4 * kNumStates> s{};
+    const Trellis& t = trellis();
+    constexpr std::size_t kHalf = kNumStates / 2;
+    for (unsigned b = 0; b < 2; ++b) {
+      const std::size_t base = b * 4 * kHalf;
+      for (std::size_t m = 0; m < kHalf; ++m) {
+        s[base + m] = t.out_a[2 * m][b] ? -1.0 : 1.0;
+        s[base + kHalf + m] = t.out_a[2 * m + 1][b] ? -1.0 : 1.0;
+        s[base + 2 * kHalf + m] = t.out_b[2 * m][b] ? -1.0 : 1.0;
+        s[base + 3 * kHalf + m] = t.out_b[2 * m + 1][b] ? -1.0 : 1.0;
+      }
+    }
+    return s;
+  }();
+  return kS;
+}
+
 }  // namespace
 
 void viterbi_decode_into(std::span<const double> llr, std::size_t n_info,
@@ -49,41 +80,30 @@ void viterbi_decode_into(std::span<const double> llr, std::size_t n_info,
   if (llr.size() != 2 * n_info) {
     throw std::invalid_argument("viterbi_decode: need 2*n_info soft bits");
   }
-  const Trellis& t = trellis();
-
   scratch.metric.assign(kNumStates, kNegInf);
   scratch.metric[0] = 0.0;  // encoder starts in the all-zero state
   scratch.next_metric.resize(kNumStates);
   scratch.survivor.resize(n_info);
   scratch.survivor_bit.resize(n_info);
-  std::vector<double>& metric = scratch.metric;
-  std::vector<double>& next_metric = scratch.next_metric;
+  auto& metric = scratch.metric;
+  auto& next_metric = scratch.next_metric;
   auto& survivor = scratch.survivor;
   auto& survivor_bit = scratch.survivor_bit;
 
+  // Add-compare-select via the dispatched kernel, batched across the
+  // independent next-states of the trellis butterfly. Branch metric:
+  // +llr/2 if the hypothesized coded bit is 0, -llr/2 if it is 1
+  // -> (1 - 2c) * llr / 2; constants cancel, so (1 - 2c) * llr directly
+  // (realized as the ±1.0 sign table — see acs_sign_table()). Candidate
+  // order, the tie-keeps-even strict compare, and -inf propagation all
+  // match the sequential reference, so decodes are bitwise identical on
+  // every backend.
+  const double* const signs = acs_sign_table().data();
+  const simd::Kernels& kern = simd::active_kernels();
   for (std::size_t step = 0; step < n_info; ++step) {
-    const double la = llr[2 * step];      // LLR for output bit A
-    const double lb = llr[2 * step + 1];  // LLR for output bit B
-    for (double& m : next_metric) m = kNegInf;
-    auto& surv = survivor[step];
-    auto& surv_bit = survivor_bit[step];
-    for (unsigned s = 0; s < kNumStates; ++s) {
-      if (metric[s] == kNegInf) continue;
-      for (unsigned b = 0; b < 2; ++b) {
-        // Branch metric: +llr/2 if the hypothesized coded bit is 0,
-        // -llr/2 if it is 1 -> (1 - 2c) * llr / 2. Constants cancel, so
-        // we use (1 - 2c) * llr directly.
-        const double m = metric[s] +
-                         (t.out_a[s][b] ? -la : la) +
-                         (t.out_b[s][b] ? -lb : lb);
-        const unsigned ns = t.next[s][b];
-        if (m > next_metric[ns]) {
-          next_metric[ns] = m;
-          surv[ns] = static_cast<std::uint8_t>(s);
-          surv_bit[ns] = static_cast<std::uint8_t>(b);
-        }
-      }
-    }
+    kern.viterbi_acs(metric.data(), signs, llr[2 * step], llr[2 * step + 1],
+                     next_metric.data(), survivor[step].data(),
+                     survivor_bit[step].data());
     metric.swap(next_metric);
   }
 

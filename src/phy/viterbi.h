@@ -6,14 +6,16 @@
 #include <vector>
 
 #include "phy/convcode.h"
+#include "simd/aligned.h"
 
 namespace jmb::phy {
 
 /// Reusable trellis buffers for viterbi_decode_into(). One per workspace;
 /// sized on first use and reused across frames without reallocation.
+/// Path metrics are cache-line aligned for the batched ACS kernel.
 struct ViterbiScratch {
-  std::vector<double> metric;
-  std::vector<double> next_metric;
+  simd::advec metric;
+  simd::advec next_metric;
   /// survivor[step][state] = predecessor state; survivor_bit = input bit.
   std::vector<std::array<std::uint8_t, kNumStates>> survivor;
   std::vector<std::array<std::uint8_t, kNumStates>> survivor_bit;

@@ -23,6 +23,7 @@
 #include "dsp/types.h"
 #include "linalg/pinv.h"
 #include "phy/viterbi.h"
+#include "simd/aligned.h"
 
 namespace jmb {
 
@@ -63,8 +64,10 @@ class Workspace {
   cvec denoise_smooth;  ///< projected (denoised) gains
 
   // ---- transmit / synthesis scratch --------------------------------------
-  cvec spec;      ///< kNfft frequency-domain accumulation buffer
-  cvec sym_time;  ///< kSymbolLen modulated symbol
+  // Cache-line aligned: these are the buffers the subcarrier-batched SIMD
+  // kernels stream through, so vector loads never split cache lines.
+  simd::acvec spec;      ///< kNfft frequency-domain accumulation buffer
+  simd::acvec sym_time;  ///< kSymbolLen modulated symbol
 
   // ---- measurement scratch ------------------------------------------------
   cvec meas_win;   ///< per-round CFO-corrected LTF window

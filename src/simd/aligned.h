@@ -1,0 +1,53 @@
+// Cache-line-aligned allocator for hot-path buffers, so vector loads on
+// Workspace-owned spans never split cache lines. Allocation goes through
+// the aligned global operator new, which obs/alloc_count.cpp replaces —
+// JMB_COUNT_ALLOCS keeps seeing these allocations.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+#include "dsp/types.h"
+
+namespace jmb::simd {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+template <class T, std::size_t Align = kCacheLine>
+struct AlignedAlloc {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0);
+  using value_type = T;
+
+  // The non-type Align parameter defeats allocator_traits' default
+  // rebind; spell it out.
+  template <class U>
+  struct rebind {
+    using other = AlignedAlloc<U, Align>;
+  };
+
+  AlignedAlloc() = default;
+  template <class U>
+  AlignedAlloc(const AlignedAlloc<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Align});
+  }
+
+  template <class U>
+  bool operator==(const AlignedAlloc<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+/// Aligned drop-in for cvec in hot-path workspaces. Converts to the same
+/// std::span<cplx> views the kernels consume.
+using acvec = std::vector<cplx, AlignedAlloc<cplx>>;
+
+/// Aligned real buffer (Viterbi path metrics).
+using advec = std::vector<double, AlignedAlloc<double>>;
+
+}  // namespace jmb::simd

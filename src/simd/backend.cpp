@@ -1,0 +1,150 @@
+#include "simd/backend.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "simd/kernels.h"
+#include "simd/tables.h"
+
+namespace jmb::simd {
+
+namespace {
+
+const Kernels* table_for(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return scalar_kernels();
+    case Backend::kSse2:
+      return sse2_kernels();
+    case Backend::kAvx2:
+      return avx2_kernels();
+    case Backend::kAvx512:
+      return avx512_kernels();
+    case Backend::kNeon:
+      return neon_kernels();
+  }
+  return nullptr;
+}
+
+bool cpu_supports(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case Backend::kSse2:
+      return __builtin_cpu_supports("sse2") != 0;
+    case Backend::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Backend::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0;
+#endif
+#if defined(__aarch64__)
+    case Backend::kNeon:
+      return true;  // AdvSIMD is architecturally mandatory on aarch64
+#endif
+    default:
+      return false;
+  }
+}
+
+// Cached selection: -1 = not yet resolved. The table pointer is derived
+// from the backend, so one atomic is enough; racing first-use threads all
+// resolve to the same value (detect_backend is deterministic per env).
+std::atomic<int> g_active{-1};
+
+int resolve_active() {
+  int cur = g_active.load(std::memory_order_acquire);
+  if (cur < 0) {
+    const Backend b = detect_backend();
+    cur = static_cast<int>(b);
+    int expected = -1;
+    if (!g_active.compare_exchange_strong(expected, cur,
+                                          std::memory_order_acq_rel)) {
+      cur = expected;
+    }
+  }
+  return cur;
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "?";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "sse2") return Backend::kSse2;
+  if (name == "avx2") return Backend::kAvx2;
+  if (name == "avx512" || name == "avx512f") return Backend::kAvx512;
+  if (name == "neon") return Backend::kNeon;
+  return std::nullopt;
+}
+
+bool backend_available(Backend b) {
+  return table_for(b) != nullptr && cpu_supports(b);
+}
+
+Backend best_backend() {
+  for (Backend b : {Backend::kAvx512, Backend::kAvx2, Backend::kSse2,
+                    Backend::kNeon}) {
+    if (backend_available(b)) return b;
+  }
+  return Backend::kScalar;
+}
+
+Backend detect_backend() {
+  const char* env = std::getenv("JMB_SIMD");
+  if (env == nullptr || *env == '\0' ||
+      std::string_view(env) == "auto") {
+    return best_backend();
+  }
+  const std::optional<Backend> want = parse_backend(env);
+  if (want && backend_available(*want)) return *want;
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    if (want) {
+      std::fprintf(stderr,
+                   "jmb: JMB_SIMD=%s not available on this machine; using "
+                   "%s\n",
+                   env, backend_name(best_backend()));
+    } else {
+      std::fprintf(stderr,
+                   "jmb: unknown JMB_SIMD=%s (want "
+                   "scalar|sse2|avx2|avx512|neon|auto); using %s\n",
+                   env, backend_name(best_backend()));
+    }
+  }
+  return best_backend();
+}
+
+Backend active_backend() { return static_cast<Backend>(resolve_active()); }
+
+const Kernels& active_kernels() {
+  return *table_for(static_cast<Backend>(resolve_active()));
+}
+
+bool set_backend(Backend b) {
+  if (!backend_available(b)) return false;
+  g_active.store(static_cast<int>(b), std::memory_order_release);
+  return true;
+}
+
+void reset_backend_cache() {
+  g_active.store(-1, std::memory_order_release);
+}
+
+}  // namespace jmb::simd

@@ -1,0 +1,52 @@
+// SIMD backend selection: compile-time gated kernel tables (scalar /
+// SSE2 / AVX2 / AVX-512 / NEON) chosen once at startup via cpuid and
+// overridable with JMB_SIMD=scalar|sse2|avx2|avx512|neon for debugging
+// and parity testing.
+//
+// The parity contract (see DESIGN.md "SIMD model"): every backend's
+// kernels perform the exact scalar operation sequence within each vector
+// lane and batch only across independent elements (subcarriers, matrix
+// columns, trellis states), so all backends produce bitwise-identical
+// results. JMB_SIMD never changes physics, only speed.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace jmb::simd {
+
+enum class Backend { kScalar, kSse2, kAvx2, kAvx512, kNeon };
+
+/// Lower-case canonical name ("scalar", "sse2", ...).
+[[nodiscard]] const char* backend_name(Backend b);
+
+/// Parse a JMB_SIMD value; "auto" and "" mean nullopt (pick the best).
+/// Unknown names also return nullopt — the caller warns.
+[[nodiscard]] std::optional<Backend> parse_backend(std::string_view name);
+
+/// True when the backend is both compiled into this binary and supported
+/// by the running CPU. kScalar is always available.
+[[nodiscard]] bool backend_available(Backend b);
+
+/// The widest available backend on this machine (ignores JMB_SIMD).
+[[nodiscard]] Backend best_backend();
+
+/// best_backend() unless JMB_SIMD names an available backend. An unknown
+/// or unavailable JMB_SIMD value warns once on stderr and falls back.
+[[nodiscard]] Backend detect_backend();
+
+/// The backend whose kernel table active_kernels() currently returns.
+/// Resolved from detect_backend() on first use, then cached.
+[[nodiscard]] Backend active_backend();
+
+/// Force the active kernel table (test/bench hook). Not thread-safe
+/// against concurrently running kernels: call it only from the main
+/// thread while no TrialRunner workers are live. Returns false (and
+/// changes nothing) if the backend is unavailable on this machine.
+bool set_backend(Backend b);
+
+/// Drop the cached selection so the next active_kernels() call re-reads
+/// JMB_SIMD — the env-override round-trip used by tests.
+void reset_backend_cache();
+
+}  // namespace jmb::simd

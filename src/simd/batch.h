@@ -1,0 +1,362 @@
+// Per-architecture batch primitives: a uniform register-level vocabulary
+// (load/store, add/sub, complex multiply, compare/select) over which the
+// shared kernel templates in kernels_impl.h are written once and
+// instantiated per backend.
+//
+// Bit-identity rules every arch must obey:
+//  - cmul(a, b) performs, per complex lane, exactly
+//        re = ar*br - ai*bi;  im = ar*bi + ai*br;
+//    as four IEEE multiplies, one subtraction-equivalent and one
+//    addition. Vector archs realize the subtraction as x + (-y) via a
+//    sign-bit XOR, which IEEE 754 defines to be bitwise equal to x - y.
+//  - No FMA anywhere (the TUs additionally compile with
+//    -ffp-contract=off so scalar tails cannot be contracted either).
+//  - Lanes are independent: no horizontal operations, no reassociation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace jmb::simd {
+
+/// Reference backend: one complex lane, plain double arithmetic. Every
+/// other arch must match it bitwise lane by lane.
+struct ScalarArch {
+  static constexpr std::size_t kLanes = 1;      ///< complex lanes
+  static constexpr std::size_t kRealLanes = 1;  ///< real (double) lanes
+  struct CReg {
+    double re, im;
+  };
+  using RReg = double;
+  using MReg = bool;
+
+  static CReg cload(const double* p) { return {p[0], p[1]}; }
+  static void cstore(double* p, CReg a) {
+    p[0] = a.re;
+    p[1] = a.im;
+  }
+  static CReg cbroadcast(double re, double im) { return {re, im}; }
+  static CReg cgather(const double* p, std::size_t) { return cload(p); }
+  static void cscatter(double* p, std::size_t, CReg a) { cstore(p, a); }
+  /// Load 2*kLanes contiguous complex at p; even complex indices into
+  /// `ev`, odd into `od`. cinterleave2 is the exact inverse store.
+  static void cdeinterleave2(const double* p, CReg& ev, CReg& od) {
+    ev = cload(p);
+    od = cload(p + 2);
+  }
+  static void cinterleave2(double* p, CReg ev, CReg od) {
+    cstore(p, ev);
+    cstore(p + 2, od);
+  }
+  static CReg cadd(CReg a, CReg b) { return {a.re + b.re, a.im + b.im}; }
+  static CReg csub(CReg a, CReg b) { return {a.re - b.re, a.im - b.im}; }
+  static CReg cmul(CReg a, CReg b) {
+    return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+  }
+  static CReg cconj(CReg a) { return {a.re, -a.im}; }
+
+  static RReg rload(const double* p) { return *p; }
+  static void rstore(double* p, RReg a) { *p = a; }
+  static RReg rbroadcast(double v) { return v; }
+  static RReg radd(RReg a, RReg b) { return a + b; }
+  static RReg rmul(RReg a, RReg b) { return a * b; }
+  static MReg rcmp_gt(RReg a, RReg b) { return a > b; }
+  static RReg rselect(MReg m, RReg a, RReg b) { return m ? a : b; }
+  static unsigned mask_bits(MReg m) { return m ? 1u : 0u; }
+  static void deinterleave(const double* p, RReg& even, RReg& odd) {
+    even = p[0];
+    odd = p[1];
+  }
+};
+
+#if defined(__SSE2__)
+/// SSE2: one complex lane per __m128d; re and im advance in lockstep.
+struct Sse2Arch {
+  static constexpr std::size_t kLanes = 1;
+  static constexpr std::size_t kRealLanes = 2;
+  using CReg = __m128d;
+  using RReg = __m128d;
+  using MReg = __m128d;
+
+  static CReg cload(const double* p) { return _mm_loadu_pd(p); }
+  static void cstore(double* p, CReg a) { _mm_storeu_pd(p, a); }
+  static CReg cbroadcast(double re, double im) { return _mm_setr_pd(re, im); }
+  static CReg cgather(const double* p, std::size_t) { return cload(p); }
+  static void cscatter(double* p, std::size_t, CReg a) { cstore(p, a); }
+  static void cdeinterleave2(const double* p, CReg& ev, CReg& od) {
+    ev = _mm_loadu_pd(p);
+    od = _mm_loadu_pd(p + 2);
+  }
+  static void cinterleave2(double* p, CReg ev, CReg od) {
+    _mm_storeu_pd(p, ev);
+    _mm_storeu_pd(p + 2, od);
+  }
+  static CReg cadd(CReg a, CReg b) { return _mm_add_pd(a, b); }
+  static CReg csub(CReg a, CReg b) { return _mm_sub_pd(a, b); }
+  static CReg cmul(CReg a, CReg b) {
+    const __m128d ar = _mm_unpacklo_pd(a, a);
+    const __m128d ai = _mm_unpackhi_pd(a, a);
+    const __m128d bswap = _mm_shuffle_pd(b, b, 0x1);
+    const __m128d t1 = _mm_mul_pd(ar, b);      // [ar*br, ar*bi]
+    const __m128d t2 = _mm_mul_pd(ai, bswap);  // [ai*bi, ai*br]
+    return _mm_add_pd(t1, _mm_xor_pd(t2, _mm_setr_pd(-0.0, 0.0)));
+  }
+  static CReg cconj(CReg a) {
+    return _mm_xor_pd(a, _mm_setr_pd(0.0, -0.0));
+  }
+
+  static RReg rload(const double* p) { return _mm_loadu_pd(p); }
+  static void rstore(double* p, RReg a) { _mm_storeu_pd(p, a); }
+  static RReg rbroadcast(double v) { return _mm_set1_pd(v); }
+  static RReg radd(RReg a, RReg b) { return _mm_add_pd(a, b); }
+  static RReg rmul(RReg a, RReg b) { return _mm_mul_pd(a, b); }
+  static MReg rcmp_gt(RReg a, RReg b) { return _mm_cmpgt_pd(a, b); }
+  static RReg rselect(MReg m, RReg a, RReg b) {
+    return _mm_or_pd(_mm_and_pd(m, a), _mm_andnot_pd(m, b));
+  }
+  static unsigned mask_bits(MReg m) {
+    return static_cast<unsigned>(_mm_movemask_pd(m));
+  }
+  static void deinterleave(const double* p, RReg& even, RReg& odd) {
+    const __m128d a = _mm_loadu_pd(p);
+    const __m128d b = _mm_loadu_pd(p + 2);
+    even = _mm_unpacklo_pd(a, b);
+    odd = _mm_unpackhi_pd(a, b);
+  }
+};
+#endif  // __SSE2__
+
+#if defined(__AVX2__)
+/// AVX2: two complex lanes per __m256d.
+struct Avx2Arch {
+  static constexpr std::size_t kLanes = 2;
+  static constexpr std::size_t kRealLanes = 4;
+  using CReg = __m256d;
+  using RReg = __m256d;
+  using MReg = __m256d;
+
+  static CReg cload(const double* p) { return _mm256_loadu_pd(p); }
+  static void cstore(double* p, CReg a) { _mm256_storeu_pd(p, a); }
+  static CReg cbroadcast(double re, double im) {
+    return _mm256_setr_pd(re, im, re, im);
+  }
+  /// Two complex lanes from p and p + stride doubles.
+  static CReg cgather(const double* p, std::size_t stride) {
+    return _mm256_insertf128_pd(_mm256_castpd128_pd256(_mm_loadu_pd(p)),
+                                _mm_loadu_pd(p + stride), 1);
+  }
+  static void cscatter(double* p, std::size_t stride, CReg a) {
+    _mm_storeu_pd(p, _mm256_castpd256_pd128(a));
+    _mm_storeu_pd(p + stride, _mm256_extractf128_pd(a, 1));
+  }
+  static void cdeinterleave2(const double* p, CReg& ev, CReg& od) {
+    const __m256d a = _mm256_loadu_pd(p);      // [e0 o0]
+    const __m256d b = _mm256_loadu_pd(p + 4);  // [e1 o1]
+    ev = _mm256_permute2f128_pd(a, b, 0x20);   // [e0 e1]
+    od = _mm256_permute2f128_pd(a, b, 0x31);   // [o0 o1]
+  }
+  static void cinterleave2(double* p, CReg ev, CReg od) {
+    _mm256_storeu_pd(p, _mm256_permute2f128_pd(ev, od, 0x20));
+    _mm256_storeu_pd(p + 4, _mm256_permute2f128_pd(ev, od, 0x31));
+  }
+  static CReg cadd(CReg a, CReg b) { return _mm256_add_pd(a, b); }
+  static CReg csub(CReg a, CReg b) { return _mm256_sub_pd(a, b); }
+  static CReg cmul(CReg a, CReg b) {
+    const __m256d ar = _mm256_movedup_pd(a);
+    const __m256d ai = _mm256_permute_pd(a, 0xF);
+    const __m256d bswap = _mm256_permute_pd(b, 0x5);
+    const __m256d t1 = _mm256_mul_pd(ar, b);
+    const __m256d t2 = _mm256_mul_pd(ai, bswap);
+    return _mm256_add_pd(
+        t1, _mm256_xor_pd(t2, _mm256_setr_pd(-0.0, 0.0, -0.0, 0.0)));
+  }
+  static CReg cconj(CReg a) {
+    return _mm256_xor_pd(a, _mm256_setr_pd(0.0, -0.0, 0.0, -0.0));
+  }
+
+  static RReg rload(const double* p) { return _mm256_loadu_pd(p); }
+  static void rstore(double* p, RReg a) { _mm256_storeu_pd(p, a); }
+  static RReg rbroadcast(double v) { return _mm256_set1_pd(v); }
+  static RReg radd(RReg a, RReg b) { return _mm256_add_pd(a, b); }
+  static RReg rmul(RReg a, RReg b) { return _mm256_mul_pd(a, b); }
+  static MReg rcmp_gt(RReg a, RReg b) {
+    return _mm256_cmp_pd(a, b, _CMP_GT_OQ);
+  }
+  static RReg rselect(MReg m, RReg a, RReg b) {
+    return _mm256_blendv_pd(b, a, m);
+  }
+  static unsigned mask_bits(MReg m) {
+    return static_cast<unsigned>(_mm256_movemask_pd(m));
+  }
+  static void deinterleave(const double* p, RReg& even, RReg& odd) {
+    const __m256d a = _mm256_loadu_pd(p);      // [p0 p1 p2 p3]
+    const __m256d b = _mm256_loadu_pd(p + 4);  // [p4 p5 p6 p7]
+    const __m256d lo = _mm256_unpacklo_pd(a, b);  // [p0 p4 p2 p6]
+    const __m256d hi = _mm256_unpackhi_pd(a, b);  // [p1 p5 p3 p7]
+    even = _mm256_permute4x64_pd(lo, _MM_SHUFFLE(3, 1, 2, 0));
+    odd = _mm256_permute4x64_pd(hi, _MM_SHUFFLE(3, 1, 2, 0));
+  }
+};
+#endif  // __AVX2__
+
+#if defined(__AVX512F__)
+/// AVX-512F: four complex lanes per __m512d. Bitwise float ops go through
+/// the integer domain (xor_pd needs AVX512DQ; xor_epi64 is F).
+struct Avx512Arch {
+  static constexpr std::size_t kLanes = 4;
+  static constexpr std::size_t kRealLanes = 8;
+  using CReg = __m512d;
+  using RReg = __m512d;
+  using MReg = __mmask8;
+
+  static __m512d xor_pd(__m512d a, __m512d b) {
+    return _mm512_castsi512_pd(_mm512_xor_epi64(_mm512_castpd_si512(a),
+                                                _mm512_castpd_si512(b)));
+  }
+
+  static CReg cload(const double* p) { return _mm512_loadu_pd(p); }
+  static void cstore(double* p, CReg a) { _mm512_storeu_pd(p, a); }
+  static CReg cbroadcast(double re, double im) {
+    return _mm512_setr_pd(re, im, re, im, re, im, re, im);
+  }
+  static CReg cgather(const double* p, std::size_t stride) {
+    const __m256d lo = _mm256_insertf128_pd(
+        _mm256_castpd128_pd256(_mm_loadu_pd(p)), _mm_loadu_pd(p + stride), 1);
+    const __m256d hi = _mm256_insertf128_pd(
+        _mm256_castpd128_pd256(_mm_loadu_pd(p + 2 * stride)),
+        _mm_loadu_pd(p + 3 * stride), 1);
+    return _mm512_insertf64x4(_mm512_castpd256_pd512(lo), hi, 1);
+  }
+  static void cscatter(double* p, std::size_t stride, CReg a) {
+    // extractf64x2 needs AVX512DQ; stay within F via the 256-bit halves.
+    const __m256d lo = _mm512_castpd512_pd256(a);
+    const __m256d hi = _mm512_extractf64x4_pd(a, 1);
+    _mm_storeu_pd(p, _mm256_castpd256_pd128(lo));
+    _mm_storeu_pd(p + stride, _mm256_extractf128_pd(lo, 1));
+    _mm_storeu_pd(p + 2 * stride, _mm256_castpd256_pd128(hi));
+    _mm_storeu_pd(p + 3 * stride, _mm256_extractf128_pd(hi, 1));
+  }
+  static void cdeinterleave2(const double* p, CReg& ev, CReg& od) {
+    const __m512d a = _mm512_loadu_pd(p);      // [e0 o0 e1 o1]
+    const __m512d b = _mm512_loadu_pd(p + 8);  // [e2 o2 e3 o3]
+    ev = _mm512_shuffle_f64x2(a, b, _MM_SHUFFLE(2, 0, 2, 0));
+    od = _mm512_shuffle_f64x2(a, b, _MM_SHUFFLE(3, 1, 3, 1));
+  }
+  static void cinterleave2(double* p, CReg ev, CReg od) {
+    const __m512i idx_lo = _mm512_setr_epi64(0, 1, 8, 9, 2, 3, 10, 11);
+    const __m512i idx_hi = _mm512_setr_epi64(4, 5, 12, 13, 6, 7, 14, 15);
+    _mm512_storeu_pd(p, _mm512_permutex2var_pd(ev, idx_lo, od));
+    _mm512_storeu_pd(p + 8, _mm512_permutex2var_pd(ev, idx_hi, od));
+  }
+  static CReg cadd(CReg a, CReg b) { return _mm512_add_pd(a, b); }
+  static CReg csub(CReg a, CReg b) { return _mm512_sub_pd(a, b); }
+  static CReg cmul(CReg a, CReg b) {
+    const __m512d ar = _mm512_movedup_pd(a);
+    const __m512d ai = _mm512_permute_pd(a, 0xFF);
+    const __m512d bswap = _mm512_permute_pd(b, 0x55);
+    const __m512d t1 = _mm512_mul_pd(ar, b);
+    const __m512d t2 = _mm512_mul_pd(ai, bswap);
+    return _mm512_add_pd(
+        t1, xor_pd(t2, _mm512_setr_pd(-0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0,
+                                      0.0)));
+  }
+  static CReg cconj(CReg a) {
+    return xor_pd(
+        a, _mm512_setr_pd(0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0));
+  }
+
+  static RReg rload(const double* p) { return _mm512_loadu_pd(p); }
+  static void rstore(double* p, RReg a) { _mm512_storeu_pd(p, a); }
+  static RReg rbroadcast(double v) { return _mm512_set1_pd(v); }
+  static RReg radd(RReg a, RReg b) { return _mm512_add_pd(a, b); }
+  static RReg rmul(RReg a, RReg b) { return _mm512_mul_pd(a, b); }
+  static MReg rcmp_gt(RReg a, RReg b) {
+    return _mm512_cmp_pd_mask(a, b, _CMP_GT_OQ);
+  }
+  static RReg rselect(MReg m, RReg a, RReg b) {
+    return _mm512_mask_blend_pd(m, b, a);
+  }
+  static unsigned mask_bits(MReg m) { return static_cast<unsigned>(m); }
+  static void deinterleave(const double* p, RReg& even, RReg& odd) {
+    const __m512d a = _mm512_loadu_pd(p);
+    const __m512d b = _mm512_loadu_pd(p + 8);
+    const __m512i idx_e = _mm512_setr_epi64(0, 2, 4, 6, 8, 10, 12, 14);
+    const __m512i idx_o = _mm512_setr_epi64(1, 3, 5, 7, 9, 11, 13, 15);
+    even = _mm512_permutex2var_pd(a, idx_e, b);
+    odd = _mm512_permutex2var_pd(a, idx_o, b);
+  }
+};
+#endif  // __AVX512F__
+
+#if defined(__aarch64__)
+/// NEON (aarch64): one complex lane per float64x2_t.
+struct NeonArch {
+  static constexpr std::size_t kLanes = 1;
+  static constexpr std::size_t kRealLanes = 2;
+  using CReg = float64x2_t;
+  using RReg = float64x2_t;
+  using MReg = uint64x2_t;
+
+  static float64x2_t xor_f64(float64x2_t a, uint64x2_t mask) {
+    return vreinterpretq_f64_u64(veorq_u64(vreinterpretq_u64_f64(a), mask));
+  }
+
+  static CReg cload(const double* p) { return vld1q_f64(p); }
+  static void cstore(double* p, CReg a) { vst1q_f64(p, a); }
+  static CReg cbroadcast(double re, double im) {
+    const double v[2] = {re, im};
+    return vld1q_f64(v);
+  }
+  static CReg cgather(const double* p, std::size_t) { return cload(p); }
+  static void cscatter(double* p, std::size_t, CReg a) { cstore(p, a); }
+  static void cdeinterleave2(const double* p, CReg& ev, CReg& od) {
+    ev = vld1q_f64(p);
+    od = vld1q_f64(p + 2);
+  }
+  static void cinterleave2(double* p, CReg ev, CReg od) {
+    vst1q_f64(p, ev);
+    vst1q_f64(p + 2, od);
+  }
+  static CReg cadd(CReg a, CReg b) { return vaddq_f64(a, b); }
+  static CReg csub(CReg a, CReg b) { return vsubq_f64(a, b); }
+  static CReg cmul(CReg a, CReg b) {
+    const float64x2_t ar = vdupq_laneq_f64(a, 0);
+    const float64x2_t ai = vdupq_laneq_f64(a, 1);
+    const float64x2_t bswap = vextq_f64(b, b, 1);
+    const float64x2_t t1 = vmulq_f64(ar, b);
+    const float64x2_t t2 = vmulq_f64(ai, bswap);
+    const uint64x2_t neg_even = {0x8000000000000000ull, 0ull};
+    return vaddq_f64(t1, xor_f64(t2, neg_even));
+  }
+  static CReg cconj(CReg a) {
+    const uint64x2_t neg_odd = {0ull, 0x8000000000000000ull};
+    return xor_f64(a, neg_odd);
+  }
+
+  static RReg rload(const double* p) { return vld1q_f64(p); }
+  static void rstore(double* p, RReg a) { vst1q_f64(p, a); }
+  static RReg rbroadcast(double v) { return vdupq_n_f64(v); }
+  static RReg radd(RReg a, RReg b) { return vaddq_f64(a, b); }
+  static RReg rmul(RReg a, RReg b) { return vmulq_f64(a, b); }
+  static MReg rcmp_gt(RReg a, RReg b) { return vcgtq_f64(a, b); }
+  static RReg rselect(MReg m, RReg a, RReg b) { return vbslq_f64(m, a, b); }
+  static unsigned mask_bits(MReg m) {
+    return static_cast<unsigned>(vgetq_lane_u64(m, 0) & 1u) |
+           (static_cast<unsigned>(vgetq_lane_u64(m, 1) & 1u) << 1);
+  }
+  static void deinterleave(const double* p, RReg& even, RReg& odd) {
+    const float64x2x2_t t = vld2q_f64(p);
+    even = t.val[0];
+    odd = t.val[1];
+  }
+};
+#endif  // __aarch64__
+
+}  // namespace jmb::simd

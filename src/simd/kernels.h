@@ -1,0 +1,91 @@
+// Dispatched kernel table: one function pointer per ported hot kernel,
+// filled in by each backend from the shared templates in kernels_impl.h.
+//
+// All kernels operate on raw double arrays holding interleaved complex
+// values (re, im pairs), the in-memory layout of cplx/std::complex<double>
+// ([complex.numbers.general] array-oriented access). Every backend runs
+// the exact scalar operation sequence per lane — results are bitwise
+// identical across backends by construction, and tests/test_simd.cpp
+// asserts it kernel by kernel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace jmb::simd {
+
+/// Trellis width of the viterbi_acs kernel (the 802.11 K=7 code).
+inline constexpr std::size_t kViterbiStates = 64;
+
+struct Kernels {
+  const char* name;
+
+  /// One radix-2 butterfly pass of stage `len` over `n` interleaved
+  /// complex samples in `d`, with the stage's len/2 twiddles in `tw`.
+  /// Requires power-of-two n and len (FftPlan's contract).
+  void (*fft_pass)(double* d, const double* tw, std::size_t n,
+                   std::size_t len);
+
+  /// Every butterfly stage of a planned transform in one call (`tw` holds
+  /// the concatenated per-stage twiddles): the same pass sequence as
+  /// log2(n) fft_pass calls, minus the per-stage indirect-call overhead
+  /// that dominates small transforms.
+  void (*fft_run)(double* d, const double* tw, std::size_t n);
+
+  /// out[c] += v * b[c] (complex) for c in [0, n) — the row update of the
+  /// matrix-matrix product.
+  void (*caxpy_acc)(double* out, const double* b, double vr, double vi,
+                    std::size_t n);
+
+  /// row[c] -= f * krow[c] (complex) for c in [c0, n) — the LU
+  /// elimination row update.
+  void (*caxpy_sub)(double* row, const double* krow, double fr, double fi,
+                    std::size_t c0, std::size_t n);
+
+  /// acc[i] += w[i] * x[i] (complex, elementwise) for i in [0, n) — the
+  /// subcarrier-batched precoder application for one stream.
+  void (*cmac)(double* acc, const double* w, const double* x, std::size_t n);
+
+  /// Fused multi-stream precoder application:
+  /// acc[i] += sum_j w[j][i] * x[j][i], accumulated in j order per
+  /// element. The running sum stays in a register between streams, so the
+  /// per-element operation sequence — and the result — is bitwise
+  /// identical to nrows successive cmac calls, minus the intermediate
+  /// acc stores/loads.
+  void (*cmacn)(double* acc, const double* const* w, const double* const* x,
+                std::size_t nrows, std::size_t n);
+
+  /// acc[i] += w[i] (complex, elementwise) for i in [0, n).
+  void (*cacc)(double* acc, const double* w, std::size_t n);
+
+  /// out[i] = a[i] * b[i] (complex, elementwise) for i in [0, n).
+  /// `out` may alias `a`.
+  void (*cmul_ew)(double* out, const double* a, const double* b,
+                  std::size_t n);
+
+  /// Dense row-major complex matrix-vector product out = A x
+  /// (rows x cols), batched across output rows; each row's accumulation
+  /// order matches the scalar kernel exactly.
+  void (*cmatvec)(const double* a, std::size_t rows, std::size_t cols,
+                  const double* x, double* out);
+
+  /// Conjugate transpose: out (cols x rows) = A^H for row-major A.
+  void (*hermitian)(const double* a, std::size_t rows, std::size_t cols,
+                    double* out);
+
+  /// One add-compare-select trellis step over kViterbiStates states,
+  /// batched across the independent next-states. `signs` is the 256-entry
+  /// table from viterbi.cpp: for input bit b in {0,1}, four blocks of 32
+  /// doubles (+1/-1) — branch-metric signs for output bit A from the even
+  /// predecessor, A from the odd predecessor, B even, B odd. Writes all
+  /// of next_metric, surv (winning predecessor state) and surv_bit
+  /// (hypothesized input bit).
+  void (*viterbi_acs)(const double* metric, const double* signs, double la,
+                      double lb, double* next_metric, std::uint8_t* surv,
+                      std::uint8_t* surv_bit);
+};
+
+/// The table for the active backend (detect_backend() on first use).
+[[nodiscard]] const Kernels& active_kernels();
+
+}  // namespace jmb::simd

@@ -1,0 +1,20 @@
+// Compiled with -mavx2 when the toolchain supports it (see
+// simd/CMakeLists.txt); the guard turns the TU into a stub otherwise.
+#include "simd/tables.h"
+
+#if defined(__AVX2__)
+#include "simd/kernels_impl.h"
+#endif
+
+namespace jmb::simd {
+
+#if defined(__AVX2__)
+const Kernels* avx2_kernels() {
+  static constexpr Kernels k = make_kernels<Avx2Arch>("avx2");
+  return &k;
+}
+#else
+const Kernels* avx2_kernels() { return nullptr; }
+#endif
+
+}  // namespace jmb::simd

@@ -1,0 +1,20 @@
+// Compiled with -mavx512f when the toolchain supports it (see
+// simd/CMakeLists.txt); the guard turns the TU into a stub otherwise.
+#include "simd/tables.h"
+
+#if defined(__AVX512F__)
+#include "simd/kernels_impl.h"
+#endif
+
+namespace jmb::simd {
+
+#if defined(__AVX512F__)
+const Kernels* avx512_kernels() {
+  static constexpr Kernels k = make_kernels<Avx512Arch>("avx512");
+  return &k;
+}
+#else
+const Kernels* avx512_kernels() { return nullptr; }
+#endif
+
+}  // namespace jmb::simd

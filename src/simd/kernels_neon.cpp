@@ -1,0 +1,18 @@
+#include "simd/tables.h"
+
+#if defined(__aarch64__)
+#include "simd/kernels_impl.h"
+#endif
+
+namespace jmb::simd {
+
+#if defined(__aarch64__)
+const Kernels* neon_kernels() {
+  static constexpr Kernels k = make_kernels<NeonArch>("neon");
+  return &k;
+}
+#else
+const Kernels* neon_kernels() { return nullptr; }
+#endif
+
+}  // namespace jmb::simd

@@ -1,0 +1,11 @@
+#include "simd/kernels_impl.h"
+#include "simd/tables.h"
+
+namespace jmb::simd {
+
+const Kernels* scalar_kernels() {
+  static constexpr Kernels k = make_kernels<ScalarArch>("scalar");
+  return &k;
+}
+
+}  // namespace jmb::simd

@@ -1,0 +1,18 @@
+#include "simd/tables.h"
+
+#if defined(__SSE2__)
+#include "simd/kernels_impl.h"
+#endif
+
+namespace jmb::simd {
+
+#if defined(__SSE2__)
+const Kernels* sse2_kernels() {
+  static constexpr Kernels k = make_kernels<Sse2Arch>("sse2");
+  return &k;
+}
+#else
+const Kernels* sse2_kernels() { return nullptr; }
+#endif
+
+}  // namespace jmb::simd

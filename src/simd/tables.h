@@ -1,0 +1,16 @@
+// Internal: per-backend kernel-table accessors. Each returns nullptr when
+// the backend is not compiled into this binary (wrong arch or missing
+// compiler support); backend.cpp treats nullptr as unavailable.
+#pragma once
+
+namespace jmb::simd {
+
+struct Kernels;
+
+const Kernels* scalar_kernels();
+const Kernels* sse2_kernels();
+const Kernels* avx2_kernels();
+const Kernels* avx512_kernels();
+const Kernels* neon_kernels();
+
+}  // namespace jmb::simd

@@ -1,0 +1,443 @@
+// SIMD dispatch layer: per-backend batch-wrapper semantics, randomized
+// bitwise parity of every ported kernel against the scalar reference
+// table, and the JMB_SIMD override round-trip.
+//
+// The parity tests are the enforcement arm of the dispatch contract
+// (DESIGN.md "SIMD model"): every backend must produce byte-identical
+// outputs, so they compare raw memory, not values-within-epsilon.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dsp/fft_plan.h"
+#include "dsp/types.h"
+#include "simd/aligned.h"
+#include "simd/backend.h"
+#include "simd/kernels.h"
+#include "simd/tables.h"
+
+namespace jmb::simd {
+namespace {
+
+constexpr Backend kAllBackends[] = {Backend::kScalar, Backend::kSse2,
+                                    Backend::kAvx2, Backend::kAvx512,
+                                    Backend::kNeon};
+
+const Kernels* table_of(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return scalar_kernels();
+    case Backend::kSse2:
+      return sse2_kernels();
+    case Backend::kAvx2:
+      return avx2_kernels();
+    case Backend::kAvx512:
+      return avx512_kernels();
+    case Backend::kNeon:
+      return neon_kernels();
+  }
+  return nullptr;
+}
+
+/// Every runnable backend table on this machine (scalar included).
+std::vector<const Kernels*> runnable_tables() {
+  std::vector<const Kernels*> out;
+  for (const Backend b : kAllBackends) {
+    if (backend_available(b)) out.push_back(table_of(b));
+  }
+  return out;
+}
+
+std::vector<double> random_doubles(std::mt19937_64& rng, std::size_t n) {
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  std::vector<double> v(n);
+  for (double& x : v) x = u(rng);
+  return v;
+}
+
+// ---- selection & override ------------------------------------------------
+
+TEST(SimdBackend, ScalarIsAlwaysRunnable) {
+  EXPECT_TRUE(backend_available(Backend::kScalar));
+  ASSERT_NE(scalar_kernels(), nullptr);
+  EXPECT_STREQ(scalar_kernels()->name, "scalar");
+}
+
+TEST(SimdBackend, ParseBackendNames) {
+  EXPECT_EQ(parse_backend("scalar"), Backend::kScalar);
+  EXPECT_EQ(parse_backend("sse2"), Backend::kSse2);
+  EXPECT_EQ(parse_backend("avx2"), Backend::kAvx2);
+  EXPECT_EQ(parse_backend("avx512"), Backend::kAvx512);
+  EXPECT_EQ(parse_backend("avx512f"), Backend::kAvx512);
+  EXPECT_EQ(parse_backend("neon"), Backend::kNeon);
+  EXPECT_EQ(parse_backend(""), std::nullopt);
+  EXPECT_EQ(parse_backend("auto"), std::nullopt);
+  EXPECT_EQ(parse_backend("mmx"), std::nullopt);
+}
+
+TEST(SimdBackend, NamesRoundTripThroughParse) {
+  for (const Backend b : kAllBackends) {
+    EXPECT_EQ(parse_backend(backend_name(b)), b) << backend_name(b);
+  }
+}
+
+TEST(SimdBackend, BestBackendIsRunnable) {
+  EXPECT_TRUE(backend_available(best_backend()));
+}
+
+TEST(SimdBackend, SetBackendForcesTheActiveTable) {
+  for (const Backend b : kAllBackends) {
+    if (!backend_available(b)) {
+      EXPECT_FALSE(set_backend(b)) << backend_name(b);
+      continue;
+    }
+    ASSERT_TRUE(set_backend(b));
+    EXPECT_EQ(active_backend(), b);
+    EXPECT_STREQ(active_kernels().name, backend_name(b));
+  }
+  reset_backend_cache();
+}
+
+TEST(SimdBackend, EnvOverrideRoundTrip) {
+  for (const Backend b : kAllBackends) {
+    if (!backend_available(b)) continue;
+    ASSERT_EQ(setenv("JMB_SIMD", backend_name(b), 1), 0);
+    reset_backend_cache();
+    EXPECT_EQ(active_backend(), b) << backend_name(b);
+    EXPECT_STREQ(active_kernels().name, backend_name(b));
+  }
+  // Unknown and empty values fall back to the best native backend.
+  ASSERT_EQ(setenv("JMB_SIMD", "not-a-backend", 1), 0);
+  reset_backend_cache();
+  EXPECT_EQ(active_backend(), best_backend());
+  ASSERT_EQ(unsetenv("JMB_SIMD"), 0);
+  reset_backend_cache();
+  EXPECT_EQ(active_backend(), best_backend());
+}
+
+TEST(SimdAligned, VectorsAreCacheLineAligned) {
+  acvec c(3);
+  advec d(5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c.data()) % kCacheLine, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % kCacheLine, 0u);
+}
+
+// ---- batch-wrapper semantics, per backend --------------------------------
+
+TEST(SimdKernels, CmacMatchesComplexArithmetic) {
+  // n = 5 exercises both the vector body and the scalar tail on every
+  // backend (kLanes is 1, 2 or 4).
+  const std::size_t n = 5;
+  std::mt19937_64 rng(11);
+  const std::vector<double> w = random_doubles(rng, 2 * n);
+  const std::vector<double> x = random_doubles(rng, 2 * n);
+  for (const Kernels* k : runnable_tables()) {
+    std::vector<double> acc(2 * n, 0.0);
+    k->cmac(acc.data(), w.data(), x.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const cplx wi{w[2 * i], w[2 * i + 1]};
+      const cplx xi{x[2 * i], x[2 * i + 1]};
+      const cplx e = wi * xi;
+      EXPECT_EQ(acc[2 * i], e.real()) << k->name << " lane " << i;
+      EXPECT_EQ(acc[2 * i + 1], e.imag()) << k->name << " lane " << i;
+    }
+  }
+}
+
+TEST(SimdKernels, CaxpySubMatchesComplexArithmetic) {
+  const std::size_t n = 7;
+  const std::size_t c0 = 2;
+  std::mt19937_64 rng(12);
+  const std::vector<double> krow = random_doubles(rng, 2 * n);
+  const std::vector<double> row0 = random_doubles(rng, 2 * n);
+  const cplx f{0.25, -1.5};
+  for (const Kernels* k : runnable_tables()) {
+    std::vector<double> row = row0;
+    k->caxpy_sub(row.data(), krow.data(), f.real(), f.imag(), c0, n);
+    for (std::size_t c = 0; c < n; ++c) {
+      cplx e{row0[2 * c], row0[2 * c + 1]};
+      if (c >= c0) {
+        e -= cplx{f.real() * krow[2 * c] - f.imag() * krow[2 * c + 1],
+                  f.real() * krow[2 * c + 1] + f.imag() * krow[2 * c]};
+      }
+      EXPECT_EQ(row[2 * c], e.real()) << k->name << " col " << c;
+      EXPECT_EQ(row[2 * c + 1], e.imag()) << k->name << " col " << c;
+    }
+  }
+}
+
+TEST(SimdKernels, HermitianConjugateTransposes) {
+  const std::size_t rows = 3;
+  const std::size_t cols = 5;
+  std::mt19937_64 rng(13);
+  const std::vector<double> a = random_doubles(rng, 2 * rows * cols);
+  for (const Kernels* k : runnable_tables()) {
+    std::vector<double> out(2 * rows * cols, 0.0);
+    k->hermitian(a.data(), rows, cols, out.data());
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        EXPECT_EQ(out[2 * (c * rows + r)], a[2 * (r * cols + c)]) << k->name;
+        EXPECT_EQ(out[2 * (c * rows + r) + 1], -a[2 * (r * cols + c) + 1])
+            << k->name;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, FftPassFirstStageIsAddSub) {
+  // Stage len = 2 with twiddle 1 + 0i: [a, b] -> [a + b, a - b].
+  const double tw[2] = {1.0, 0.0};
+  for (const Kernels* k : runnable_tables()) {
+    double d[8] = {1.0, 2.0, 3.0, -4.0, 0.5, 0.0, -0.25, 8.0};
+    k->fft_pass(d, tw, 4, 2);
+    const double expect[8] = {4.0, -2.0, -2.0, 6.0, 0.25, 8.0, 0.75, -8.0};
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(d[i], expect[i]) << k->name;
+  }
+}
+
+TEST(SimdKernels, ViterbiAcsTieKeepsEvenPredecessor) {
+  // All-zero metrics with all +1 signs make every candidate pair tie at
+  // la + lb; the strictly-greater select must keep the even predecessor,
+  // matching the sequential reference update order.
+  alignas(64) double signs[4 * kViterbiStates];
+  for (double& s : signs) s = 1.0;
+  alignas(64) double metric[kViterbiStates] = {};
+  for (const Kernels* k : runnable_tables()) {
+    alignas(64) double next[kViterbiStates];
+    std::uint8_t surv[kViterbiStates];
+    std::uint8_t surv_bit[kViterbiStates];
+    k->viterbi_acs(metric, signs, 0.5, 0.25, next, surv, surv_bit);
+    constexpr std::size_t kHalf = kViterbiStates / 2;
+    for (std::size_t ns = 0; ns < kViterbiStates; ++ns) {
+      EXPECT_EQ(next[ns], 0.75) << k->name << " state " << ns;
+      EXPECT_EQ(surv[ns], 2 * (ns % kHalf)) << k->name << " state " << ns;
+      EXPECT_EQ(surv_bit[ns], ns / kHalf) << k->name << " state " << ns;
+    }
+  }
+}
+
+// ---- randomized bitwise parity vs the scalar table -----------------------
+
+class SimdParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimdParity, FftPassAndRun) {
+  std::mt19937_64 rng(GetParam());
+  const Kernels* ref = scalar_kernels();
+  for (const std::size_t n : {2u, 4u, 8u, 64u, 256u}) {
+    const std::vector<double> d0 = random_doubles(rng, 2 * n);
+    const std::vector<double> tw = random_doubles(rng, 2 * n);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      std::vector<double> want = d0;
+      ref->fft_pass(want.data(), tw.data(), n, len);
+      for (const Kernels* k : runnable_tables()) {
+        std::vector<double> got = d0;
+        k->fft_pass(got.data(), tw.data(), n, len);
+        EXPECT_EQ(std::memcmp(got.data(), want.data(), 2 * n * sizeof(double)),
+                  0)
+            << k->name << " n=" << n << " len=" << len;
+      }
+    }
+    std::vector<double> want = d0;
+    ref->fft_run(want.data(), tw.data(), n);
+    for (const Kernels* k : runnable_tables()) {
+      std::vector<double> got = d0;
+      k->fft_run(got.data(), tw.data(), n);
+      EXPECT_EQ(std::memcmp(got.data(), want.data(), 2 * n * sizeof(double)),
+                0)
+          << k->name << " fft_run n=" << n;
+    }
+  }
+}
+
+TEST_P(SimdParity, AxpyAccSubMacEwKernels) {
+  std::mt19937_64 rng(GetParam() + 101);
+  const Kernels* ref = scalar_kernels();
+  for (const std::size_t n : {1u, 3u, 26u, 52u, 65u}) {
+    const std::vector<double> b = random_doubles(rng, 2 * n);
+    const std::vector<double> x = random_doubles(rng, 2 * n);
+    const std::vector<double> acc0 = random_doubles(rng, 2 * n);
+    const double vr = acc0[0];
+    const double vi = b[0];
+    const std::size_t c0 = n / 3;
+    const auto bytes = 2 * n * sizeof(double);
+
+    std::vector<double> w1 = acc0;
+    ref->caxpy_acc(w1.data(), b.data(), vr, vi, n);
+    std::vector<double> w2 = acc0;
+    ref->caxpy_sub(w2.data(), b.data(), vr, vi, c0, n);
+    std::vector<double> w3 = acc0;
+    ref->cmac(w3.data(), b.data(), x.data(), n);
+    std::vector<double> w4 = acc0;
+    ref->cacc(w4.data(), b.data(), n);
+    std::vector<double> w5(2 * n);
+    ref->cmul_ew(w5.data(), b.data(), x.data(), n);
+
+    for (const Kernels* k : runnable_tables()) {
+      std::vector<double> g = acc0;
+      k->caxpy_acc(g.data(), b.data(), vr, vi, n);
+      EXPECT_EQ(std::memcmp(g.data(), w1.data(), bytes), 0)
+          << k->name << " caxpy_acc n=" << n;
+      g = acc0;
+      k->caxpy_sub(g.data(), b.data(), vr, vi, c0, n);
+      EXPECT_EQ(std::memcmp(g.data(), w2.data(), bytes), 0)
+          << k->name << " caxpy_sub n=" << n;
+      g = acc0;
+      k->cmac(g.data(), b.data(), x.data(), n);
+      EXPECT_EQ(std::memcmp(g.data(), w3.data(), bytes), 0)
+          << k->name << " cmac n=" << n;
+      g = acc0;
+      k->cacc(g.data(), b.data(), n);
+      EXPECT_EQ(std::memcmp(g.data(), w4.data(), bytes), 0)
+          << k->name << " cacc n=" << n;
+      g.assign(2 * n, 0.0);
+      k->cmul_ew(g.data(), b.data(), x.data(), n);
+      EXPECT_EQ(std::memcmp(g.data(), w5.data(), bytes), 0)
+          << k->name << " cmul_ew n=" << n;
+      // Aliased output (out == a), the SynthesisStage LTF configuration.
+      g = b;
+      k->cmul_ew(g.data(), g.data(), x.data(), n);
+      EXPECT_EQ(std::memcmp(g.data(), w5.data(), bytes), 0)
+          << k->name << " cmul_ew aliased n=" << n;
+    }
+  }
+}
+
+TEST_P(SimdParity, CmacnMatchesSuccessiveCmacs) {
+  std::mt19937_64 rng(GetParam() + 202);
+  const Kernels* ref = scalar_kernels();
+  for (const std::size_t nrows : {1u, 2u, 4u, 7u}) {
+    const std::size_t n = 26;
+    std::vector<std::vector<double>> w(nrows), x(nrows);
+    std::vector<const double*> wp(nrows), xp(nrows);
+    for (std::size_t j = 0; j < nrows; ++j) {
+      w[j] = random_doubles(rng, 2 * n);
+      x[j] = random_doubles(rng, 2 * n);
+      wp[j] = w[j].data();
+      xp[j] = x[j].data();
+    }
+    const std::vector<double> acc0 = random_doubles(rng, 2 * n);
+    // Reference: the unfused per-stream loop.
+    std::vector<double> want = acc0;
+    for (std::size_t j = 0; j < nrows; ++j) {
+      ref->cmac(want.data(), wp[j], xp[j], n);
+    }
+    for (const Kernels* k : runnable_tables()) {
+      std::vector<double> got = acc0;
+      k->cmacn(got.data(), wp.data(), xp.data(), nrows, n);
+      EXPECT_EQ(
+          std::memcmp(got.data(), want.data(), 2 * n * sizeof(double)), 0)
+          << k->name << " cmacn nrows=" << nrows;
+    }
+  }
+}
+
+TEST_P(SimdParity, MatvecAndHermitian) {
+  std::mt19937_64 rng(GetParam() + 303);
+  const Kernels* ref = scalar_kernels();
+  for (const std::size_t rows : {1u, 2u, 4u, 5u, 10u}) {
+    const std::size_t cols = rows;
+    const std::vector<double> a = random_doubles(rng, 2 * rows * cols);
+    const std::vector<double> x = random_doubles(rng, 2 * cols);
+    const auto bytes = 2 * rows * cols * sizeof(double);
+
+    std::vector<double> w1(2 * rows);
+    ref->cmatvec(a.data(), rows, cols, x.data(), w1.data());
+    std::vector<double> w2(2 * rows * cols);
+    ref->hermitian(a.data(), rows, cols, w2.data());
+
+    for (const Kernels* k : runnable_tables()) {
+      std::vector<double> g1(2 * rows);
+      k->cmatvec(a.data(), rows, cols, x.data(), g1.data());
+      EXPECT_EQ(
+          std::memcmp(g1.data(), w1.data(), 2 * rows * sizeof(double)), 0)
+          << k->name << " cmatvec " << rows << "x" << cols;
+      std::vector<double> g2(2 * rows * cols);
+      k->hermitian(a.data(), rows, cols, g2.data());
+      EXPECT_EQ(std::memcmp(g2.data(), w2.data(), bytes), 0)
+          << k->name << " hermitian " << rows << "x" << cols;
+    }
+  }
+}
+
+TEST_P(SimdParity, ViterbiAcs) {
+  std::mt19937_64 rng(GetParam() + 404);
+  const Kernels* ref = scalar_kernels();
+  std::uniform_real_distribution<double> u(-4.0, 4.0);
+  std::bernoulli_distribution coin(0.5);
+  for (int trial = 0; trial < 8; ++trial) {
+    alignas(64) double signs[4 * kViterbiStates];
+    for (double& s : signs) s = coin(rng) ? 1.0 : -1.0;
+    alignas(64) double metric[kViterbiStates];
+    for (double& m : metric) {
+      // A sprinkle of -inf models unreachable trellis states.
+      m = coin(rng) && trial < 2 ? -std::numeric_limits<double>::infinity()
+                                 : u(rng);
+    }
+    const double la = u(rng);
+    const double lb = u(rng);
+
+    alignas(64) double want_metric[kViterbiStates];
+    std::uint8_t want_surv[kViterbiStates];
+    std::uint8_t want_bit[kViterbiStates];
+    ref->viterbi_acs(metric, signs, la, lb, want_metric, want_surv, want_bit);
+    for (const Kernels* k : runnable_tables()) {
+      alignas(64) double got_metric[kViterbiStates];
+      std::uint8_t got_surv[kViterbiStates];
+      std::uint8_t got_bit[kViterbiStates];
+      k->viterbi_acs(metric, signs, la, lb, got_metric, got_surv, got_bit);
+      EXPECT_EQ(std::memcmp(got_metric, want_metric, sizeof(want_metric)), 0)
+          << k->name << " trial " << trial;
+      EXPECT_EQ(std::memcmp(got_surv, want_surv, sizeof(want_surv)), 0)
+          << k->name << " trial " << trial;
+      EXPECT_EQ(std::memcmp(got_bit, want_bit, sizeof(want_bit)), 0)
+          << k->name << " trial " << trial;
+    }
+  }
+}
+
+TEST_P(SimdParity, PlannedFftUnderForcedBackends) {
+  // End to end through FftPlan: every backend must reproduce the scalar
+  // transform bit for bit, forward and inverse.
+  std::mt19937_64 rng(GetParam() + 505);
+  for (const std::size_t n : {64u, 256u}) {
+    const FftPlan plan(n);
+    const std::vector<double> d0 = random_doubles(rng, 2 * n);
+    acvec buf(n);
+    auto load = [&] {
+      std::memcpy(buf.data(), d0.data(), 2 * n * sizeof(double));
+    };
+    ASSERT_TRUE(set_backend(Backend::kScalar));
+    load();
+    plan.forward(std::span<cplx>(buf.data(), n));
+    const acvec want_fwd = buf;
+    plan.inverse(std::span<cplx>(buf.data(), n));
+    const acvec want_rt = buf;
+    for (const Backend b : kAllBackends) {
+      if (!backend_available(b)) continue;
+      ASSERT_TRUE(set_backend(b));
+      load();
+      plan.forward(std::span<cplx>(buf.data(), n));
+      EXPECT_EQ(std::memcmp(buf.data(), want_fwd.data(),
+                            2 * n * sizeof(double)),
+                0)
+          << backend_name(b) << " forward n=" << n;
+      plan.inverse(std::span<cplx>(buf.data(), n));
+      EXPECT_EQ(
+          std::memcmp(buf.data(), want_rt.data(), 2 * n * sizeof(double)), 0)
+          << backend_name(b) << " round trip n=" << n;
+    }
+    reset_backend_cache();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdParity,
+                         ::testing::Values(1u, 20260807u, 0xDEADBEEFu));
+
+}  // namespace
+}  // namespace jmb::simd

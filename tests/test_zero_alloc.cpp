@@ -12,6 +12,7 @@
 
 #include "core/precoder.h"
 #include "core/types.h"
+#include "dsp/fft_plan.h"
 #include "fault/injector.h"
 #include "fault/plan.h"
 #include "obs/alloc_count.h"
@@ -21,6 +22,9 @@
 #include "phy/ofdm.h"
 #include "phy/viterbi.h"
 #include "phy/workspace.h"
+#include "simd/aligned.h"
+#include "simd/backend.h"
+#include "simd/kernels.h"
 
 namespace jmb {
 namespace {
@@ -134,6 +138,49 @@ TEST(ZeroAlloc, SteadyStateFrameKernelsDoNotAllocate) {
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->cls, obs::MetricClass::kTiming);
   EXPECT_EQ(std::get<obs::Gauge>(e->metric).value(), 0.0);
+}
+
+TEST(ZeroAlloc, SimdDispatchPathDoesNotAllocate) {
+  // The dispatched kernel table and the batched kernels themselves must
+  // stay heap-free in steady state — including the first active_kernels()
+  // resolution, which only reads cpuid/getenv and a couple of atomics.
+  constexpr std::size_t kN = phy::kNfft;
+  const FftPlan plan(kN);
+  simd::acvec spec(kN), scratch(kN);
+  simd::acvec w0(kN), w1(kN), x0(kN), x1(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double t = static_cast<double>(i) / kN;
+    spec[i] = cplx{0.5 - t, t};
+    w0[i] = cplx{1.0, -t};
+    w1[i] = cplx{-0.5 + t, 0.25};
+    x0[i] = cplx{t, 1.0 - t};
+    x1[i] = cplx{-t, 0.5};
+  }
+  const double* wrows[2] = {reinterpret_cast<const double*>(w0.data()),
+                            reinterpret_cast<const double*>(w1.data())};
+  const double* xrows[2] = {reinterpret_cast<const double*>(x0.data()),
+                            reinterpret_cast<const double*>(x1.data())};
+
+  const auto iter = [&] {
+    const simd::Kernels& kern = simd::active_kernels();
+    scratch = spec;  // same capacity: assignment copies, no reallocation
+    kern.cmacn(reinterpret_cast<double*>(scratch.data()), wrows, xrows, 2,
+               kN);
+    plan.forward(std::span<cplx>(scratch.data(), kN));
+    plan.inverse(std::span<cplx>(scratch.data(), kN));
+  };
+
+  simd::reset_backend_cache();  // make the first iter resolve the backend
+  obs::reset_alloc_counts();
+  obs::set_alloc_counting(true);
+  for (int it = 0; it < 50; ++it) iter();
+  obs::set_alloc_counting(false);
+
+  const obs::AllocCounts c = obs::alloc_counts();
+  EXPECT_EQ(c.allocs, 0u)
+      << "SIMD dispatch path allocated " << c.allocs << " times (" << c.bytes
+      << " bytes)";
+  EXPECT_EQ(c.deallocs, 0u);
 }
 
 }  // namespace
