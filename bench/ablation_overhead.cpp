@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
   bench::banner("Ablation: measurement overhead vs coherence time", seed);
 
   rate::AirtimeParams air;
-  std::printf("measurement airtime: 2 APs+2 clients: %.0f us, 10+10: %.0f us\n\n",
+  std::printf(
+      "measurement airtime: 2 APs+2 clients: %.0f us, 10+10: %.0f us\n\n",
               rate::measurement_airtime_s(2, 2, air) * 1e6,
               rate::measurement_airtime_s(10, 10, air) * 1e6);
 

@@ -192,12 +192,14 @@ inline int finish(const BenchOptions& opts, const engine::TrialRunner& runner) {
 }
 
 inline void banner(const std::string& title, std::uint64_t seed) {
-  std::printf("==============================================================\n");
+  std::printf(
+      "==============================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("seed = %llu   threads = %zu\n",
               static_cast<unsigned long long>(seed),
               engine::default_thread_count());
-  std::printf("==============================================================\n");
+  std::printf(
+      "==============================================================\n");
 }
 
 /// The paper's three effective-SNR bands (Section 11).
@@ -240,10 +242,8 @@ inline std::vector<std::vector<double>> band_link_gains(std::size_t n_aps,
 /// (clients scatter across the room, so each is close to *some* AP).
 /// This diagonal dominance is what keeps the paper's channel matrices
 /// "random and well conditioned" even at 10x10.
-inline std::vector<std::vector<double>> diverse_link_gains(std::size_t n_aps,
-                                                           std::size_t n_clients,
-                                                           const SnrBand& band,
-                                                           Rng& rng) {
+inline std::vector<std::vector<double>> diverse_link_gains(
+    std::size_t n_aps, std::size_t n_clients, const SnrBand& band, Rng& rng) {
   // Random assignment of primary APs (a permutation when sizes match).
   std::vector<std::size_t> primary(n_clients);
   for (std::size_t c = 0; c < n_clients; ++c) primary[c] = c % n_aps;

@@ -50,7 +50,9 @@ int main(int argc, char** argv) {
       });
 
   rvec all;
-  for (const rvec& dev : per_topo) all.insert(all.end(), dev.begin(), dev.end());
+  for (const rvec& dev : per_topo) {
+    all.insert(all.end(), dev.begin(), dev.end());
+  }
   if (all.empty()) {
     std::printf("no samples collected\n");
     return 1;

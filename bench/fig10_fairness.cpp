@@ -99,7 +99,8 @@ int main(int argc, char** argv) {
   opts.seed = bench::seed_from(argc, argv);
   const auto seed = opts.seed;
   bench::banner("Fig. 10: CDF of per-client throughput gain", seed);
-  std::printf("per-client gain = client JMB goodput / client 802.11 goodput\n\n");
+  std::printf(
+      "per-client gain = client JMB goodput / client 802.11 goodput\n\n");
 
   const auto& bands = bench::snr_bands();
   const std::size_t n_sizes = std::size(kSizes);

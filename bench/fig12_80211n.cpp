@@ -68,7 +68,9 @@ int main(int argc, char** argv) {
       for (const rvec& s : r->jmb_stream_sinr) jmb += stream_goodput_mbps(s);
       // Baseline: each client's 2 streams, but clients time-share.
       double base = 0.0;
-      for (const rvec& s : r->baseline_stream_snr) base += stream_goodput_mbps(s);
+      for (const rvec& s : r->baseline_stream_snr) {
+        base += stream_goodput_mbps(s);
+      }
       base /= 2.0;
       if (base > 1.0) {
         base_acc.add(base);

@@ -77,7 +77,9 @@ int main(int argc, char** argv) {
         h = core::well_conditioned_channel_set(gains, rng);
         precoder = core::ZfPrecoder::build(h, 1.0, &ctx.sink);
       }
-      if (!precoder) return std::pair<double, double>{base.total_goodput_mbps, 0.0};
+      if (!precoder) {
+        return std::pair<double, double>{base.total_goodput_mbps, 0.0};
+      }
       Rng err_rng(rng.next_u64());
       std::vector<std::vector<rvec>> pool;
       {

@@ -64,7 +64,8 @@ int main(int argc, char** argv) {
   for (const rvec& s : r.baseline_stream_snr) base += stream_goodput_mbps(s);
   base /= 2.0;  // stock 802.11n: clients time-share the channel
 
-  std::printf("\ntotal with stock 802.11n (time-shared 2x2): %.1f Mb/s\n", base);
+  std::printf("\ntotal with stock 802.11n (time-shared 2x2): %.1f Mb/s\n",
+              base);
   std::printf("total with JMB APs (4 concurrent streams):  %.1f Mb/s\n", jmb);
   std::printf("gain: %.2fx  (paper: 1.67-1.83x, 2x theoretical)\n",
               base > 0 ? jmb / base : 0.0);

@@ -19,10 +19,13 @@ double doppler_from_coherence(double tc_s) { return 1.52 / (kTwoPi * tc_s); }
 }  // namespace
 
 FadingChannel::FadingChannel(FadingParams p) : params_(p), rng_(p.seed) {
-  if (p.n_taps == 0) throw std::invalid_argument("FadingChannel: need >= 1 tap");
+  if (p.n_taps == 0) {
+    throw std::invalid_argument("FadingChannel: need >= 1 tap");
+  }
   if (p.gain < 0) throw std::invalid_argument("FadingChannel: negative gain");
   if (p.coherence_time_s <= 0) {
-    throw std::invalid_argument("FadingChannel: coherence time must be positive");
+    throw std::invalid_argument(
+        "FadingChannel: coherence time must be positive");
   }
   draw_initial();
 }
@@ -65,7 +68,8 @@ void FadingChannel::draw_initial() {
 
 void FadingChannel::evolve_to(double t_seconds) {
   if (t_seconds < t_) {
-    throw std::invalid_argument("FadingChannel::evolve_to: time must not go backwards");
+    throw std::invalid_argument(
+        "FadingChannel::evolve_to: time must not go backwards");
   }
   t_ = t_seconds;
   for (std::size_t l = 0; l < taps_.size(); ++l) {
@@ -90,7 +94,9 @@ cvec FadingChannel::apply(const cvec& x) const {
 
 cvec FadingChannel::frequency_response(std::size_t nfft) const {
   cvec padded(nfft, cplx{});
-  for (std::size_t l = 0; l < taps_.size() && l < nfft; ++l) padded[l] = taps_[l];
+  for (std::size_t l = 0; l < taps_.size() && l < nfft; ++l) {
+    padded[l] = taps_[l];
+  }
   return fft(padded);
 }
 

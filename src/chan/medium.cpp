@@ -102,7 +102,8 @@ cvec Medium::receive(NodeId rx, double start_s, std::size_t n) {
       // Oscillator rotations evaluated at true time.
       const double det = kTwoPi * delta_cfo * tm;
       const auto idx = static_cast<std::uint64_t>(std::max(0.0, tm * fs));
-      const double pn = txn.osc.phase_noise_at(idx) - rxn.osc.phase_noise_at(idx);
+      const double pn =
+          txn.osc.phase_noise_at(idx) - rxn.osc.phase_noise_at(idx);
       y[m] += s * phasor(det + pn);
     }
   }
@@ -119,9 +120,11 @@ cvec Medium::true_channel(NodeId tx, NodeId rx, std::size_t nfft) const {
   // e^{-j 2 pi k d / nfft} (k interpreted as signed logical index).
   const double d = ch->delay_samples();
   for (std::size_t b = 0; b < nfft; ++b) {
-    const int k = (b <= nfft / 2) ? static_cast<int>(b)
-                                  : static_cast<int>(b) - static_cast<int>(nfft);
-    h[b] *= phasor(-kTwoPi * static_cast<double>(k) * d / static_cast<double>(nfft));
+    const int k = (b <= nfft / 2)
+                      ? static_cast<int>(b)
+                      : static_cast<int>(b) - static_cast<int>(nfft);
+    h[b] *= phasor(-kTwoPi * static_cast<double>(k) * d /
+                   static_cast<double>(nfft));
   }
   return h;
 }

@@ -72,7 +72,8 @@ class Medium {
   /// now, including the fractional-delay phase ramp — the oracle tests and
   /// the link-level model compare against. Does not include oscillator
   /// rotations (those are time-varying by nature).
-  [[nodiscard]] cvec true_channel(NodeId tx, NodeId rx, std::size_t nfft = 64) const;
+  [[nodiscard]] cvec true_channel(NodeId tx, NodeId rx,
+                                  std::size_t nfft = 64) const;
 
   [[nodiscard]] double sample_rate_hz() const { return params_.sample_rate_hz; }
 

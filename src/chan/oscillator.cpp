@@ -31,8 +31,8 @@ double hashed_gaussian(std::uint64_t seed, std::uint64_t n) {
 Oscillator::Oscillator(OscillatorParams p) : params_(p) {
   // Wiener phase noise with linewidth B: Var[theta(t+dt) - theta(t)] =
   // 2 pi B dt. Per nominal sample: sigma^2 = 2 pi B / fs.
-  sigma_per_sample_ =
-      std::sqrt(kTwoPi * params_.phase_noise_linewidth_hz / params_.sample_rate_hz);
+  sigma_per_sample_ = std::sqrt(kTwoPi * params_.phase_noise_linewidth_hz /
+                                params_.sample_rate_hz);
   checkpoints_[0] = 0.0;
 }
 

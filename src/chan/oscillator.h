@@ -19,7 +19,7 @@ namespace jmb::chan {
 
 struct OscillatorParams {
   double ppm = 0.0;                      ///< crystal error, parts per million
-  double carrier_hz = 2.4e9;             ///< RF carrier the crystal multiplies to
+  double carrier_hz = 2.4e9;  ///< RF carrier the crystal multiplies to
   double sample_rate_hz = 10e6;          ///< nominal ADC/DAC rate
   double phase_noise_linewidth_hz = 0.1; ///< Wiener linewidth (3 dB width)
   std::uint64_t seed = 1;                ///< phase-noise stream seed
@@ -64,7 +64,9 @@ class Oscillator {
   /// into cfo_hz() so both the carrier rotation and every consumer of the
   /// deterministic offset see it.
   void inject_cfo_step(double hz) { injected_cfo_hz_ += hz; }
-  [[nodiscard]] double injected_phase_rad() const { return injected_phase_rad_; }
+  [[nodiscard]] double injected_phase_rad() const {
+    return injected_phase_rad_;
+  }
   [[nodiscard]] double injected_cfo_hz() const { return injected_cfo_hz_; }
 
  private:

@@ -25,7 +25,8 @@ Link make_link(const Position& ap, const Position& cl,
   link.distance_m = std::max(ap.distance_to(cl), 0.5);
   link.line_of_sight = !rng.bernoulli(pl.nlos_probability);
   const double n = link.line_of_sight ? pl.exponent_los : pl.exponent_nlos;
-  const double loss_db = pl.ref_loss_db + 10.0 * n * std::log10(link.distance_m) +
+  const double loss_db = pl.ref_loss_db +
+                         10.0 * n * std::log10(link.distance_m) +
                          rng.gaussian(pl.shadowing_sigma_db);
   const double rx_dbm = pl.tx_power_dbm - loss_db;
   link.snr_db = rx_dbm - pl.noise_floor_dbm;
@@ -39,10 +40,20 @@ Position sample_perimeter(const RoomParams& room, Rng& rng) {
   const int side = rng.uniform_int(0, 3);
   Position p;
   switch (side) {
-    case 0: p = {rng.uniform(0, room.width_m), rng.uniform(0, margin)}; break;
-    case 1: p = {rng.uniform(0, room.width_m), room.height_m - rng.uniform(0, margin)}; break;
-    case 2: p = {rng.uniform(0, margin), rng.uniform(0, room.height_m)}; break;
-    default: p = {room.width_m - rng.uniform(0, margin), rng.uniform(0, room.height_m)}; break;
+    case 0:
+      p = {rng.uniform(0, room.width_m), rng.uniform(0, margin)};
+      break;
+    case 1:
+      p = {rng.uniform(0, room.width_m),
+           room.height_m - rng.uniform(0, margin)};
+      break;
+    case 2:
+      p = {rng.uniform(0, margin), rng.uniform(0, room.height_m)};
+      break;
+    default:
+      p = {room.width_m - rng.uniform(0, margin),
+           rng.uniform(0, room.height_m)};
+      break;
   }
   return p;
 }

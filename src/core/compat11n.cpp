@@ -39,16 +39,20 @@ struct NodeOsc {
 
   [[nodiscard]] double phase_at(double t) const {
     return kTwoPi * cfo_hz * t +
-           osc.phase_noise_at(static_cast<std::uint64_t>(std::max(0.0, t * 10e6)));
+           osc.phase_noise_at(
+               static_cast<std::uint64_t>(std::max(0.0, t * 10e6)));
   }
 };
 
 }  // namespace
 
-Compat11nResult run_compat11n(const Compat11nParams& p, Rng& rng, Workspace* ws) {
+Compat11nResult run_compat11n(const Compat11nParams& p, Rng& rng,
+                              Workspace* ws) {
   const std::size_t n_tx = p.n_aps * p.ants_per_node;
   const std::size_t n_rx = p.n_clients * p.ants_per_node;
-  if (n_tx < 2) throw std::invalid_argument("run_compat11n: need >= 2 tx antennas");
+  if (n_tx < 2) {
+    throw std::invalid_argument("run_compat11n: need >= 2 tx antennas");
+  }
 
   // True channels (time-invariant within the experiment) with link gain.
   const ChannelMatrixSet h_true = random_channel_set_with_gains(

@@ -23,7 +23,8 @@ struct NodeOsc {
 
   [[nodiscard]] double phase_at(double t) const {
     return kTwoPi * cfo_hz * t +
-           osc.phase_noise_at(static_cast<std::uint64_t>(std::max(0.0, t * 10e6)));
+           osc.phase_noise_at(
+               static_cast<std::uint64_t>(std::max(0.0, t * 10e6)));
   }
 };
 
@@ -56,7 +57,8 @@ rvec mean_sinr_db(const ChannelMatrixSet& h_snapshot,
 
 }  // namespace
 
-DecoupledResult run_decoupled(const DecoupledParams& p, Rng& rng, Workspace* ws) {
+DecoupledResult run_decoupled(const DecoupledParams& p, Rng& rng,
+                              Workspace* ws) {
   const std::size_t n = p.n_nodes;
   if (n < 2) throw std::invalid_argument("run_decoupled: need >= 2 nodes");
 
@@ -75,7 +77,8 @@ DecoupledResult run_decoupled(const DecoupledParams& p, Rng& rng, Workspace* ws)
   const double est_nvar = p.link_gain / from_db(p.measure_snr_db);
 
   // Client c's interleaved measurement of AP a at time t_c.
-  const auto measure = [&](std::size_t c, std::size_t a, std::size_t k, double t) {
+  const auto measure = [&](std::size_t c, std::size_t a, std::size_t k,
+                           double t) {
     const double phi = ap_osc[a].phase_at(t) - cl_osc[c].phase_at(t);
     return h_true.at(k)(c, a) * phasor(phi) + rng.cgaussian(est_nvar);
   };
@@ -113,7 +116,9 @@ DecoupledResult run_decoupled(const DecoupledParams& p, Rng& rng, Workspace* ws)
   // correction relative to t1 (with residual error); the row-common
   // client rotation is absorbed by receive processing, so it is omitted.
   rvec slave_err(n, 0.0);
-  for (std::size_t a = 1; a < n; ++a) slave_err[a] = rng.gaussian(p.tx_phase_err_sigma);
+  for (std::size_t a = 1; a < n; ++a) {
+    slave_err[a] = rng.gaussian(p.tx_phase_err_sigma);
+  }
   std::vector<CMatrix> h_eff(n_sc, CMatrix(n, n));
   for (std::size_t k = 0; k < n_sc; ++k) {
     for (std::size_t c = 0; c < n; ++c) {

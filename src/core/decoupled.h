@@ -22,7 +22,7 @@ namespace jmb::core {
 struct DecoupledParams {
   std::size_t n_nodes = 2;            ///< APs == clients == n (single antenna)
   double measurement_spacing_s = 50e-3;  ///< t_c - t_{c-1}
-  double tx_delay_s = 20e-3;          ///< transmit time after the last measurement
+  double tx_delay_s = 20e-3;  ///< transmit time after the last measurement
   double measure_snr_db = 25.0;
   double ppm_range = 2.0;
   double carrier_hz = 2.4e9;

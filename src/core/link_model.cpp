@@ -61,7 +61,8 @@ ChannelMatrixSet well_conditioned_channel_set(
   }
   const std::size_t nt = gains[0].size();
   if (nt < nc) {
-    throw std::invalid_argument("well_conditioned_channel_set: need n_tx >= n_clients");
+    throw std::invalid_argument(
+        "well_conditioned_channel_set: need n_tx >= n_clients");
   }
   ChannelMatrixSet h = random_channel_set_with_gains(
       std::vector<std::vector<double>>(nc, std::vector<double>(nt, 1.0)), rng);
@@ -73,7 +74,9 @@ ChannelMatrixSet well_conditioned_channel_set(
       for (std::size_t p = 0; p < c; ++p) {
         const cvec prev = m.row(p);
         cplx proj{};
-        for (std::size_t a = 0; a < nt; ++a) proj += std::conj(prev[a]) * row[a];
+        for (std::size_t a = 0; a < nt; ++a) {
+          proj += std::conj(prev[a]) * row[a];
+        }
         for (std::size_t a = 0; a < nt; ++a) row[a] -= proj * prev[a];
       }
       double norm2 = 0.0;
@@ -93,7 +96,8 @@ ChannelMatrixSet well_conditioned_channel_set(
       // unit rows first. Store unit row back for projection purposes.
       if (c + 1 < nc) {
         cvec unit = row;
-        const double inv = std::sqrt(target) > 1e-30 ? 1.0 / std::sqrt(target) : 0.0;
+        const double inv =
+            std::sqrt(target) > 1e-30 ? 1.0 / std::sqrt(target) : 0.0;
         for (cplx& v : unit) v *= inv;
         m.set_row(c, unit);
       }
@@ -183,7 +187,8 @@ double snr_reduction_db(std::size_t n_clients, std::size_t n_tx,
 
     const auto precoder = ZfPrecoder::build(h);
     if (!precoder) continue;
-    const double noise = precoder->scale() * precoder->scale() / from_db(snr_db);
+    const double noise =
+        precoder->scale() * precoder->scale() / from_db(snr_db);
 
     const SinrReport base = beamforming_sinr(h, aligned, noise);
     const SinrReport err = beamforming_sinr(h, misaligned, noise);
@@ -280,7 +285,9 @@ rvec diversity_subcarrier_snrs(const std::vector<cvec>& h_row,
   }
   const std::size_t n_tx = h_row[0].size();
   rvec phase(n_tx, 0.0);
-  for (std::size_t a = 1; a < n_tx; ++a) phase[a] = rng.gaussian(phase_err_sigma);
+  for (std::size_t a = 1; a < n_tx; ++a) {
+    phase[a] = rng.gaussian(phase_err_sigma);
+  }
 
   rvec out(h_row.size(), 0.0);
   for (std::size_t k = 0; k < h_row.size(); ++k) {

@@ -21,9 +21,9 @@ namespace jmb::core {
 
 /// Random i.i.d. Rayleigh channel set (unit mean power per link), the
 /// "100 different random channel matrices" of the paper's Fig. 6 method.
-[[nodiscard]] ChannelMatrixSet random_channel_set(std::size_t n_clients,
-                                                  std::size_t n_tx, Rng& rng,
-                                                  std::size_t n_subcarriers = 52);
+[[nodiscard]] ChannelMatrixSet random_channel_set(
+    std::size_t n_clients, std::size_t n_tx, Rng& rng,
+    std::size_t n_subcarriers = 52);
 
 /// Channel set with per-link mean power gains: gains[client][tx].
 /// `rice_k` adds a Rician line-of-sight component per link (K-factor);
@@ -93,8 +93,8 @@ struct SinrReport {
                                                      Rng& rng);
 
 /// Baseline: client's per-subcarrier SNRs from its best AP alone.
-[[nodiscard]] std::vector<rvec> baseline_subcarrier_snrs(const ChannelMatrixSet& h,
-                                                         double noise_power);
+[[nodiscard]] std::vector<rvec> baseline_subcarrier_snrs(
+    const ChannelMatrixSet& h, double noise_power);
 
 /// Diversity (Section 8): post-MRT per-subcarrier SNRs at one client when
 /// every AP phase-aligns with error sigma.

@@ -82,7 +82,8 @@ std::optional<ClientMeasurement> process_measurement_frame_impl(
   // Reference time = sync-header start. The LTF correlator pinned the
   // header precisely: stf = ltf_start - 192 is more reliable than the
   // detection edge.
-  const std::size_t header = pm->ltf_start >= 192 ? pm->ltf_start - 192 : pm->stf_start;
+  const std::size_t header =
+      pm->ltf_start >= 192 ? pm->ltf_start - 192 : pm->stf_start;
   if (rx.size() < header + sched.frame_len()) return std::nullopt;
 
   constexpr std::size_t kBackoff = 4;  // FFT window back-off into the CP
@@ -149,15 +150,16 @@ std::optional<ClientMeasurement> process_measurement_frame_impl(
       }
       const double nr = static_cast<double>(sched.rounds);
       const double den = nr * sxx - sx * sx;
-      const double residual = den > 1e-30 ? (nr * sxy - sx * sy) / (kTwoPi * den) : 0.0;
+      const double residual =
+          den > 1e-30 ? (nr * sxy - sx * sy) / (kTwoPi * den) : 0.0;
       cfo += residual;
       for (std::size_t r = 0; r < sched.rounds; ++r) {
         raw[r].rotate(-kTwoPi * residual * rel_offset[r] / fs);
       }
     }
     const phy::ChannelEstimate avg = phy::average_estimates(raw);
-    out.per_ap[ap].channel =
-        ws ? phy::denoise_time_support(avg, *ws) : phy::denoise_time_support(avg);
+    out.per_ap[ap].channel = ws ? phy::denoise_time_support(avg, *ws)
+                                : phy::denoise_time_support(avg);
     out.per_ap[ap].cfo_hz = cfo;
   }
   return out;
@@ -166,7 +168,8 @@ std::optional<ClientMeasurement> process_measurement_frame_impl(
 }  // namespace
 
 std::optional<ClientMeasurement> process_measurement_frame(
-    const cvec& rx, const MeasurementSchedule& sched, const phy::PhyConfig& cfg) {
+    const cvec& rx, const MeasurementSchedule& sched,
+    const phy::PhyConfig& cfg) {
   return process_measurement_frame_impl(rx, sched, cfg, nullptr);
 }
 

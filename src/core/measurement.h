@@ -23,14 +23,16 @@ struct MeasurementSchedule {
   std::size_t rounds = 4;  ///< interleaved repetitions (averaging)
 
   /// Slot layout constants.
-  static constexpr std::size_t kCfoBlockLen = 2 * phy::kNfft;  // two LTF symbols
+  // two LTF symbols
+  static constexpr std::size_t kCfoBlockLen = 2 * phy::kNfft;
   static constexpr std::size_t kCfoSlotLen = kCfoBlockLen + 32;
   static constexpr std::size_t kChanSymLen = phy::kSymbolLen;  // CP + LTF
 
   /// Start of AP i's CFO block.
   [[nodiscard]] std::size_t cfo_block_offset(std::size_t ap) const;
   /// Start of AP i's channel symbol in round r (CP included).
-  [[nodiscard]] std::size_t chan_symbol_offset(std::size_t ap, std::size_t r) const;
+  [[nodiscard]] std::size_t chan_symbol_offset(std::size_t ap,
+                                               std::size_t r) const;
   /// Total frame length in samples.
   [[nodiscard]] std::size_t frame_len() const;
 
@@ -65,7 +67,8 @@ struct ClientMeasurement {
 /// `rx` is the client's baseband buffer; the sync header is detected
 /// inside. Returns nullopt if the header isn't found.
 [[nodiscard]] std::optional<ClientMeasurement> process_measurement_frame(
-    const cvec& rx, const MeasurementSchedule& sched, const phy::PhyConfig& cfg);
+    const cvec& rx, const MeasurementSchedule& sched,
+    const phy::PhyConfig& cfg);
 
 /// Workspace-backed variant: the receiver's preamble buffers, the per-round
 /// CFO/channel FFT windows, and the denoising projection all come from `ws`

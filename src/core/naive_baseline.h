@@ -18,8 +18,8 @@ struct NaiveSyncParams {
 /// Phase error (radians) of naive CFO-prediction synchronization after
 /// `elapsed_s` seconds since the one-time calibration, for one realization
 /// of estimation error + accumulated phase noise.
-[[nodiscard]] double naive_phase_error(double elapsed_s, const NaiveSyncParams& p,
-                                       Rng& rng);
+[[nodiscard]] double naive_phase_error(double elapsed_s,
+                                       const NaiveSyncParams& p, Rng& rng);
 
 /// Phase error of JMB's scheme at the same elapsed time: error resets at
 /// every packet's sync header (direct measurement with `resync_error_rad`

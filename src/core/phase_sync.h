@@ -33,7 +33,7 @@ struct PhaseSyncParams {
 /// Correction a slave applies to its transmit baseband.
 struct SlaveCorrection {
   cplx phasor_at_header{1.0, 0.0};  ///< e^{j (omega_L - omega_S)(t1 - t0)}
-  double cfo_hz = 0.0;              ///< averaged f_L - f_S for in-packet tracking
+  double cfo_hz = 0.0;  ///< averaged f_L - f_S for in-packet tracking
 
   /// Rotation to apply at `dt` seconds after the sync-header measurement.
   [[nodiscard]] cplx at(double dt_seconds) const {
@@ -48,7 +48,8 @@ class SlavePhaseSync {
   /// Install the reference channel captured during the channel-measurement
   /// phase (time t0). Clears nothing else: the CFO average persists, as it
   /// should for infrastructure nodes.
-  void set_reference(const phy::ChannelEstimate& h_lead_at_t0, double t0_seconds);
+  void set_reference(const phy::ChannelEstimate& h_lead_at_t0,
+                     double t0_seconds);
 
   [[nodiscard]] bool has_reference() const { return reference_.has_value(); }
 
@@ -57,9 +58,9 @@ class SlavePhaseSync {
   /// the cross-header phase-ratio refinement (resolving the 2-pi ambiguity
   /// with the current average) — and returns the correction to apply to
   /// the upcoming joint transmission. Requires a reference.
-  [[nodiscard]] SlaveCorrection on_sync_header(const phy::ChannelEstimate& h_lead_now,
-                                               double preamble_cfo_hz,
-                                               double t1_seconds);
+  [[nodiscard]] SlaveCorrection on_sync_header(
+      const phy::ChannelEstimate& h_lead_now, double preamble_cfo_hz,
+      double t1_seconds);
 
   /// Feed a CFO observation without transmitting (e.g. overheard lead
   /// traffic) to warm up the average.

@@ -16,7 +16,9 @@ namespace {
 /// matrices condition over the nonzero singular values via the small Gram
 /// matrix A A^H.
 double channel_condition(const CMatrix& a) {
-  if (a.rows() < a.cols()) return std::sqrt(condition_number(a * a.hermitian()));
+  if (a.rows() < a.cols()) {
+    return std::sqrt(condition_number(a * a.hermitian()));
+  }
   return condition_number(a);
 }
 

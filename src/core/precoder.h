@@ -81,7 +81,8 @@ class ZfPrecoder {
   }
 
   /// Per-subcarrier transmit vector for stream symbols x (one per client).
-  [[nodiscard]] cvec transmit_vector(std::size_t used_idx, const cvec& x) const {
+  [[nodiscard]] cvec transmit_vector(std::size_t used_idx,
+                                     const cvec& x) const {
     cvec out(w_[used_idx].rows());
     transmit_vector_into(used_idx, x, out);
     return out;
@@ -94,7 +95,9 @@ class ZfPrecoder {
     multiply_into(w_[used_idx], x, out);
   }
 
-  [[nodiscard]] std::size_t n_tx() const { return w_.empty() ? 0 : w_[0].rows(); }
+  [[nodiscard]] std::size_t n_tx() const {
+    return w_.empty() ? 0 : w_[0].rows();
+  }
   [[nodiscard]] std::size_t n_streams() const {
     return w_.empty() ? 0 : w_[0].cols();
   }

@@ -16,8 +16,12 @@ const std::vector<int>& used_subcarriers() {
 }
 
 std::size_t used_index(int logical) {
-  if (logical >= -26 && logical <= -1) return static_cast<std::size_t>(logical + 26);
-  if (logical >= 1 && logical <= 26) return static_cast<std::size_t>(logical + 25);
+  if (logical >= -26 && logical <= -1) {
+    return static_cast<std::size_t>(logical + 26);
+  }
+  if (logical >= 1 && logical <= 26) {
+    return static_cast<std::size_t>(logical + 25);
+  }
   throw std::invalid_argument("used_index: subcarrier not in use");
 }
 
@@ -26,7 +30,8 @@ ChannelMatrixSet::ChannelMatrixSet(std::size_t n_clients, std::size_t n_tx)
       n_tx_(n_tx),
       per_sc_(used_subcarriers().size(), CMatrix(n_clients, n_tx)) {}
 
-double ChannelMatrixSet::mean_link_power(std::size_t client, std::size_t tx) const {
+double ChannelMatrixSet::mean_link_power(std::size_t client,
+                                         std::size_t tx) const {
   double acc = 0.0;
   for (const CMatrix& h : per_sc_) acc += std::norm(h(client, tx));
   return per_sc_.empty() ? 0.0 : acc / static_cast<double>(per_sc_.size());

@@ -34,7 +34,8 @@ class ChannelMatrixSet {
   }
 
   /// Average |h|^2 over subcarriers for one (client, tx) pair.
-  [[nodiscard]] double mean_link_power(std::size_t client, std::size_t tx) const;
+  [[nodiscard]] double mean_link_power(std::size_t client,
+                                       std::size_t tx) const;
 
  private:
   std::size_t n_clients_ = 0;

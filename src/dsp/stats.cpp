@@ -25,7 +25,9 @@ double stddev(const rvec& x) { return std::sqrt(variance(x)); }
 
 double percentile(rvec x, double q) {
   if (x.empty()) throw std::invalid_argument("percentile: empty series");
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q outside [0,1]");
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("percentile: q outside [0,1]");
+  }
   std::sort(x.begin(), x.end());
   const double pos = q * static_cast<double>(x.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);

@@ -199,8 +199,9 @@ void MeasurementStage::run(FrameContext& ctx) {
   const double ref_dt = static_cast<double>(sched.reference_offset()) / fs;
   for (std::size_t a = 1; a < sys.params.n_aps; ++a) {
     if (sys.fault && sys.fault->ap_down(a)) continue;  // crashed: no capture
-    const cvec buf = sys.medium.receive(sys.ap_nodes[a], frame_t - kRxMargin / fs,
-                                        kRxMargin + sched.frame_len() + 200);
+    const cvec buf =
+        sys.medium.receive(sys.ap_nodes[a], frame_t - kRxMargin / fs,
+                           kRxMargin + sched.frame_len() + 200);
     const auto pm = sys.rx.measure_preamble(buf);
     if (!pm) {
       if (sys.metrics) sys.metrics->stage(kStageMeasure).add_detect_failure();
@@ -227,7 +228,8 @@ void MeasurementStage::run(FrameContext& ctx) {
     const cvec buf =
         sys.medium.receive(sys.client_nodes[c], frame_t - kRxMargin / fs,
                            kRxMargin + sched.frame_len() + 200);
-    const auto cm = process_measurement_frame(buf, sched, sys.params.phy, sys.ws);
+    const auto cm =
+        process_measurement_frame(buf, sched, sys.params.phy, sys.ws);
     if (!cm) {
       if (sys.metrics) sys.metrics->stage(kStageMeasure).add_detect_failure();
       all_ok = false;
@@ -377,8 +379,9 @@ void SynthesisStage::run(FrameContext& ctx) {
         }
       }
       phy::ofdm_modulate_into(
-          spec, std::span<cplx>(wave).subspan(phy::kLtfLen + s * phy::kSymbolLen,
-                                              phy::kSymbolLen));
+          spec,
+          std::span<cplx>(wave).subspan(phy::kLtfLen + s * phy::kSymbolLen,
+                                        phy::kSymbolLen));
     }
 
     if (a == 0) {

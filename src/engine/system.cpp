@@ -161,7 +161,8 @@ phy::RxResult JmbSystem::transmit_diversity(std::size_t client,
   for (std::size_t k = 0; k < used.size(); ++k) {
     weights[k].set_col(0, mrt.weights(k));
   }
-  std::vector<std::vector<cvec>> streams{state_.tx.build_freq_symbols(psdu, mcs)};
+  std::vector<std::vector<cvec>> streams{
+      state_.tx.build_freq_symbols(psdu, mcs)};
   engine::FrameContext ctx(state_);
   ctx.streams = &streams;
   ctx.weights_override = &weights;
@@ -220,7 +221,8 @@ double JmbSystem::measure_inr(std::size_t nulled_client) {
 
 rvec JmbSystem::measure_alignment_series(std::size_t n_rounds, double gap_s) {
   if (state_.params.n_aps < 2 || state_.params.n_clients < 1) {
-    throw std::logic_error("measure_alignment_series: need >= 2 APs and a client");
+    throw std::logic_error(
+        "measure_alignment_series: need >= 2 APs and a client");
   }
   if (!state_.slave_sync[0].has_reference()) {
     throw std::logic_error("measure_alignment_series: run_measurement first");
@@ -282,15 +284,18 @@ rvec JmbSystem::measure_alignment_series(std::size_t n_rounds, double gap_s) {
 
     cplx delta_acc{};
     for (std::size_t p = 0; p < kPairs; ++p) {
-      const std::size_t lead_at = wave_at + 2 * p * phy::kSymbolLen + phy::kCpLen;
+      const std::size_t lead_at =
+          wave_at + 2 * p * phy::kSymbolLen + phy::kCpLen;
       const std::size_t slave_at = lead_at + phy::kSymbolLen;
       if (corrected.size() < slave_at + phy::kNfft) break;
       cvec& fl = state_.ws.meas_win;
       cvec& fsv = state_.ws.meas_freq;
       fl.assign(corrected.begin() + static_cast<std::ptrdiff_t>(lead_at),
-                corrected.begin() + static_cast<std::ptrdiff_t>(lead_at + phy::kNfft));
+                corrected.begin() +
+                    static_cast<std::ptrdiff_t>(lead_at + phy::kNfft));
       fsv.assign(corrected.begin() + static_cast<std::ptrdiff_t>(slave_at),
-                 corrected.begin() + static_cast<std::ptrdiff_t>(slave_at + phy::kNfft));
+                 corrected.begin() +
+                     static_cast<std::ptrdiff_t>(slave_at + phy::kNfft));
       const FftPlan& plan = state_.ws.fft_plan(phy::kNfft);
       plan.forward(fl);
       plan.forward(fsv);
@@ -304,7 +309,8 @@ rvec JmbSystem::measure_alignment_series(std::size_t n_rounds, double gap_s) {
     } else {
       deviations.push_back(std::abs(wrap_phase(delta - *reference_delta)));
     }
-    state_.now = sync.tx_start + static_cast<double>(lead_wave.size() + 200) / fs;
+    state_.now =
+        sync.tx_start + static_cast<double>(lead_wave.size() + 200) / fs;
     advance_time(gap_s);
   }
   return deviations;

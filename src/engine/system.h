@@ -49,8 +49,8 @@ class JmbSystem {
 
   /// Jointly deliver one PSDU per client (all at the same MCS, as the
   /// paper's rate selection yields). Requires ready().
-  [[nodiscard]] JointResult transmit_joint(const std::vector<phy::ByteVec>& psdus,
-                                           const phy::Mcs& mcs);
+  [[nodiscard]] JointResult transmit_joint(
+      const std::vector<phy::ByteVec>& psdus, const phy::Mcs& mcs);
 
   /// Diversity mode: all APs beamform the same PSDU to `client`.
   [[nodiscard]] phy::RxResult transmit_diversity(std::size_t client,
@@ -66,7 +66,8 @@ class JmbSystem {
   /// transmit alternating OFDM symbols; the client reports the deviation
   /// of the slave-vs-lead relative phase from its first observation, one
   /// sample per round, advancing time by `gap_s` between rounds.
-  [[nodiscard]] rvec measure_alignment_series(std::size_t n_rounds, double gap_s);
+  [[nodiscard]] rvec measure_alignment_series(std::size_t n_rounds,
+                                              double gap_s);
 
   /// Advance simulated time (lets oscillators drift / channels age
   /// between operations).

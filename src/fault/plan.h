@@ -31,7 +31,8 @@ namespace jmb::fault {
 enum class FaultKind {
   kApCrash,        ///< AP off the air from t for duration (forever if 0)
   kApRestart,      ///< point: bring a crashed AP back up
-  kSyncLoss,       ///< window: slave loses the lead's sync header w.p. `probability`
+  /// window: slave loses the lead's sync header w.p. `probability`
+  kSyncLoss,
   kSyncCorrupt,    ///< window: header phase corrupted by N(0, magnitude) rad
   kPhaseJump,      ///< point: oscillator phase jumps by `magnitude` rad
   kCfoStep,        ///< point: oscillator drift rate steps by `magnitude` Hz

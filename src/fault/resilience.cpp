@@ -51,7 +51,8 @@ void ResilienceController::on_sync_result(std::size_t ap, bool ok,
                                           double residual_rad,
                                           double cfo_innovation_hz,
                                           double t_s) {
-  if (ap == 0 || ap >= state_.size()) return;  // the lead judges, others are judged
+  // the lead judges, others are judged
+  if (ap == 0 || ap >= state_.size()) return;
   ApState& s = state_[ap];
   if (!ok) {
     s.clean_headers = 0;

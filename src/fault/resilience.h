@@ -77,7 +77,9 @@ class ResilienceController {
   /// time-to-recover. Idempotent until the next quarantine.
   void on_recovered(double t_s);
 
-  [[nodiscard]] ApHealth health(std::size_t ap) const { return state_[ap].health; }
+  [[nodiscard]] ApHealth health(std::size_t ap) const {
+    return state_[ap].health;
+  }
   [[nodiscard]] bool quarantined(std::size_t ap) const {
     return state_[ap].health != ApHealth::kHealthy;
   }

@@ -64,8 +64,12 @@ class CMatrix {
   CMatrix& operator-=(const CMatrix& rhs);
   CMatrix& operator*=(cplx s);
 
-  [[nodiscard]] friend CMatrix operator+(CMatrix a, const CMatrix& b) { return a += b; }
-  [[nodiscard]] friend CMatrix operator-(CMatrix a, const CMatrix& b) { return a -= b; }
+  [[nodiscard]] friend CMatrix operator+(CMatrix a, const CMatrix& b) {
+    return a += b;
+  }
+  [[nodiscard]] friend CMatrix operator-(CMatrix a, const CMatrix& b) {
+    return a -= b;
+  }
   [[nodiscard]] friend CMatrix operator*(CMatrix a, cplx s) { return a *= s; }
   [[nodiscard]] friend CMatrix operator*(cplx s, CMatrix a) { return a *= s; }
 

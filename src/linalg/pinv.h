@@ -33,8 +33,8 @@ struct PinvScratch {
 /// pinv() into a preallocated output with caller-owned scratch. Returns
 /// false if the Gram matrix is singular (out is then unspecified).
 /// Bitwise-identical to pinv(); the allocating API wraps this kernel.
-[[nodiscard]] bool pinv_into(const CMatrix& a, double ridge, PinvScratch& scratch,
-                             CMatrix& out);
+[[nodiscard]] bool pinv_into(const CMatrix& a, double ridge,
+                             PinvScratch& scratch, CMatrix& out);
 
 /// Largest singular value via power iteration on A^H A.
 [[nodiscard]] double largest_singular_value(const CMatrix& a, int iters = 60);

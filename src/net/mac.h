@@ -24,7 +24,8 @@ namespace jmb::net {
 
 /// Per-client link state for one upcoming transmission.
 struct LinkState {
-  rvec subcarrier_snr;  ///< post-equalization (baseline) or post-beamforming (JMB)
+  /// post-equalization (baseline) or post-beamforming (JMB)
+  rvec subcarrier_snr;
 };
 
 /// client index -> link state at the current instant.

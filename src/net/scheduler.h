@@ -34,7 +34,9 @@ class EventScheduler {
   std::size_t run_until(double until);
 
   /// Run everything (leaves the clock at the last event fired).
-  std::size_t run() { return run_until(std::numeric_limits<double>::infinity()); }
+  std::size_t run() {
+    return run_until(std::numeric_limits<double>::infinity());
+  }
 
  private:
   struct Event {

@@ -194,10 +194,16 @@ class Parser {
             for (int i = 0; i < 4; ++i) {
               const char h = text_[pos_++];
               code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else { fail("bad \\u escape"); return out; }
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape");
+                return out;
+              }
             }
             // UTF-8 encode the BMP code point (surrogate pairs kept as-is).
             if (code < 0x80) {

@@ -38,10 +38,13 @@ class JsonValue {
   JsonValue(int i) : kind_(Kind::kNumber), num_(i) {}                // NOLINT
   JsonValue(std::uint64_t u)                                         // NOLINT
       : kind_(Kind::kNumber), num_(static_cast<double>(u)) {}
-  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  JsonValue(std::string s)  // NOLINT
+      : kind_(Kind::kString), str_(std::move(s)) {}
   JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}        // NOLINT
-  JsonValue(JsonArray a) : kind_(Kind::kArray), arr_(std::move(a)) {}      // NOLINT
-  JsonValue(JsonObject o) : kind_(Kind::kObject), obj_(std::move(o)) {}    // NOLINT
+  JsonValue(JsonArray a)  // NOLINT
+      : kind_(Kind::kArray), arr_(std::move(a)) {}
+  JsonValue(JsonObject o)  // NOLINT
+      : kind_(Kind::kObject), obj_(std::move(o)) {}
 
   [[nodiscard]] Kind kind() const { return kind_; }
   [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }

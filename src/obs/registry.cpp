@@ -40,8 +40,8 @@ double Histogram::quantile(double q) const {
       double lo = (i == 0) ? min_ : std::max(bounds_[i - 1], min_);
       double hi = (i < bounds_.size()) ? std::min(bounds_[i], max_) : max_;
       if (hi < lo) hi = lo;
-      const double frac =
-          std::clamp((target - cum) / static_cast<double>(counts_[i]), 0.0, 1.0);
+      const double frac = std::clamp(
+          (target - cum) / static_cast<double>(counts_[i]), 0.0, 1.0);
       return lo + (hi - lo) * frac;
     }
     cum = next;
@@ -53,7 +53,9 @@ void Histogram::merge(const Histogram& other) {
   if (bounds_ != other.bounds_) {
     throw std::logic_error("Histogram::merge: bucket boundary mismatch");
   }
-  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
   if (other.count_ > 0) {
     min_ = count_ ? std::min(min_, other.min_) : other.min_;
     max_ = count_ ? std::max(max_, other.max_) : other.max_;

@@ -73,7 +73,8 @@ ChannelEstimate estimate_from_ltf(const cvec& freq_symbol) {
   return est;
 }
 
-ChannelEstimate average_estimates(const std::vector<ChannelEstimate>& estimates) {
+ChannelEstimate average_estimates(
+    const std::vector<ChannelEstimate>& estimates) {
   if (estimates.empty()) {
     throw std::invalid_argument("average_estimates: empty input");
   }

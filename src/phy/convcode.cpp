@@ -60,10 +60,15 @@ std::size_t punctured_length(std::size_t n_in, CodeRate rate) {
   switch (rate) {
     case CodeRate::kHalf: return n_in * 2;
     case CodeRate::kTwoThirds:
-      if (n_in % 2 != 0) throw std::invalid_argument("punctured_length: 2/3 needs even n_in");
+      if (n_in % 2 != 0) {
+        throw std::invalid_argument("punctured_length: 2/3 needs even n_in");
+      }
       return n_in * 3 / 2;
     case CodeRate::kThreeQuarters:
-      if (n_in % 3 != 0) throw std::invalid_argument("punctured_length: 3/4 needs n_in % 3 == 0");
+      if (n_in % 3 != 0) {
+        throw std::invalid_argument(
+            "punctured_length: 3/4 needs n_in % 3 == 0");
+      }
       return n_in * 4 / 3;
   }
   throw std::logic_error("punctured_length: bad rate");

@@ -46,10 +46,11 @@ bool check_crc32(const ByteVec& data_with_fcs) {
   ByteVec body(data_with_fcs.begin(), data_with_fcs.end() - 4);
   const std::uint32_t expect = crc32(body);
   const std::size_t n = data_with_fcs.size();
-  const std::uint32_t got = static_cast<std::uint32_t>(data_with_fcs[n - 4]) |
-                            (static_cast<std::uint32_t>(data_with_fcs[n - 3]) << 8) |
-                            (static_cast<std::uint32_t>(data_with_fcs[n - 2]) << 16) |
-                            (static_cast<std::uint32_t>(data_with_fcs[n - 1]) << 24);
+  const std::uint32_t got =
+      static_cast<std::uint32_t>(data_with_fcs[n - 4]) |
+      (static_cast<std::uint32_t>(data_with_fcs[n - 3]) << 8) |
+      (static_cast<std::uint32_t>(data_with_fcs[n - 2]) << 16) |
+      (static_cast<std::uint32_t>(data_with_fcs[n - 1]) << 24);
   return expect == got;
 }
 

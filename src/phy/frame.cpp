@@ -70,7 +70,9 @@ std::optional<SignalField> decode_signal_symbol(const cvec& data48,
   }
   std::size_t length = 0;
   for (int b = 0; b < 12; ++b) {
-    length |= static_cast<std::size_t>(bits[5 + static_cast<std::size_t>(b)] & 1u) << b;
+    length |=
+        static_cast<std::size_t>(bits[5 + static_cast<std::size_t>(b)] & 1u)
+        << b;
   }
   if (length == 0) return std::nullopt;
   try {

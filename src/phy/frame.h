@@ -39,8 +39,9 @@ struct SignalField {
 
 /// Scramble + encode + interleave + map a PSDU into per-symbol groups of 48
 /// constellation points (frequency-domain, pilots NOT included).
-[[nodiscard]] std::vector<cvec> encode_psdu(const ByteVec& psdu, const Mcs& mcs,
-                                            unsigned scrambler_seed = kDefaultScramblerSeed);
+[[nodiscard]] std::vector<cvec> encode_psdu(
+    const ByteVec& psdu, const Mcs& mcs,
+    unsigned scrambler_seed = kDefaultScramblerSeed);
 
 /// Inverse of encode_psdu from per-symbol soft LLR groups: deinterleave,
 /// depuncture, Viterbi-decode, descramble (seed recovered from SERVICE),

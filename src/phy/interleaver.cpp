@@ -65,7 +65,8 @@ BitVec deinterleave(const BitVec& bits, const Mcs& mcs) {
 void deinterleave_soft_into(std::span<const double> llr, const Mcs& mcs,
                             std::vector<double>& out) {
   if (llr.size() != mcs.n_cbps()) {
-    throw std::invalid_argument("deinterleave_soft: need exactly n_cbps values");
+    throw std::invalid_argument(
+        "deinterleave_soft: need exactly n_cbps values");
   }
   const auto& perm = cached_interleave_permutation(mcs);
   out.assign(llr.size(), 0.0);

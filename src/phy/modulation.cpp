@@ -23,7 +23,8 @@ double gray_level(unsigned bits, unsigned nbits) {
       return kMap[bits & 3];
     }
     case 3: {
-      static const double kMap[8] = {-7.0, -5.0, -1.0, -3.0, 7.0, 5.0, 1.0, 3.0};
+      static const double kMap[8] = {-7.0, -5.0, -1.0, -3.0,
+                                     7.0,  5.0,  1.0,  3.0};
       return kMap[bits & 7];
     }
     default:
@@ -80,7 +81,8 @@ void modulate_into(std::span<const std::uint8_t> bits, Modulation m,
                    std::span<cplx> out) {
   const std::size_t nbits = bits_per_symbol(m);
   if (bits.size() % nbits != 0) {
-    throw std::invalid_argument("modulate: bit count not a multiple of bits/symbol");
+    throw std::invalid_argument(
+        "modulate: bit count not a multiple of bits/symbol");
   }
   if (out.size() != bits.size() / nbits) {
     throw std::invalid_argument("modulate: output size mismatch");

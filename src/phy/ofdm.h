@@ -17,7 +17,8 @@ namespace jmb::phy {
 
 /// Place 48 data symbols and the 4 pilots (with per-symbol polarity) onto
 /// logical subcarriers, returning the kNfft-point frequency-domain symbol.
-[[nodiscard]] cvec map_subcarriers(const cvec& data48, std::size_t symbol_index);
+[[nodiscard]] cvec map_subcarriers(const cvec& data48,
+                                   std::size_t symbol_index);
 
 /// IFFT + cyclic prefix: kNfft-point frequency symbol -> kSymbolLen samples.
 [[nodiscard]] cvec ofdm_modulate(const cvec& freq_symbol);
@@ -26,7 +27,8 @@ namespace jmb::phy {
 /// `cp_skip` positions the FFT window inside the CP (a small back-off makes
 /// the receiver robust to +-few-sample timing error at the cost of a phase
 /// ramp the channel estimate absorbs).
-[[nodiscard]] cvec ofdm_demodulate(const cvec& time_symbol, std::size_t cp_skip = kCpLen);
+[[nodiscard]] cvec ofdm_demodulate(const cvec& time_symbol,
+                                   std::size_t cp_skip = kCpLen);
 
 /// Extract the 48 data subcarriers from a frequency-domain symbol.
 [[nodiscard]] cvec extract_data(const cvec& freq_symbol);

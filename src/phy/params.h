@@ -64,9 +64,13 @@ struct Mcs {
   CodeRate code_rate = CodeRate::kHalf;
 
   /// Coded bits per subcarrier (N_BPSC).
-  [[nodiscard]] std::size_t n_bpsc() const { return bits_per_symbol(modulation); }
+  [[nodiscard]] std::size_t n_bpsc() const {
+    return bits_per_symbol(modulation);
+  }
   /// Coded bits per OFDM symbol (N_CBPS).
-  [[nodiscard]] std::size_t n_cbps() const { return n_bpsc() * kNumDataCarriers; }
+  [[nodiscard]] std::size_t n_cbps() const {
+    return n_bpsc() * kNumDataCarriers;
+  }
   /// Data bits per OFDM symbol (N_DBPS).
   [[nodiscard]] std::size_t n_dbps() const;
 

@@ -94,7 +94,8 @@ RxResult decode_after_ltf(const cvec& corrected, const PreambleMeasurement& pm,
                 data48, noise48);
   const auto sig = decode_signal_symbol(
       data48,
-      std::max(pm.noise_var / std::max(pm.chan.mean_gain_power(), 1e-12), 1e-12));
+      std::max(pm.noise_var / std::max(pm.chan.mean_gain_power(), 1e-12),
+               1e-12));
   if (!sig) {
     res.fail_reason = "SIGNAL decode failed";
     return res;
@@ -195,7 +196,8 @@ std::optional<PreambleMeasurement> Receiver::measure_preamble(
     }
     if (rx.size() < *raw_ltf + 2 * kNfft + kSymbolLen) return std::nullopt;
     win_b.assign(rx.begin() + static_cast<std::ptrdiff_t>(*raw_ltf),
-                 rx.begin() + static_cast<std::ptrdiff_t>(*raw_ltf + 2 * kNfft));
+                 rx.begin() +
+                     static_cast<std::ptrdiff_t>(*raw_ltf + 2 * kNfft));
     coarse = fine_cfo_hz(win_b, cfg_.sample_rate_hz);
     correct_cfo_buf(rx, coarse, cfg_.sample_rate_hz, corrected);
     // Refine the location post-correction; it may land on the (identical)

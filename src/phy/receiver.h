@@ -53,12 +53,14 @@ class Receiver {
       const cvec& rx, std::size_t search_from = 0) const;
 
   /// Attempt to receive one frame from the buffer.
-  [[nodiscard]] RxResult receive(const cvec& rx, std::size_t search_from = 0) const;
+  [[nodiscard]] RxResult receive(const cvec& rx,
+                                 std::size_t search_from = 0) const;
 
   /// Receive when the payload's symbol boundary is already known (used by
   /// JMB clients after the lead's sync header has been consumed):
   /// `payload_start` is the first sample of the jointly-transmitted LTF.
-  [[nodiscard]] RxResult receive_payload(const cvec& rx, std::size_t payload_start,
+  [[nodiscard]] RxResult receive_payload(const cvec& rx,
+                                         std::size_t payload_start,
                                          double cfo_hz) const;
 
   [[nodiscard]] const PhyConfig& config() const { return cfg_; }

@@ -6,7 +6,8 @@ namespace jmb::phy {
 
 Scrambler::Scrambler(unsigned seed) : state_(seed & 0x7F) {
   if (state_ == 0) {
-    throw std::invalid_argument("Scrambler: seed must be a nonzero 7-bit value");
+    throw std::invalid_argument(
+        "Scrambler: seed must be a nonzero 7-bit value");
   }
 }
 

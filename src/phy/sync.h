@@ -24,9 +24,8 @@ struct Detection {
 /// Scan `rx` from `search_from` for the STF's 16-sample periodicity using
 /// a normalized sliding autocorrelation. Returns nullopt if no plateau
 /// exceeds `threshold`.
-[[nodiscard]] std::optional<Detection> detect_packet(const cvec& rx,
-                                                     std::size_t search_from = 0,
-                                                     double threshold = 0.6);
+[[nodiscard]] std::optional<Detection> detect_packet(
+    const cvec& rx, std::size_t search_from = 0, double threshold = 0.6);
 
 /// Coarse CFO from the STF's 16-sample repetition. `stf` must hold at
 /// least 96 samples of STF. Range: +-fs/32.

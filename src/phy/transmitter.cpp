@@ -7,9 +7,8 @@
 
 namespace jmb::phy {
 
-std::vector<cvec> Transmitter::build_freq_symbols(const ByteVec& psdu,
-                                                  const Mcs& mcs,
-                                                  unsigned scrambler_seed) const {
+std::vector<cvec> Transmitter::build_freq_symbols(
+    const ByteVec& psdu, const Mcs& mcs, unsigned scrambler_seed) const {
   const SignalField sig{rate_index(mcs), psdu.size()};
   const std::vector<cvec> data = encode_psdu(psdu, mcs, scrambler_seed);
   std::vector<cvec> out;
@@ -26,8 +25,9 @@ cvec Transmitter::synthesize(const std::vector<cvec>& freq_symbols) {
   // one buffer, no per-symbol temporaries.
   cvec out(freq_symbols.size() * kSymbolLen);
   for (std::size_t s = 0; s < freq_symbols.size(); ++s) {
-    ofdm_modulate_into(freq_symbols[s],
-                       std::span<cplx>(out).subspan(s * kSymbolLen, kSymbolLen));
+    ofdm_modulate_into(
+        freq_symbols[s],
+        std::span<cplx>(out).subspan(s * kSymbolLen, kSymbolLen));
   }
   return out;
 }

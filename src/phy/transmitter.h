@@ -10,8 +10,10 @@ namespace jmb::phy {
 
 /// A fully built frame.
 struct TxFrame {
-  cvec samples;                    ///< preamble + SIGNAL + data, kSymbolLen-aligned
-  std::vector<cvec> freq_symbols;  ///< 64-pt symbols incl. pilots; [0] is SIGNAL
+  /// preamble + SIGNAL + data, kSymbolLen-aligned
+  cvec samples;
+  /// 64-pt symbols incl. pilots; [0] is SIGNAL
+  std::vector<cvec> freq_symbols;
   Mcs mcs;
   std::size_t psdu_len = 0;
 
@@ -27,8 +29,9 @@ class Transmitter {
   explicit Transmitter(PhyConfig cfg = {}) : cfg_(cfg) {}
 
   /// Build a complete frame for one PSDU.
-  [[nodiscard]] TxFrame build_frame(const ByteVec& psdu, const Mcs& mcs,
-                                    unsigned scrambler_seed = kDefaultScramblerSeed) const;
+  [[nodiscard]] TxFrame build_frame(
+      const ByteVec& psdu, const Mcs& mcs,
+      unsigned scrambler_seed = kDefaultScramblerSeed) const;
 
   /// Frequency-domain symbols only (pilots included; [0] = SIGNAL). The JMB
   /// joint transmitter stacks these across streams and precodes them.

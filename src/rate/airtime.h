@@ -18,11 +18,13 @@ struct AirtimeParams {
   /// Rate-set index used to send channel feedback frames.
   std::size_t feedback_rate_index = 2;  // QPSK 1/2
   /// Bytes to encode one complex channel coefficient in feedback.
-  std::size_t bytes_per_coefficient = 2;  // 8-bit I + 8-bit Q, as CSI feedback compresses
+  // 8-bit I + 8-bit Q, as CSI feedback compresses
+  std::size_t bytes_per_coefficient = 2;
 };
 
 /// Airtime of one standard frame: preamble + SIGNAL + data symbols.
-[[nodiscard]] double frame_airtime_s(std::size_t psdu_bytes, const phy::Mcs& mcs,
+[[nodiscard]] double frame_airtime_s(std::size_t psdu_bytes,
+                                     const phy::Mcs& mcs,
                                      double sample_rate_hz);
 
 /// Airtime of a JMB joint data transmission: lead sync header + turnaround

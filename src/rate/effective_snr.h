@@ -12,10 +12,12 @@
 namespace jmb::rate {
 
 /// Effective SNR (linear) for a constellation given per-subcarrier SNRs.
-[[nodiscard]] double effective_snr(phy::Modulation m, const rvec& subcarrier_snr);
+[[nodiscard]] double effective_snr(phy::Modulation m,
+                                   const rvec& subcarrier_snr);
 
 /// Effective SNR in dB from per-subcarrier SNRs in linear units.
-[[nodiscard]] double effective_snr_db(phy::Modulation m, const rvec& subcarrier_snr);
+[[nodiscard]] double effective_snr_db(phy::Modulation m,
+                                      const rvec& subcarrier_snr);
 
 /// Minimum effective SNR (dB) required to run each entry of
 /// phy::rate_set() at high delivery probability. Derived from the uncoded
@@ -25,7 +27,8 @@ namespace jmb::rate {
 
 /// Highest rate_set() index whose threshold is met, or nullopt if even the
 /// base rate won't decode.
-[[nodiscard]] std::optional<std::size_t> select_rate(const rvec& subcarrier_snr);
+[[nodiscard]] std::optional<std::size_t> select_rate(
+    const rvec& subcarrier_snr);
 
 /// Same, from a single flat SNR in dB.
 [[nodiscard]] std::optional<std::size_t> select_rate_flat(double snr_db);

@@ -16,7 +16,7 @@ namespace jmb::rate {
                                       std::size_t psdu_bytes = 1500);
 
 /// Flat-channel convenience.
-[[nodiscard]] double frame_error_prob_flat(double snr_db, std::size_t rate_index,
-                                           std::size_t psdu_bytes = 1500);
+[[nodiscard]] double frame_error_prob_flat(
+    double snr_db, std::size_t rate_index, std::size_t psdu_bytes = 1500);
 
 }  // namespace jmb::rate

@@ -186,7 +186,8 @@ TEST(Topology, CloserIsStrongerOnAverage) {
 TEST(Topology, BandSamplerHitsBand) {
   Rng rng(3);
   const RoomParams room;
-  for (const auto& [lo, hi] : {std::pair{6.0, 12.0}, {12.0, 18.0}, {18.0, 30.0}}) {
+  for (const auto& [lo, hi] :
+       {std::pair{6.0, 12.0}, {12.0, 18.0}, {18.0, 30.0}}) {
     const Topology t = sample_topology_in_band(6, 6, room, rng, lo, hi);
     for (std::size_t c = 0; c < t.clients.size(); ++c) {
       double best = -1e18;
@@ -208,11 +209,13 @@ TEST(Medium, SingleLinkSnrMatchesBudget) {
   Medium medium(mp);
   const NodeId tx = medium.add_node({.ppm = 0.0, .carrier_hz = 2.4e9,
                                      .sample_rate_hz = 10e6,
-                                     .phase_noise_linewidth_hz = 0.0, .seed = 1},
+                                     .phase_noise_linewidth_hz = 0.0,
+                                     .seed = 1},
                                     /*noise_var=*/1e-3);
   const NodeId rx = medium.add_node({.ppm = 0.0, .carrier_hz = 2.4e9,
                                      .sample_rate_hz = 10e6,
-                                     .phase_noise_linewidth_hz = 0.0, .seed = 2},
+                                     .phase_noise_linewidth_hz = 0.0,
+                                     .seed = 2},
                                     1e-3);
   medium.set_link(tx, rx, {.gain = 1.0, .n_taps = 1, .tap_decay = 1.0,
                            .rice_k = 100.0, .delay_s = 0.0,
@@ -249,11 +252,13 @@ TEST(Medium, CfoAppearsAsExpectedRotation) {
   // tx at +2 ppm, rx at -1 ppm: relative CFO = 3e-6 * 2.4 GHz = 7.2 kHz.
   const NodeId tx = medium.add_node({.ppm = 2.0, .carrier_hz = 2.4e9,
                                      .sample_rate_hz = 10e6,
-                                     .phase_noise_linewidth_hz = 0.0, .seed = 1},
+                                     .phase_noise_linewidth_hz = 0.0,
+                                     .seed = 1},
                                     1e-12);
   const NodeId rx = medium.add_node({.ppm = -1.0, .carrier_hz = 2.4e9,
                                      .sample_rate_hz = 10e6,
-                                     .phase_noise_linewidth_hz = 0.0, .seed = 2},
+                                     .phase_noise_linewidth_hz = 0.0,
+                                     .seed = 2},
                                     1e-12);
   medium.set_link(tx, rx, {.gain = 1.0, .n_taps = 1, .tap_decay = 1.0,
                            .rice_k = 1e9, .delay_s = 0.0,
@@ -275,10 +280,12 @@ TEST(Medium, TrueChannelIncludesDelayRamp) {
   Medium medium({});
   const NodeId tx = medium.add_node({.ppm = 0.0, .carrier_hz = 2.4e9,
                                      .sample_rate_hz = 10e6,
-                                     .phase_noise_linewidth_hz = 0.0, .seed = 1});
+                                     .phase_noise_linewidth_hz = 0.0,
+                                     .seed = 1});
   const NodeId rx = medium.add_node({.ppm = 0.0, .carrier_hz = 2.4e9,
                                      .sample_rate_hz = 10e6,
-                                     .phase_noise_linewidth_hz = 0.0, .seed = 2});
+                                     .phase_noise_linewidth_hz = 0.0,
+                                     .seed = 2});
   const double delay_s = 2.5e-7;  // 2.5 samples
   medium.set_link(tx, rx, {.gain = 1.0, .n_taps = 1, .tap_decay = 1.0,
                            .rice_k = 1e9, .delay_s = delay_s,
@@ -300,7 +307,8 @@ TEST(Medium, EndToEndPacketThroughMediumDecodes) {
   Medium medium({});
   const NodeId ap = medium.add_node({.ppm = 1.5, .carrier_hz = 2.4e9,
                                      .sample_rate_hz = 10e6,
-                                     .phase_noise_linewidth_hz = 0.1, .seed = 11},
+                                     .phase_noise_linewidth_hz = 0.1,
+                                     .seed = 11},
                                     1e-12);
   const double noise = 1e-3;
   const NodeId client = medium.add_node({.ppm = -1.2, .carrier_hz = 2.4e9,

@@ -153,8 +153,8 @@ TEST(JmbSystemTest, JointTransmissionDeliversAllStreams) {
   for (int c = 0; c < 3; ++c) psdus.push_back(random_psdu(rng, 300));
 
   sys.advance_time(5e-3);
-  const JointResult jr =
-      sys.transmit_joint(psdus, {phy::Modulation::kQam16, phy::CodeRate::kHalf});
+  const JointResult jr = sys.transmit_joint(
+      psdus, {phy::Modulation::kQam16, phy::CodeRate::kHalf});
   EXPECT_EQ(jr.slaves_synced, 2u);
   ASSERT_EQ(jr.per_client.size(), 3u);
   for (std::size_t c = 0; c < 3; ++c) {
@@ -182,7 +182,8 @@ TEST(JmbSystemTest, JointTransmissionSurvivesCoherenceTimeGap) {
   Rng rng(10);
   for (int round = 0; round < 4; ++round) {
     sys.advance_time(25e-3);
-    std::vector<phy::ByteVec> psdus{random_psdu(rng, 200), random_psdu(rng, 200)};
+    std::vector<phy::ByteVec> psdus{random_psdu(rng, 200),
+                                    random_psdu(rng, 200)};
     const JointResult jr = sys.transmit_joint(
         psdus, {phy::Modulation::kQpsk, phy::CodeRate::kHalf});
     for (std::size_t c = 0; c < 2; ++c) {
@@ -275,7 +276,8 @@ TEST(JmbSystemTest, InputValidation) {
   p.n_aps = 2;
   p.n_clients = 2;
   JmbSystem sys(p, flat_gains(2, 2, 20.0));
-  EXPECT_THROW((void)sys.transmit_joint({}, phy::rate_set()[0]), std::logic_error);
+  EXPECT_THROW((void)sys.transmit_joint({}, phy::rate_set()[0]),
+               std::logic_error);
   EXPECT_THROW((void)sys.measure_inr(0), std::logic_error);
   EXPECT_THROW(sys.advance_time(-1.0), std::invalid_argument);
   EXPECT_THROW(JmbSystem(p, flat_gains(1, 2, 20.0)), std::invalid_argument);

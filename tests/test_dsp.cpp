@@ -70,7 +70,8 @@ TEST(Fft, SingleToneLandsOnItsBin) {
   const std::size_t k0 = 5;
   cvec x(n);
   for (std::size_t t = 0; t < n; ++t) {
-    x[t] = phasor(kTwoPi * static_cast<double>(k0 * t) / static_cast<double>(n));
+    x[t] = phasor(kTwoPi * static_cast<double>(k0 * t) /
+                  static_cast<double>(n));
   }
   const cvec X = fft(x);
   for (std::size_t k = 0; k < n; ++k) {

@@ -58,7 +58,8 @@ TEST(CMatrixTest, ArithmeticAndShapeChecks) {
   EXPECT_NEAR(scaled.frobenius_norm(), 2.0 * a.frobenius_norm(), kTol);
   const CMatrix c = random_matrix(rng, 2, 3);
   EXPECT_THROW(a + c, std::invalid_argument);
-  EXPECT_THROW(c * a * c, std::invalid_argument);  // (2x3)(3x3)=2x3, (2x3)(2x3) bad
+  // (2x3)(3x3)=2x3, (2x3)(2x3) bad
+  EXPECT_THROW(c * a * c, std::invalid_argument);
 }
 
 TEST(CMatrixTest, MatrixProductAgainstHand) {

@@ -224,7 +224,8 @@ TEST(Mac, JmbScalesWithStreams) {
 TEST(Mac, JmbBeatsBaselineHeadToHead) {
   MacParams p;
   p.duration_s = 0.5;
-  const double base = run_baseline_mac(6, flat_links(22.0), p).total_goodput_mbps;
+  const double base =
+      run_baseline_mac(6, flat_links(22.0), p).total_goodput_mbps;
   const double jmb =
       run_jmb_mac(6, 6, 6, flat_links(22.0), p).total_goodput_mbps;
   EXPECT_GT(jmb / base, 4.0);  // ideal 6x less overheads
@@ -237,8 +238,9 @@ TEST(Mac, MeasurementOverheadAccounted) {
   const MacReport r = run_jmb_mac(4, 4, 4, flat_links(25.0), p);
   EXPECT_GT(r.measurement_airtime_s, 0.0);
   // ~10 measurement epochs in a second.
-  EXPECT_NEAR(r.measurement_airtime_s / rate::measurement_airtime_s(4, 4, p.airtime),
-              10.0, 2.0);
+  EXPECT_NEAR(
+      r.measurement_airtime_s / rate::measurement_airtime_s(4, 4, p.airtime),
+      10.0, 2.0);
   EXPECT_LE(r.data_airtime_s + r.measurement_airtime_s, p.duration_s + 0.05);
 }
 
@@ -265,7 +267,8 @@ TEST(Mac, MarginalSnrCausesRetransmissions) {
   // Pick an SNR a hair above the 64-QAM 3/4 threshold: ~10% PER.
   const double thr = rate::rate_thresholds_db().back();
   const MacReport r = run_jmb_mac(2, 2, 2, flat_links(thr), p);
-  EXPECT_GT(r.per_client[0].failed_attempts + r.per_client[1].failed_attempts, 5u);
+  EXPECT_GT(r.per_client[0].failed_attempts + r.per_client[1].failed_attempts,
+            5u);
   EXPECT_GT(r.per_client[0].delivered, 50u);  // retransmissions recover
 }
 

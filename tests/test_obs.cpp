@@ -207,7 +207,8 @@ TEST(ObsSchema, ValidatorAcceptsAndRejects) {
   ASSERT_TRUE(schema.is_object());
 
   const obs::JsonValue good = obs::parse_json(
-      R"({"schema":"jmb.bench_result.v1","metrics":[{"name":"x","kind":"counter"}]})");
+      R"({"schema":"jmb.bench_result.v1",)"
+      R"("metrics":[{"name":"x","kind":"counter"}]})");
   EXPECT_TRUE(obs::validate_schema(schema, good).empty());
 
   const obs::JsonValue bad_const =
@@ -218,7 +219,8 @@ TEST(ObsSchema, ValidatorAcceptsAndRejects) {
   EXPECT_FALSE(obs::validate_schema(schema, missing).empty());
 
   const obs::JsonValue bad_enum = obs::parse_json(
-      R"({"schema":"jmb.bench_result.v1","metrics":[{"name":"x","kind":"bogus"}]})");
+      R"({"schema":"jmb.bench_result.v1",)"
+      R"("metrics":[{"name":"x","kind":"bogus"}]})");
   EXPECT_FALSE(obs::validate_schema(schema, bad_enum).empty());
 }
 

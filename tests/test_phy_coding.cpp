@@ -122,8 +122,10 @@ TEST(ConvCode, PunctureLengths) {
   EXPECT_EQ(punctured_length(100, CodeRate::kHalf), 200u);
   EXPECT_EQ(punctured_length(100, CodeRate::kTwoThirds), 150u);
   EXPECT_EQ(punctured_length(99, CodeRate::kThreeQuarters), 132u);
-  EXPECT_THROW((void)punctured_length(99, CodeRate::kTwoThirds), std::invalid_argument);
-  EXPECT_THROW((void)punctured_length(100, CodeRate::kThreeQuarters), std::invalid_argument);
+  EXPECT_THROW((void)punctured_length(99, CodeRate::kTwoThirds),
+               std::invalid_argument);
+  EXPECT_THROW((void)punctured_length(100, CodeRate::kThreeQuarters),
+               std::invalid_argument);
 }
 
 TEST(ConvCode, DepunctureInsertsErasures) {
@@ -157,10 +159,14 @@ TEST_P(ViterbiRoundTrip, CleanChannelRecoversBits) {
   for (int trial = 0; trial < 10; ++trial) {
     BitVec info = random_bits(rng, 120);
     // Terminate the trellis.
-    for (int i = 0; i < 6; ++i) info[info.size() - 1 - static_cast<std::size_t>(i)] = 0;
+    for (int i = 0; i < 6; ++i) {
+      info[info.size() - 1 - static_cast<std::size_t>(i)] = 0;
+    }
     const BitVec punct = puncture(conv_encode(info), rate);
     std::vector<double> llr(punct.size());
-    for (std::size_t i = 0; i < punct.size(); ++i) llr[i] = punct[i] ? -4.0 : 4.0;
+    for (std::size_t i = 0; i < punct.size(); ++i) {
+      llr[i] = punct[i] ? -4.0 : 4.0;
+    }
     const std::vector<double> dep = depuncture(llr, info.size(), rate);
     EXPECT_EQ(viterbi_decode(dep, info.size()), info);
   }
@@ -172,7 +178,9 @@ TEST_P(ViterbiRoundTrip, CorrectsNoisySoftBits) {
   int failures = 0;
   for (int trial = 0; trial < 20; ++trial) {
     BitVec info = random_bits(rng, 120);
-    for (int i = 0; i < 6; ++i) info[info.size() - 1 - static_cast<std::size_t>(i)] = 0;
+    for (int i = 0; i < 6; ++i) {
+      info[info.size() - 1 - static_cast<std::size_t>(i)] = 0;
+    }
     const BitVec punct = puncture(conv_encode(info), rate);
     // BPSK over AWGN at ~5 dB Eb/N0 equivalent.
     std::vector<double> llr(punct.size());
@@ -195,7 +203,9 @@ INSTANTIATE_TEST_SUITE_P(Rates, ViterbiRoundTrip,
 TEST(Viterbi, HardDecisionCorrectsErrors) {
   Rng rng(8);
   BitVec info = random_bits(rng, 60);
-  for (int i = 0; i < 6; ++i) info[info.size() - 1 - static_cast<std::size_t>(i)] = 0;
+  for (int i = 0; i < 6; ++i) {
+    info[info.size() - 1 - static_cast<std::size_t>(i)] = 0;
+  }
   BitVec coded = conv_encode(info);
   // Flip 6 well-separated coded bits: free distance 10 handles these.
   for (std::size_t pos : {3u, 23u, 43u, 63u, 83u, 103u}) coded[pos] ^= 1u;
@@ -311,8 +321,10 @@ TEST_P(ModulationRoundTrip, GrayNeighborsDifferInOneBit) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMods, ModulationRoundTrip,
-                         ::testing::Values(Modulation::kBpsk, Modulation::kQpsk,
-                                           Modulation::kQam16, Modulation::kQam64));
+                         ::testing::Values(Modulation::kBpsk,
+                                           Modulation::kQpsk,
+                                           Modulation::kQam16,
+                                           Modulation::kQam64));
 
 TEST(Modulation, InputValidation) {
   EXPECT_THROW((void)modulate(BitVec(3, 0), Modulation::kQpsk),

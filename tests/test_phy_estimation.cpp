@@ -140,7 +140,8 @@ TEST(LowSnrFallback, MeasuresPreambleBelowStfThreshold) {
     const std::size_t at = 400;
     const double cfo = rng.uniform(-8e3, 8e3);
     for (std::size_t i = 0; i < pre.size(); ++i) {
-      buf[at + i] += pre[i] * phasor(kTwoPi * cfo * static_cast<double>(i) / 10e6);
+      buf[at + i] +=
+          pre[i] * phasor(kTwoPi * cfo * static_cast<double>(i) / 10e6);
     }
     const auto pm = rx.measure_preamble(buf);
     if (pm && std::abs(static_cast<double>(pm->ltf_start) -

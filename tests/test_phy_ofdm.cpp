@@ -27,7 +27,9 @@ ByteVec random_psdu(Rng& rng, std::size_t n) {
 cvec add_noise(const cvec& x, double snr_db, Rng& rng, double signal_power) {
   const double nvar = signal_power / from_db(snr_db);
   cvec out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + rng.cgaussian(nvar);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = x[i] + rng.cgaussian(nvar);
+  }
   return out;
 }
 
@@ -121,7 +123,8 @@ TEST(Sync, DetectsPreambleInNoise) {
   for (std::size_t i = 0; i < pre.size(); ++i) buf[at + i] += pre[i];
   const auto det = detect_packet(buf);
   ASSERT_TRUE(det.has_value());
-  EXPECT_NEAR(static_cast<double>(det->stf_start), static_cast<double>(at), 16.0);
+  EXPECT_NEAR(static_cast<double>(det->stf_start), static_cast<double>(at),
+              16.0);
 }
 
 TEST(Sync, NoFalseDetectInPureNoise) {
@@ -260,7 +263,9 @@ TEST(ChanEst, PilotTrackerMeasuresCommonPhase) {
 
   cvec data = extract_data(freq);
   const auto& dc = data_carriers();
-  for (std::size_t i = 0; i < data.size(); ++i) data[i] /= chan.h[bin_of(dc[i])];
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] /= chan.h[bin_of(dc[i])];
+  }
   apply_phase_correction(data, pp);
   for (const cplx& d : data) {
     EXPECT_NEAR(std::abs(d - cplx{1.0, 0.0}), 0.0, 1e-9);
@@ -350,10 +355,13 @@ TEST_P(LoopbackTest, DecodesThroughImpairedChannel) {
   const cplx g{0.6, 0.45};
   const double cfo = 4.7e3;
   cvec buf(1200 + frame.samples.size());
-  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = rng.cgaussian(sig_power / from_db(30.0));
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = rng.cgaussian(sig_power / from_db(30.0));
+  }
   for (std::size_t i = 0; i < frame.samples.size(); ++i) {
     const double t = static_cast<double>(i);
-    buf[50 + i] += frame.samples[i] * g * phasor(kTwoPi * cfo * t / cfg.sample_rate_hz);
+    buf[50 + i] +=
+        frame.samples[i] * g * phasor(kTwoPi * cfo * t / cfg.sample_rate_hz);
   }
 
   const RxResult res = rx.receive(buf);
@@ -378,7 +386,8 @@ TEST(Loopback, FailsGracefullyAtVeryLowSnr) {
   const Mcs mcs{Modulation::kQam64, CodeRate::kThreeQuarters};
   const ByteVec psdu = random_psdu(rng, 500);
   const TxFrame frame = tx.build_frame(psdu, mcs);
-  const cvec noisy = add_noise(frame.samples, -5.0, rng, mean_power(frame.samples));
+  const cvec noisy =
+      add_noise(frame.samples, -5.0, rng, mean_power(frame.samples));
   const RxResult res = rx.receive(noisy);
   // At -5 dB SNR 64-QAM 3/4 must not decode; and must not crash.
   EXPECT_FALSE(res.ok);

@@ -53,8 +53,10 @@ TEST(Ber, InverseRoundTrip) {
       EXPECT_NEAR(std::log10(ber(m, snr)), std::log10(target), 0.02);
     }
   }
-  EXPECT_THROW((void)snr_for_ber(Modulation::kBpsk, 0.0), std::invalid_argument);
-  EXPECT_THROW((void)snr_for_ber(Modulation::kBpsk, 0.6), std::invalid_argument);
+  EXPECT_THROW((void)snr_for_ber(Modulation::kBpsk, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)snr_for_ber(Modulation::kBpsk, 0.6),
+               std::invalid_argument);
 }
 
 TEST(EffSnr, FlatChannelIsIdentity) {
@@ -81,7 +83,8 @@ TEST(EffSnr, SelectiveChannelBelowMean) {
   // relative to its own scale, but both must stay above the min.
   EXPECT_GT(eff_bpsk, 10.0);
   EXPECT_GT(eff_q64, 10.0);
-  EXPECT_THROW((void)effective_snr(Modulation::kBpsk, {}), std::invalid_argument);
+  EXPECT_THROW((void)effective_snr(Modulation::kBpsk, {}),
+               std::invalid_argument);
 }
 
 TEST(EffSnr, ThresholdsStrictlyIncreasing) {
