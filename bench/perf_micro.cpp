@@ -4,6 +4,8 @@
 // histogram type, not just means).
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "bench_util.h"
 #include "core/link_model.h"
 #include "core/precoder.h"
@@ -11,6 +13,7 @@
 #include "dsp/fft_plan.h"
 #include "dsp/rng.h"
 #include "engine/metrics.h"
+#include "engine/stream/spsc_ring.h"
 #include "phy/receiver.h"
 #include "phy/transmitter.h"
 #include "phy/viterbi.h"
@@ -309,6 +312,57 @@ void BM_BeamformingSinr10x10(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BeamformingSinr10x10);
+
+// Uncontended SPSC hand-off: one push + one pop on the same thread — the
+// pure ring overhead an operator pays per item, without cache-line
+// ping-pong from a peer.
+void BM_SpscRingPushPop(benchmark::State& state) {
+  engine::stream::SpscRing<std::uint64_t> ring(
+      static_cast<std::size_t>(state.range(0)));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    std::uint64_t v = i++;
+    benchmark::DoNotOptimize(ring.try_push(v));
+    std::uint64_t out = 0;
+    benchmark::DoNotOptimize(ring.try_pop(out));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpscRingPushPop)->Arg(2)->Arg(8)->Arg(64);
+
+// Cross-thread operator hop: round-trip an item through an echo thread
+// over two rings — the inter-operator hand-off latency the streaming
+// pipeline pays per stage boundary (two hops per round trip).
+void BM_SpscOperatorHop(benchmark::State& state) {
+  engine::stream::SpscRing<std::uint64_t> to_echo(
+      static_cast<std::size_t>(state.range(0)));
+  engine::stream::SpscRing<std::uint64_t> from_echo(
+      static_cast<std::size_t>(state.range(0)));
+  std::thread echo([&] {
+    std::uint64_t v = 0;
+    for (;;) {
+      if (!to_echo.try_pop(v)) {
+        if (to_echo.closed() && !to_echo.try_pop(v)) break;
+        std::this_thread::yield();  // single-core machines: don't burn a
+        continue;                   // whole scheduler quantum spinning
+      }
+      while (!from_echo.try_push(v)) std::this_thread::yield();
+    }
+  });
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    std::uint64_t v = i++;
+    while (!to_echo.try_push(v)) std::this_thread::yield();
+    std::uint64_t out = 0;
+    while (!from_echo.try_pop(out)) std::this_thread::yield();
+    benchmark::DoNotOptimize(out);
+  }
+  to_echo.close();
+  echo.join();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_SpscOperatorHop)->Arg(2)->Arg(64)->UseRealTime();
 
 // Latency distributions: run each op repeatedly under a ScopedStageTimer
 // so every repetition lands in the op's frame_us histogram, then report

@@ -1,0 +1,275 @@
+// Streaming dataflow throughput: the five pipeline stages as operators
+// on SPSC rings, swept over ring depth x thread placement.
+//
+// The workload is a fixed fleet of independent lanes (each its own
+// 2x2 JmbSystem at 25 dB), so every configuration executes the exact
+// same physics: the default (physics-only) export is byte-identical
+// across ring depths, thread placements, and the --batch facade loop —
+// enforced by the stream_parity / stream_batch_parity ctests. Only the
+// timing metrics (queue depths, stalls, deadline misses, Msamples/s)
+// vary; they are exported under --metrics-timing together with the
+// "streaming" summary object of jmb.bench_result.v1.
+//
+// Knobs:
+//   --stream / --batch      execution mode (default --stream)
+//   --quick                 skip the sweep; run only the configured point
+//   --rt-factor=<x>         virtual-clock speedup (<= 0 free-runs)
+//   JMB_STREAM_DEPTH        per-edge ring capacity for the headline run
+//   JMB_STREAM_THREADS      operator threads (1..5) for the headline run
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/measurement.h"
+#include "engine/env.h"
+#include "engine/stream/stream_pipeline.h"
+#include "phy/params.h"
+#include "phy/transmitter.h"
+
+namespace {
+
+using namespace jmb;
+using engine::stream::StreamConfig;
+using engine::stream::StreamLaneSpec;
+using engine::stream::StreamPipeline;
+using engine::stream::StreamReport;
+
+// Workload shape. Identical for every configuration in a run, so the
+// merged physics export cannot depend on the execution mode.
+constexpr std::size_t kLanes = 4;
+constexpr std::size_t kEpochs = 4;
+constexpr std::size_t kFramesPerEpoch = 8;
+constexpr std::size_t kPsduBytes = 300;
+constexpr double kSnrDb = 25.0;
+
+StreamLaneSpec make_lane(std::uint64_t seed, std::size_t lane) {
+  StreamLaneSpec spec;
+  spec.params.n_aps = 2;
+  spec.params.n_clients = 2;
+  spec.params.seed = seed ^ (0x9e3779b97f4a7c15ULL * (lane + 1));
+  const double gain = core::JmbSystem::gain_for_snr_db(kSnrDb, 1.0);
+  spec.link_gains = {{gain, gain}, {gain, gain}};
+  for (std::size_t c = 0; c < spec.params.n_clients; ++c) {
+    phy::ByteVec psdu(kPsduBytes);
+    for (std::size_t i = 0; i < psdu.size(); ++i) {
+      psdu[i] = static_cast<std::uint8_t>(0x11 * (lane + 1) + 7 * c + i);
+    }
+    spec.psdus.push_back(std::move(psdu));
+  }
+  spec.mcs = {phy::Modulation::kQpsk, phy::CodeRate::kHalf};
+  return spec;
+}
+
+std::vector<StreamLaneSpec> make_workload(std::uint64_t seed) {
+  std::vector<StreamLaneSpec> specs;
+  specs.reserve(kLanes);
+  for (std::size_t l = 0; l < kLanes; ++l) specs.push_back(make_lane(seed, l));
+  return specs;
+}
+
+// Virtual air samples one lane's schedule occupies — the same accounting
+// StreamPipeline uses — so the batch loop reports a comparable
+// Msamples/s without running the streaming engine.
+std::uint64_t lane_virtual_samples(const StreamLaneSpec& spec) {
+  const phy::Transmitter tx;
+  std::size_t n_sym = 0;
+  for (const auto& psdu : spec.psdus) {
+    n_sym = std::max(n_sym, tx.build_freq_symbols(psdu, spec.mcs).size());
+  }
+  const double fs = spec.params.phy.sample_rate_hz;
+  const core::MeasurementSchedule sched{spec.params.n_aps,
+                                        spec.params.measurement_rounds};
+  const std::uint64_t measure = sched.frame_len() + 400;
+  const std::uint64_t data =
+      phy::kPreambleLen +
+      static_cast<std::uint64_t>(spec.params.turnaround_s * fs) +
+      (phy::kLtfLen + n_sym * phy::kSymbolLen) + 400;
+  return kEpochs * (measure + kFramesPerEpoch * data);
+}
+
+// Sum of every operator's push-stall counter in a merged registry (how
+// often backpressure made an operator wait on a full downstream ring).
+std::uint64_t total_push_stalls(const obs::MetricRegistry& reg) {
+  double stalls = 0.0;
+  for (std::size_t k = 0; k < engine::stream::kNumStages; ++k) {
+    const std::string name =
+        "stream/op" + std::to_string(k) + "/push_stalls";
+    if (const auto* e = reg.find(name)) {
+      stalls += std::get<obs::Counter>(e->metric).value();
+    }
+  }
+  return static_cast<std::uint64_t>(stalls);
+}
+
+// The shared tail of finish(), minus the TrialRunner: streaming runs
+// export their merged lane registry directly.
+int export_metrics(const bench::BenchOptions& opts,
+                   const obs::MetricRegistry& reg,
+                   const obs::StreamingStats* streaming) {
+  if (opts.metrics_out.empty()) return 0;
+  obs::BenchRunInfo info;
+  info.figure = opts.figure;
+  info.seed = opts.seed;
+  info.params = opts.params;
+  if (streaming != nullptr) {
+    info.has_streaming = true;
+    info.streaming = *streaming;
+  }
+  const bool csv =
+      opts.metrics_out.size() >= 4 &&
+      opts.metrics_out.compare(opts.metrics_out.size() - 4, 4, ".csv") == 0;
+  const std::string text =
+      csv ? obs::registry_csv(reg, opts.timing_metrics)
+          : obs::bench_result_json(info, reg, opts.timing_metrics);
+  return obs::write_text_file(opts.metrics_out, text) ? 0 : 1;
+}
+
+// Batch baseline: the same lanes through the JmbSystem facade, one
+// after another on the calling thread — the execution mode TrialRunner
+// benches use. Physics (and therefore the default export) match the
+// streaming runs byte for byte.
+int run_batch(bench::BenchOptions& opts) {
+  const auto specs = make_workload(opts.seed);
+  engine::StageMetricsSet merged;
+  std::uint64_t total_samples = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const StreamLaneSpec& spec : specs) {
+    engine::StageMetricsSet metrics;
+    core::JmbSystem sys(spec.params, spec.link_gains);
+    sys.attach_metrics(&metrics);
+    for (std::size_t e = 0; e < kEpochs; ++e) {
+      (void)sys.run_measurement();
+      for (std::size_t f = 0; f < kFramesPerEpoch; ++f) {
+        if (!sys.ready()) continue;
+        (void)sys.transmit_joint(spec.psdus, spec.mcs);
+      }
+    }
+    total_samples += lane_virtual_samples(spec);
+    merged.merge(metrics);
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  engine::print_stage_metrics(merged);
+  std::printf("mode=batch  lanes=%zu  wall=%.1f ms  %.2f Msamples/s\n",
+              kLanes, wall_s * 1e3,
+              static_cast<double>(total_samples) / wall_s / 1e6);
+  return export_metrics(opts, merged.registry(), nullptr);
+}
+
+StreamReport run_stream_point(std::uint64_t seed, const StreamConfig& cfg,
+                              std::uint64_t& stalls) {
+  StreamPipeline pipe(make_workload(seed), cfg);
+  const StreamReport rep = pipe.run();
+  stalls = total_push_stalls(pipe.metrics().registry());
+  return rep;
+}
+
+int run_stream(bench::BenchOptions& opts, bool quick, double rt_factor,
+               std::size_t depth, std::size_t threads) {
+  if (!quick) {
+    // Sweep ring depth x thread placement over the same workload. All
+    // points free-run so the table isolates pipelining throughput.
+    std::printf("%8s %8s %10s %14s %8s %8s\n", "depth", "threads", "wall_ms",
+                "Msamples/s", "stalls", "miss%");
+    for (const std::size_t d : {std::size_t{2}, std::size_t{8},
+                                std::size_t{64}}) {
+      for (const std::size_t t :
+           {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+        std::uint64_t stalls = 0;
+        const StreamReport rep = run_stream_point(
+            opts.seed,
+            StreamConfig{d, t, /*rt_factor=*/0.0, kEpochs, kFramesPerEpoch},
+            stalls);
+        std::printf("%8zu %8zu %10.1f %14.2f %8llu %8.2f\n", d, t,
+                    rep.wall_s * 1e3, rep.msamples_per_s,
+                    static_cast<unsigned long long>(stalls),
+                    rep.deadline_miss_rate * 100.0);
+      }
+    }
+  }
+
+  // Headline run at the configured point; this is the one exported.
+  const StreamConfig cfg{depth, threads, rt_factor, kEpochs,
+                         kFramesPerEpoch};
+  StreamPipeline pipe(make_workload(opts.seed), cfg);
+  const StreamReport rep = pipe.run();
+  engine::print_stage_metrics(pipe.metrics());
+  std::printf(
+      "mode=stream  depth=%zu  threads=%zu  rt=%.3g  wall=%.1f ms  "
+      "%.2f Msamples/s  misses=%llu/%llu\n",
+      pipe.config().ring_depth, pipe.config().n_threads,
+      pipe.config().rt_factor, rep.wall_s * 1e3, rep.msamples_per_s,
+      static_cast<unsigned long long>(rep.deadline_misses),
+      static_cast<unsigned long long>(rep.items));
+
+  // The streaming summary is wall-clock data, so it rides with the
+  // timing metrics: the default export stays byte-identical across
+  // streaming configurations (and the batch mode).
+  obs::StreamingStats stats;
+  stats.msamples_per_s = rep.msamples_per_s;
+  stats.deadline_miss_rate = rep.deadline_miss_rate;
+  stats.items = rep.items;
+  stats.deadline_misses = rep.deadline_misses;
+  stats.total_msamples = static_cast<double>(rep.total_samples) / 1e6;
+  stats.wall_s = rep.wall_s;
+  stats.ring_depth = static_cast<double>(pipe.config().ring_depth);
+  stats.stage_threads = static_cast<double>(pipe.config().n_threads);
+  stats.rt_factor = pipe.config().rt_factor;
+  return export_metrics(opts, pipe.metrics().registry(),
+                        opts.timing_metrics ? &stats : nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "streaming_throughput");
+  bool batch = false;
+  bool quick = false;
+  double rt_factor = 0.0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--batch") {
+      batch = true;
+    } else if (arg == "--stream") {
+      batch = false;
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--rt-factor=", 0) == 0) {
+      rt_factor = std::strtod(argv[i] + std::strlen("--rt-factor="), nullptr);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  opts.seed = bench::seed_from(argc, argv);
+  bench::banner("streaming_throughput — dataflow stages over SPSC rings",
+                opts.seed);
+
+  bool warned_depth = false;
+  bool warned_threads = false;
+  const auto depth = static_cast<std::size_t>(engine::env_u64(
+      "JMB_STREAM_DEPTH", 8, /*min_one=*/true, warned_depth));
+  const auto threads = static_cast<std::size_t>(engine::env_u64(
+      "JMB_STREAM_THREADS", engine::stream::kNumStages, /*min_one=*/true,
+      warned_threads));
+
+  opts.add_param("n_lanes", static_cast<double>(kLanes));
+  opts.add_param("n_aps", 2.0);
+  opts.add_param("n_clients", 2.0);
+  opts.add_param("n_epochs", static_cast<double>(kEpochs));
+  opts.add_param("frames_per_epoch", static_cast<double>(kFramesPerEpoch));
+  opts.add_param("psdu_bytes", static_cast<double>(kPsduBytes));
+  opts.add_param("snr_db", kSnrDb);
+
+  return batch ? run_batch(opts)
+               : run_stream(opts, quick, rt_factor, depth, threads);
+}

@@ -1,0 +1,50 @@
+// Strict environment-variable parsing for engine knobs.
+//
+// Same rules PR 5 applied to bench seeds (bench/bench_util.h): digits
+// only — no sign, no leading whitespace, no trailing garbage, no
+// overflow. A malformed value must not silently become "some" number; it
+// falls back to the caller's default with a single warning per variable,
+// so a typo'd JMB_THREADS=4x is loud but does not spam once per trial.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace jmb::engine {
+
+/// Strict decimal parse: digits only, no leading whitespace or sign
+/// (strtoull alone would silently wrap "-1" to 2^64-1), no trailing
+/// garbage, no overflow. Returns false on any violation.
+inline bool parse_u64_strict(const char* text, std::uint64_t& out) {
+  if (text == nullptr || *text < '0' || *text > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (*end != '\0' || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+/// Read an unsigned env knob. Unset -> `fallback`. Set but malformed or
+/// zero when `min_one` -> `fallback`, with a warning printed once per
+/// (name, warned) pair — the caller supplies the warn-once flag so tests
+/// can reset it.
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback,
+                             bool min_one, bool& warned) {
+  const char* text = std::getenv(name);
+  if (text == nullptr) return fallback;
+  std::uint64_t v = 0;
+  if (parse_u64_strict(text, v) && (!min_one || v >= 1)) return v;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "[engine] ignoring %s='%s' (expected a positive decimal "
+                 "integer); using %llu\n",
+                 name, text, static_cast<unsigned long long>(fallback));
+  }
+  return fallback;
+}
+
+}  // namespace jmb::engine

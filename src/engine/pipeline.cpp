@@ -163,7 +163,8 @@ double mean_condition_number(const core::ChannelMatrixSet& h,
   return sum / static_cast<double>(n);
 }
 
-void MeasurementStage::run(FrameContext& ctx) {
+void MeasurementStage::run(StageContext& stage_ctx) {
+  FrameContext& ctx = stage_ctx.frame;
   SystemState& sys = ctx.sys;
   pump_faults(sys);
   sys.medium.clear_transmissions();
@@ -255,7 +256,8 @@ void MeasurementStage::run(FrameContext& ctx) {
   ctx.measurement_ok = true;
 }
 
-void PrecodeStage::run(FrameContext& ctx) {
+void PrecodeStage::run(StageContext& stage_ctx) {
+  FrameContext& ctx = stage_ctx.frame;
   SystemState& sys = ctx.sys;
   if (!ctx.measurement_ok || !ctx.h_measured) return;
   sys.h = std::move(*ctx.h_measured);
@@ -279,7 +281,8 @@ void PrecodeStage::run(FrameContext& ctx) {
   }
 }
 
-void SynthesisStage::run(FrameContext& ctx) {
+void SynthesisStage::run(StageContext& stage_ctx) {
+  FrameContext& ctx = stage_ctx.frame;
   SystemState& sys = ctx.sys;
   const std::vector<std::vector<cvec>>& streams = *ctx.streams;
   const std::size_t n_streams = streams.size();
@@ -406,7 +409,8 @@ void SynthesisStage::run(FrameContext& ctx) {
   }
 }
 
-void PropagationStage::run(FrameContext& ctx) {
+void PropagationStage::run(StageContext& stage_ctx) {
+  FrameContext& ctx = stage_ctx.frame;
   SystemState& sys = ctx.sys;
   const double fs = sys.params.phy.sample_rate_hz;
   for (std::size_t a = 0; a < sys.params.n_aps; ++a) {
@@ -427,7 +431,8 @@ void PropagationStage::run(FrameContext& ctx) {
   sys.now = ctx.sync.tx_start + static_cast<double>(ctx.wave_len + 400) / fs;
 }
 
-void DecodeStage::run(FrameContext& ctx) {
+void DecodeStage::run(StageContext& stage_ctx) {
+  FrameContext& ctx = stage_ctx.frame;
   SystemState& sys = ctx.sys;
   const double fs = sys.params.phy.sample_rate_hz;
   ctx.result.per_client.resize(sys.params.n_clients);
@@ -468,15 +473,16 @@ void DecodeStage::run(FrameContext& ctx) {
   }
 }
 
-void FramePipeline::run_stage(PipelineStage& stage, FrameContext& ctx) {
+void FramePipeline::run_stage(Stage& stage, FrameContext& ctx) {
+  StageContext sctx(ctx);
   StageMetricsSet* m = ctx.sys.metrics;
   if (!m) {
-    stage.run(ctx);
+    stage.run(sctx);
     return;
   }
   const ScopedStageTimer timer(m, stage.name(), ctx.sys.obs,
                                ctx.sys.frame_seq);
-  stage.run(ctx);
+  stage.run(sctx);
 }
 
 bool FramePipeline::run_measurement(FrameContext& ctx) {

@@ -1,8 +1,8 @@
 // The staged frame pipeline behind JmbSystem.
 //
 // The monolithic frame path is decomposed into composable stages with a
-// uniform run(FrameContext&) interface, mirroring how AirSync and the
-// Rogalin et al. scalable-synchronization systems structure their
+// uniform Stage::run(StageContext&) interface, mirroring how AirSync and
+// the Rogalin et al. scalable-synchronization systems structure their
 // distributed-MIMO stacks:
 //
 //   measurement path:  MeasurementStage -> PrecodeStage
@@ -211,53 +211,73 @@ struct FrameContext {
   core::JointResult result;
 };
 
+/// The scheduling envelope a stage body receives: the frame flowing
+/// through the stages plus the identity the execution mode attached to
+/// it. Batch mode (FramePipeline) wraps each FrameContext on the stack
+/// with the defaults below; streaming mode (engine/stream/) fills the
+/// stream/deadline fields from the work item, so the same stage bodies
+/// serve both modes without knowing which one is driving them.
+struct StageContext {
+  explicit StageContext(FrameContext& f) : frame(f) {}
+
+  FrameContext& frame;
+  /// Owning stream when pipelined (0 in batch mode).
+  std::size_t stream_id = 0;
+  /// Work-item sequence number within the stream (0 in batch mode).
+  std::uint64_t item_seq = 0;
+  /// Virtual-sample-clock deadline in wall seconds since pipeline start;
+  /// +inf (or 0 in batch mode) means no deadline applies.
+  double deadline_s = 0.0;
+};
+
 /// A composable pipeline stage. Stages communicate only through the
-/// FrameContext; FramePipeline owns sequencing and timing.
-class PipelineStage {
+/// FrameContext inside the StageContext; the execution mode (batch
+/// FramePipeline or streaming StreamPipeline) owns sequencing and timing.
+class Stage {
  public:
-  virtual ~PipelineStage() = default;
+  virtual ~Stage() = default;
   [[nodiscard]] virtual const char* name() const = 0;
-  virtual void run(FrameContext& ctx) = 0;
+  virtual void run(StageContext& ctx) = 0;
 };
 
 /// Channel-measurement phase (Section 5.1): interleaved per-AP symbols;
 /// slaves capture their lead reference, clients estimate the full H.
-class MeasurementStage final : public PipelineStage {
+class MeasurementStage final : public Stage {
  public:
   [[nodiscard]] const char* name() const override { return kStageMeasure; }
-  void run(FrameContext& ctx) override;
+  void run(StageContext& ctx) override;
 };
 
 /// Build the zero-forcing precoder from the measured snapshot.
-class PrecodeStage final : public PipelineStage {
+class PrecodeStage final : public Stage {
  public:
   [[nodiscard]] const char* name() const override { return kStagePrecode; }
-  void run(FrameContext& ctx) override;
+  void run(StageContext& ctx) override;
 };
 
 /// Sync header + per-AP waveform synthesis: jointly precoded LTF and data
 /// symbols, with each synced slave's phase correction applied
 /// (Section 5.2).
-class SynthesisStage final : public PipelineStage {
+class SynthesisStage final : public Stage {
  public:
   [[nodiscard]] const char* name() const override { return kStageSynthesis; }
-  void run(FrameContext& ctx) override;
+  void run(StageContext& ctx) override;
 };
 
 /// Schedule the waveforms on the shared medium and render every client's
 /// receive buffer (multipath, CFO/SFO, phase noise, AWGN).
-class PropagationStage final : public PipelineStage {
+class PropagationStage final : public Stage {
  public:
   [[nodiscard]] const char* name() const override { return kStagePropagate; }
-  void run(FrameContext& ctx) override;
+  void run(StageContext& ctx) override;
 };
 
 /// Standard receive chain at every client: CFO from the lead's sync
 /// header, channel from the jointly precoded LTF, then decode.
-class DecodeStage final : public PipelineStage {
+class DecodeStage final : public Stage {
  public:
   [[nodiscard]] const char* name() const override { return kStageDecode; }
-  void run(FrameContext& ctx) override;
+  void run(StageContext& ctx) override;
 };
 
 /// Sequences the stages for the two frame paths and records per-stage
@@ -273,7 +293,7 @@ class FramePipeline {
   [[nodiscard]] core::JointResult run_joint(FrameContext& ctx);
 
  private:
-  void run_stage(PipelineStage& stage, FrameContext& ctx);
+  void run_stage(Stage& stage, FrameContext& ctx);
 
   MeasurementStage measure_;
   PrecodeStage precode_;

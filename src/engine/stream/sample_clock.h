@@ -1,0 +1,60 @@
+// Virtual sample clock for streaming mode.
+//
+// The paper's system is paced by the radio front-end: samples leave the
+// DAC at a fixed rate, so every frame has a hard deadline — the moment
+// its last sample must exist. The simulator has no DAC, so this clock
+// maps a cumulative sample count onto wall-clock deadlines:
+//
+//   deadline_s(cum_samples) = cum_samples / (sample_rate_hz * rt_factor)
+//
+// measured from start(). rt_factor = 1 is real time (10 Msamples/s means
+// 10 M samples per wall second); rt_factor = 100 demands the pipeline
+// run 100x faster than the air interface; rt_factor <= 0 is free-run —
+// every deadline is +inf and the pipeline just measures sustained
+// throughput. Deadlines are *observed*, never enforced: a late frame is
+// still processed (the metrics record the miss and its latency), exactly
+// like a software radio that falls behind its hardware and drops its
+// timing budget rather than its data.
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+namespace jmb::engine::stream {
+
+class VirtualSampleClock {
+ public:
+  VirtualSampleClock(double sample_rate_hz, double rt_factor)
+      : rate_hz_(sample_rate_hz), rt_factor_(rt_factor) {}
+
+  /// Free-running clocks impose no deadlines (throughput-measurement
+  /// mode).
+  [[nodiscard]] bool free_run() const { return rt_factor_ <= 0.0; }
+
+  /// Anchor t = 0. Call once, before the first deadline comparison.
+  void start() { t0_ = std::chrono::steady_clock::now(); }
+
+  /// Wall seconds elapsed since start().
+  [[nodiscard]] double now_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+  /// Deadline (seconds since start()) by which sample number
+  /// `cum_samples` must have been produced. +inf when free-running.
+  [[nodiscard]] double deadline_s(std::uint64_t cum_samples) const {
+    if (free_run()) return std::numeric_limits<double>::infinity();
+    return static_cast<double>(cum_samples) / (rate_hz_ * rt_factor_);
+  }
+
+  [[nodiscard]] double sample_rate_hz() const { return rate_hz_; }
+  [[nodiscard]] double rt_factor() const { return rt_factor_; }
+
+ private:
+  double rate_hz_;
+  double rt_factor_;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+}  // namespace jmb::engine::stream

@@ -1,0 +1,107 @@
+// Bounded lock-free single-producer/single-consumer ring buffer — the
+// edge connecting two pipeline operators in streaming mode.
+//
+// The design is the classic cache-friendly SPSC queue used by streaming
+// SDR receivers: monotonic 64-bit head/tail counters (slot = counter &
+// mask, so full/empty never alias), release/acquire publication so the
+// consumer observes a slot's contents before it observes the index that
+// covers it, and each side keeping a plain-field cache of the other
+// side's index so the hot path usually touches only its own cache line.
+//
+// Thread roles are fixed: exactly one thread may call try_push()/close()
+// (the producer) and exactly one may call try_pop() (the consumer).
+// size() is racy-but-monotone and safe from any thread — it feeds the
+// queue-depth gauges, nothing load-bearing.
+//
+// Backpressure is explicit and belongs to the caller: try_push/try_pop
+// return false instead of blocking, and the operator loop decides how to
+// wait (see stream_pipeline.cpp). close() marks end-of-stream; a consumer
+// that sees closed() AND a failed pop has drained everything the producer
+// will ever publish.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace jmb::engine::stream {
+
+/// Destructive-interference padding: keep the producer index, consumer
+/// index, and the index caches on separate cache lines.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2) so the
+  /// index arithmetic stays a mask, never a modulo.
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer only. Moves from `v` and returns true when a slot was
+  /// free; leaves `v` untouched and returns false when the ring is full
+  /// (the caller owns the retry/backoff policy).
+  [[nodiscard]] bool try_push(T& v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ == slots_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ == slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only. Moves the oldest element into `out`; false when the
+  /// ring is currently empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer only: no further pushes will follow. Ordered after every
+  /// preceding push, so a consumer that observes closed() and then fails
+  /// a pop has seen every element.
+  void close() { closed_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Approximate occupancy, safe from any thread (gauge fodder only).
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    return t >= h ? static_cast<std::size_t>(t - h) : 0;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::uint64_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};  // consumer index
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};  // producer index
+  alignas(kCacheLine) std::atomic<bool> closed_{false};
+  /// Producer's cached view of head_ (owner-thread only).
+  alignas(kCacheLine) std::uint64_t head_cache_ = 0;
+  /// Consumer's cached view of tail_ (owner-thread only).
+  alignas(kCacheLine) std::uint64_t tail_cache_ = 0;
+};
+
+}  // namespace jmb::engine::stream

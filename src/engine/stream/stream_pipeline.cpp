@@ -1,0 +1,300 @@
+#include "engine/stream/stream_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "core/measurement.h"
+#include "obs/bounds.h"
+#include "phy/params.h"
+
+namespace jmb::engine::stream {
+
+std::vector<std::pair<std::size_t, std::size_t>> partition_stages(
+    std::size_t n_stages, std::size_t n_threads) {
+  n_threads = std::clamp<std::size_t>(n_threads, 1, n_stages);
+  const std::size_t base = n_stages / n_threads;
+  const std::size_t rem = n_stages % n_threads;
+  std::vector<std::pair<std::size_t, std::size_t>> parts;
+  parts.reserve(n_threads);
+  std::size_t at = 0;
+  for (std::size_t k = 0; k < n_threads; ++k) {
+    const std::size_t len = base + (k < rem ? 1 : 0);
+    parts.emplace_back(at, at + len);
+    at += len;
+  }
+  return parts;
+}
+
+StreamPipeline::StreamPipeline(std::vector<StreamLaneSpec> specs,
+                               StreamConfig cfg)
+    : cfg_(cfg),
+      clock_(specs.empty() ? 0.0 : specs[0].params.phy.sample_rate_hz,
+             cfg.rt_factor) {
+  if (specs.empty()) {
+    throw std::invalid_argument("StreamPipeline: no lanes");
+  }
+  if (cfg_.n_epochs == 0) {
+    throw std::invalid_argument("StreamPipeline: n_epochs must be >= 1");
+  }
+  cfg_.n_threads = std::clamp<std::size_t>(cfg_.n_threads, 1, kNumStages);
+  cfg_.ring_depth = std::max<std::size_t>(cfg_.ring_depth, 2);
+
+  stages_ = {&measure_, &precode_, &synthesis_, &propagate_, &decode_};
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    StreamLaneSpec& spec = specs[i];
+    if (spec.psdus.size() != spec.params.n_clients) {
+      throw std::invalid_argument("StreamPipeline: need one PSDU per client");
+    }
+    auto lane = std::make_unique<Lane>();
+    lane->index = i;
+    lane->sys = std::make_unique<core::JmbSystem>(spec.params, spec.link_gains);
+    lane->sys->attach_metrics(&lane->metrics);
+
+    // Prebuild the frequency-domain payload exactly as
+    // JmbSystem::transmit_joint does: per-client symbol streams, padded
+    // to a common length with silent symbols.
+    SystemState& sys = lane->sys->state();
+    std::size_t n_sym = 0;
+    for (const auto& psdu : spec.psdus) {
+      lane->payload.push_back(sys.tx.build_freq_symbols(psdu, spec.mcs));
+      n_sym = std::max(n_sym, lane->payload.back().size());
+    }
+    for (auto& s : lane->payload) {
+      while (s.size() < n_sym) s.emplace_back(phy::kNfft, cplx{});
+    }
+
+    // Virtual airtime per item, mirroring how the stages advance sys.now:
+    // a measurement epoch is the interleaved frame plus guard; a data
+    // frame is sync header + turnaround + joint waveform plus guard.
+    const double fs = spec.params.phy.sample_rate_hz;
+    const core::MeasurementSchedule sched{spec.params.n_aps,
+                                          spec.params.measurement_rounds};
+    lane->measure_samples = sched.frame_len() + 400;
+    const std::size_t wave_len = phy::kLtfLen + n_sym * phy::kSymbolLen;
+    lane->data_samples =
+        phy::kPreambleLen +
+        static_cast<std::uint64_t>(spec.params.turnaround_s * fs) + wave_len +
+        400;
+
+    lane->total_items = cfg_.n_epochs * (1 + cfg_.frames_per_epoch);
+    total_items_ += lane->total_items;
+    lanes_.push_back(std::move(lane));
+  }
+  results_.resize(lanes_.size());
+
+  const auto parts = partition_stages(kNumStages, cfg_.n_threads);
+  for (std::size_t k = 0; k < parts.size(); ++k) {
+    ops_.push_back(
+        std::make_unique<Operator>(parts[k].first, parts[k].second, k));
+  }
+  for (std::size_t k = 0; k <= ops_.size(); ++k) {
+    rings_.push_back(std::make_unique<SpscRing<StreamItem>>(cfg_.ring_depth));
+  }
+
+  miss_count_ = &sink_reg_.counter("stream/deadline_miss_count",
+                                   obs::MetricClass::kTiming);
+  miss_us_ = &sink_reg_.histogram("stream/miss_latency_us", obs::kTimeUsBounds,
+                                  obs::MetricClass::kTiming);
+}
+
+StreamItem StreamPipeline::make_item(Lane& lane) {
+  StreamItem it;
+  it.lane = lane.index;
+  it.seq = lane.next_index;
+  it.kind = lane.next_index % (cfg_.frames_per_epoch + 1) == 0
+                ? ItemKind::kMeasure
+                : ItemKind::kData;
+  it.n_samples = it.kind == ItemKind::kMeasure ? lane.measure_samples
+                                               : lane.data_samples;
+  lane.cum_samples += it.n_samples;
+  it.deadline_s = clock_.deadline_s(lane.cum_samples);
+  it.frame = std::make_unique<FrameContext>(lane.sys->state());
+  if (it.kind == ItemKind::kData) it.frame->streams = &lane.payload;
+  ++lane.next_index;
+  lane.busy = true;
+  return it;
+}
+
+void StreamPipeline::retire(StreamItem& item, StreamReport& rep) {
+  Lane& lane = *lanes_[item.lane];
+  StreamFrameRecord rec;
+  rec.seq = item.seq;
+  rec.kind = item.kind;
+  rec.aborted = item.aborted;
+  rec.measurement_ok = item.frame->measurement_ok;
+  if (item.kind == ItemKind::kData && !item.aborted) {
+    rec.joint = std::move(item.frame->result);
+  }
+  if (!clock_.free_run()) {
+    const double now = clock_.now_s();
+    if (now > item.deadline_s) {
+      rec.deadline_missed = true;
+      rec.miss_latency_s = now - item.deadline_s;
+      ++rep.deadline_misses;
+      miss_count_->add(1.0);
+      miss_us_->observe(rec.miss_latency_s * 1e6);
+    }
+  }
+  ++rep.items;
+  rep.total_samples += item.n_samples;
+  results_[item.lane].frames.push_back(std::move(rec));
+  item.frame.reset();
+  lane.busy = false;
+}
+
+void StreamPipeline::process_item(Operator& op, StreamItem& item) {
+  SystemState& sys = lanes_[item.lane]->sys->state();
+  StageContext sctx(*item.frame);
+  sctx.stream_id = item.lane;
+  sctx.item_seq = item.seq;
+  sctx.deadline_s = item.deadline_s;
+  const bool is_measure = item.kind == ItemKind::kMeasure;
+  for (std::size_t s = op.first_stage; s < op.last_stage; ++s) {
+    // Mirror FramePipeline's sequencing exactly: frame_seq bumps at each
+    // path's entry stage, precode is skipped after a failed measurement,
+    // and a data frame with no usable precoder aborts (batch mode never
+    // reaches run_joint in that state).
+    bool applies = false;
+    switch (s) {
+      case 0:
+        applies = is_measure;
+        if (applies) ++sys.frame_seq;
+        break;
+      case 1:
+        applies = is_measure && item.frame->measurement_ok;
+        break;
+      case 2:
+        if (!is_measure) {
+          ++sys.frame_seq;
+          if (!sys.precoder) item.aborted = true;
+          applies = !item.aborted;
+        }
+        break;
+      default:
+        applies = !is_measure && !item.aborted;
+        break;
+    }
+    if (!applies) continue;
+    const ScopedStageTimer timer(&lanes_[item.lane]->metrics,
+                                 stages_[s]->name(), nullptr, sys.frame_seq);
+    stages_[s]->run(sctx);
+  }
+}
+
+void StreamPipeline::operator_loop(std::size_t k) {
+  Operator& op = *ops_[k];
+  SpscRing<StreamItem>& in = *rings_[k];
+  SpscRing<StreamItem>& out = *rings_[k + 1];
+  StreamItem item;
+  for (;;) {
+    if (!in.try_pop(item)) {
+      if (in.closed()) {
+        // closed() is release-published after the final push, so one more
+        // pop after observing it sees any still-buffered item.
+        if (!in.try_pop(item)) break;
+      } else {
+        std::this_thread::yield();
+        continue;
+      }
+    }
+    op.obs.on_pop(in.size());
+    process_item(op, item);
+    while (!out.try_push(item)) {
+      op.obs.on_push_stall();
+      std::this_thread::yield();
+    }
+  }
+  out.close();
+}
+
+void StreamPipeline::source_sink_loop(StreamReport& rep) {
+  SpscRing<StreamItem>& first = *rings_.front();
+  SpscRing<StreamItem>& done = *rings_.back();
+  std::uint64_t retired = 0;
+  bool closed = false;
+  std::size_t rr = 0;  // round-robin admission cursor
+  // At most one admission blocked on a full first ring at a time (its
+  // lane is already marked busy and its samples counted).
+  StreamItem pending;
+  bool has_pending = false;
+  while (retired < total_items_) {
+    bool progress = false;
+    StreamItem item;
+    while (done.try_pop(item)) {
+      retire(item, rep);
+      ++retired;
+      progress = true;
+    }
+    if (!closed) {
+      if (has_pending && first.try_push(pending)) {
+        has_pending = false;
+        progress = true;
+      }
+      while (!has_pending) {
+        Lane* next = nullptr;
+        for (std::size_t i = 0; i < lanes_.size() && !next; ++i) {
+          Lane& lane = *lanes_[(rr + i) % lanes_.size()];
+          if (!lane.busy && lane.next_index < lane.total_items) next = &lane;
+        }
+        if (!next) break;
+        rr = (next->index + 1) % lanes_.size();
+        StreamItem it = make_item(*next);
+        if (first.try_push(it)) {
+          progress = true;
+        } else {
+          pending = std::move(it);
+          has_pending = true;
+        }
+      }
+      if (!has_pending) {
+        bool exhausted = true;
+        for (const auto& lane : lanes_) {
+          if (lane->next_index < lane->total_items) exhausted = false;
+        }
+        if (exhausted) {
+          first.close();
+          closed = true;
+        }
+      }
+    }
+    if (!progress) std::this_thread::yield();
+  }
+}
+
+StreamReport StreamPipeline::run() {
+  if (ran_) throw std::logic_error("StreamPipeline::run: already ran");
+  ran_ = true;
+  StreamReport rep;
+  clock_.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(ops_.size());
+  for (std::size_t k = 0; k < ops_.size(); ++k) {
+    workers.emplace_back([this, k] { operator_loop(k); });
+  }
+  source_sink_loop(rep);
+  for (std::thread& t : workers) t.join();
+  rep.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (rep.wall_s > 0.0) {
+    rep.msamples_per_s =
+        static_cast<double>(rep.total_samples) / rep.wall_s / 1e6;
+  }
+  if (rep.items > 0) {
+    rep.deadline_miss_rate = static_cast<double>(rep.deadline_misses) /
+                             static_cast<double>(rep.items);
+  }
+
+  // Deterministic merge: per-lane physics/stage metrics in lane order,
+  // then the timing-only operator registries in operator order, then the
+  // sink's deadline metrics.
+  for (const auto& lane : lanes_) merged_.merge(lane->metrics);
+  for (const auto& op : ops_) merged_.registry().merge(op->reg);
+  merged_.registry().merge(sink_reg_);
+  return rep;
+}
+
+}  // namespace jmb::engine::stream

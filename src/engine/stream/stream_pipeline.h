@@ -1,0 +1,202 @@
+// Streaming execution mode: the five pipeline stages as dataflow
+// operators on their own threads, connected by bounded SPSC rings, paced
+// by a virtual sample clock.
+//
+// Topology (T operator threads, stages packed contiguously):
+//
+//   source ──ring──▶ op0[stages…] ──ring──▶ … ──ring──▶ opT-1 ──ring──▶ sink
+//
+// The source and sink share the caller's thread: the source admits work
+// items, the sink retires them off the final ring, records deadline
+// misses and frees the item's lane for the next admission.
+//
+// Determinism contract. Each *lane* is an independent JmbSystem (its own
+// SystemState, Workspace, RNG, StageMetricsSet); a work item carries the
+// lane's FrameContext through the operator chain, and at most one item
+// per lane is in flight at a time. Ownership of the lane's mutable state
+// therefore travels WITH the item: every hand-off is an SPSC push/pop
+// whose release/acquire pair orders the upstream operator's writes before
+// the downstream operator's reads, so a lane's state is only ever touched
+// by one thread at a time, with happens-before edges between touches.
+// Consequently each lane executes exactly the batch call sequence
+// (run_measurement, then transmit_joint per data frame) and its physics
+// outputs are bit-identical to batch mode — for ANY ring depth and ANY
+// thread placement. Parallelism comes from pipelining across lanes, not
+// from splitting a lane. Only the timing metrics (queue depths, stalls,
+// deadline misses, Msamples/s) vary with configuration; they are all
+// MetricClass::kTiming and excluded from default exports.
+//
+// Backpressure is explicit: rings are bounded, a full downstream ring
+// stalls the operator (counted per operator), and a full first ring
+// stalls admission. Deadlines come from the virtual sample clock — each
+// item occupies a known number of air samples, the lane's cumulative
+// sample count maps to a wall deadline, and the sink records misses and
+// their latency; late items are processed, never dropped.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/metrics.h"
+#include "engine/pipeline.h"
+#include "engine/stream/sample_clock.h"
+#include "engine/stream/spsc_ring.h"
+#include "engine/system.h"
+#include "obs/streaming.h"
+
+namespace jmb::engine::stream {
+
+/// The canonical stage chain: measure, precode, synthesis, propagate,
+/// decode.
+inline constexpr std::size_t kNumStages = 5;
+
+enum class ItemKind {
+  kMeasure,  ///< channel-measurement epoch: stages measure + precode
+  kData,     ///< joint data frame: synthesis + propagate + decode
+};
+
+/// One unit of work flowing through the rings. Owns the frame context
+/// (and with it, exclusive access to the lane's SystemState) from
+/// admission to retirement.
+struct StreamItem {
+  std::size_t lane = 0;
+  std::uint64_t seq = 0;  ///< admission order within the lane
+  ItemKind kind = ItemKind::kMeasure;
+  std::uint64_t n_samples = 0;  ///< virtual airtime this item occupies
+  double deadline_s = 0.0;      ///< from the virtual sample clock
+  bool aborted = false;         ///< data item with no usable precoder
+  std::unique_ptr<FrameContext> frame;
+};
+
+/// One independent air interface: its own system, payload and schedule.
+struct StreamLaneSpec {
+  core::SystemParams params;
+  std::vector<std::vector<double>> link_gains;  ///< [client][ap]
+  std::vector<phy::ByteVec> psdus;              ///< one per client
+  phy::Mcs mcs{};
+};
+
+struct StreamConfig {
+  std::size_t ring_depth = 8;          ///< per-edge SPSC capacity (>= 2)
+  std::size_t n_threads = kNumStages;  ///< operators; clamped to [1, 5]
+  double rt_factor = 0.0;              ///< clock speedup; <= 0 free-runs
+  std::size_t n_epochs = 1;            ///< measurement epochs per lane
+  std::size_t frames_per_epoch = 8;    ///< data frames after each epoch
+};
+
+/// What the sink recorded for one retired item. The deadline fields are
+/// wall-clock derived; everything else is deterministic physics.
+struct StreamFrameRecord {
+  std::uint64_t seq = 0;
+  ItemKind kind = ItemKind::kMeasure;
+  bool aborted = false;
+  bool measurement_ok = false;  ///< measure items
+  core::JointResult joint;      ///< data items (empty when aborted)
+  bool deadline_missed = false;
+  double miss_latency_s = 0.0;
+};
+
+struct StreamLaneResult {
+  std::vector<StreamFrameRecord> frames;  ///< in admission (= seq) order
+};
+
+/// Run-level throughput summary.
+struct StreamReport {
+  double wall_s = 0.0;
+  std::uint64_t total_samples = 0;  ///< virtual air samples retired
+  double msamples_per_s = 0.0;
+  std::uint64_t items = 0;
+  std::uint64_t deadline_misses = 0;
+  double deadline_miss_rate = 0.0;
+};
+
+/// Contiguous [first, last) stage ranges for packing `n_stages` stages
+/// onto `n_threads` operators (earlier operators take the extra stage
+/// when it does not divide evenly). Exposed for tests.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+partition_stages(std::size_t n_stages, std::size_t n_threads);
+
+class StreamPipeline {
+ public:
+  StreamPipeline(std::vector<StreamLaneSpec> specs, StreamConfig cfg);
+  StreamPipeline(const StreamPipeline&) = delete;
+  StreamPipeline& operator=(const StreamPipeline&) = delete;
+
+  /// Execute the whole schedule: spawns the operator threads, runs
+  /// source + sink on the calling thread, joins. Call exactly once.
+  StreamReport run();
+
+  /// Per-lane retired frames, in lane order (valid after run()).
+  [[nodiscard]] const std::vector<StreamLaneResult>& lane_results() const {
+    return results_;
+  }
+
+  /// Merged metrics (valid after run()): per-lane stage sets in lane
+  /// order — deterministic physics — then per-operator streaming
+  /// registries in operator order and the sink's deadline metrics, all
+  /// kTiming.
+  [[nodiscard]] const StageMetricsSet& metrics() const { return merged_; }
+
+  [[nodiscard]] const StreamConfig& config() const { return cfg_; }
+
+ private:
+  struct Lane {
+    std::size_t index = 0;
+    std::unique_ptr<core::JmbSystem> sys;
+    StageMetricsSet metrics;
+    /// Prebuilt frequency-domain symbol streams (immutable after setup;
+    /// every data item of this lane points at them).
+    std::vector<std::vector<cvec>> payload;
+    std::uint64_t measure_samples = 0;  ///< airtime of a measurement epoch
+    std::uint64_t data_samples = 0;     ///< airtime of one data frame
+    std::uint64_t cum_samples = 0;
+    std::uint64_t next_index = 0;  ///< items admitted so far
+    std::uint64_t total_items = 0;
+    bool busy = false;  ///< an item is in flight (source/sink thread only)
+  };
+
+  struct Operator {
+    std::size_t first_stage = 0;
+    std::size_t last_stage = 0;
+    obs::MetricRegistry reg;
+    obs::StreamOpObs obs;
+    Operator(std::size_t first, std::size_t last, std::size_t index)
+        : first_stage(first), last_stage(last), obs(reg, index) {}
+  };
+
+  [[nodiscard]] StreamItem make_item(Lane& lane);
+  void retire(StreamItem& item, StreamReport& rep);
+  void process_item(Operator& op, StreamItem& item);
+  void operator_loop(std::size_t k);
+  void source_sink_loop(StreamReport& rep);
+
+  StreamConfig cfg_;
+  VirtualSampleClock clock_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::unique_ptr<Operator>> ops_;
+  /// rings_[k] feeds operator k; rings_.back() is the done ring.
+  std::vector<std::unique_ptr<SpscRing<StreamItem>>> rings_;
+  std::uint64_t total_items_ = 0;
+  bool ran_ = false;
+
+  MeasurementStage measure_;
+  PrecodeStage precode_;
+  SynthesisStage synthesis_;
+  PropagationStage propagate_;
+  DecodeStage decode_;
+  std::array<Stage*, kNumStages> stages_{};
+
+  obs::MetricRegistry sink_reg_;
+  obs::Counter* miss_count_ = nullptr;
+  obs::Histogram* miss_us_ = nullptr;
+
+  std::vector<StreamLaneResult> results_;
+  StageMetricsSet merged_;
+};
+
+}  // namespace jmb::engine::stream

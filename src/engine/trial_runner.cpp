@@ -1,20 +1,17 @@
 #include "engine/trial_runner.h"
 
-#include <cstdlib>
 #include <thread>
+
+#include "engine/env.h"
 
 namespace jmb::engine {
 
 std::size_t default_thread_count() {
-  if (const char* env = std::getenv("JMB_THREADS")) {
-    char* end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1) {
-      return static_cast<std::size_t>(v);
-    }
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  const std::uint64_t fallback = hw > 0 ? hw : 1;
+  static bool warned = false;
+  return static_cast<std::size_t>(
+      env_u64("JMB_THREADS", fallback, /*min_one=*/true, warned));
 }
 
 void TrialRunner::print_report(std::FILE* out) const {

@@ -64,6 +64,21 @@ JsonValue bench_result_doc(const BenchRunInfo& info, const MetricRegistry& reg,
     for (const auto& [k, v] : info.fault_stats) faults.emplace_back(k, v);
     root.emplace_back("faults", std::move(faults));
   }
+  if (info.has_streaming) {
+    const StreamingStats& s = info.streaming;
+    JsonObject streaming;
+    streaming.emplace_back("msamples_per_s", s.msamples_per_s);
+    streaming.emplace_back("deadline_miss_rate", s.deadline_miss_rate);
+    streaming.emplace_back("items", static_cast<double>(s.items));
+    streaming.emplace_back("deadline_misses",
+                           static_cast<double>(s.deadline_misses));
+    streaming.emplace_back("total_msamples", s.total_msamples);
+    streaming.emplace_back("wall_s", s.wall_s);
+    streaming.emplace_back("ring_depth", s.ring_depth);
+    streaming.emplace_back("stage_threads", s.stage_threads);
+    streaming.emplace_back("rt_factor", s.rt_factor);
+    root.emplace_back("streaming", std::move(streaming));
+  }
   JsonArray metrics;
   for (const MetricRegistry::Entry& e : reg.entries()) {
     if (e.cls == MetricClass::kTiming && !include_timing) continue;
@@ -170,6 +185,19 @@ void validate_at(const JsonValue& schema, const JsonValue& doc,
       if (json_equal(v, doc)) ok = true;
     }
     if (!ok) errors.push_back(path + ": value " + doc.dump() + " not in enum");
+  }
+
+  if (doc.is_number()) {
+    if (const JsonValue* lo = schema.get("minimum");
+        lo && lo->is_number() && doc.as_number() < lo->as_number()) {
+      errors.push_back(path + ": value " + doc.dump() + " below minimum " +
+                       lo->dump());
+    }
+    if (const JsonValue* hi = schema.get("maximum");
+        hi && hi->is_number() && doc.as_number() > hi->as_number()) {
+      errors.push_back(path + ": value " + doc.dump() + " above maximum " +
+                       hi->dump());
+    }
   }
 
   if (doc.is_object()) {

@@ -14,6 +14,7 @@
 
 #include "obs/json.h"
 #include "obs/registry.h"
+#include "obs/streaming.h"
 
 namespace jmb::obs {
 
@@ -32,6 +33,14 @@ struct BenchRunInfo {
   std::uint64_t fault_events = 0; ///< plan events scheduled per trial
   /// Aggregated recovery stats (quarantines, mean_time_to_detect_s, ...).
   std::vector<std::pair<std::string, double>> fault_stats;
+
+  // --- streaming-mode summary (streaming benches only) ---
+  /// When set, a "streaming" object is emitted (sustained Msamples/s,
+  /// deadline-miss rate, ring/thread configuration). Batch runs leave
+  /// this false so their artifacts stay byte-identical to pre-streaming
+  /// exports.
+  bool has_streaming = false;
+  StreamingStats streaming;
 };
 
 /// Build the bench_result.v1 document for a merged registry.
@@ -49,8 +58,9 @@ std::string registry_csv(const MetricRegistry& reg,
                          bool include_timing = false);
 
 /// Validate `doc` against a simplified JSON Schema supporting: type,
-/// required, properties, items, const, enum, minItems. Returns a list of
-/// human-readable errors, empty when the document conforms.
+/// required, properties, items, const, enum, minItems, minimum, maximum.
+/// Returns a list of human-readable errors, empty when the document
+/// conforms.
 std::vector<std::string> validate_schema(const JsonValue& schema,
                                          const JsonValue& doc);
 

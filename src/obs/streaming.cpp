@@ -1,0 +1,32 @@
+#include "obs/streaming.h"
+
+#include <string>
+
+namespace jmb::obs {
+
+StreamOpObs::StreamOpObs(MetricRegistry& reg, std::size_t op_index) {
+  const std::string prefix = "stream/op" + std::to_string(op_index) + "/";
+  depth_ = &reg.gauge(prefix + "queue_depth", MetricClass::kTiming);
+  depth_hist_ = &reg.histogram(prefix + "queue_depth_hist", kQueueDepthBounds,
+                               MetricClass::kTiming);
+  items_ = &reg.counter(prefix + "items", MetricClass::kTiming);
+  stalls_ = &reg.counter(prefix + "push_stalls", MetricClass::kTiming);
+}
+
+void register_stream_summary(MetricRegistry& reg, const StreamingStats& s) {
+  reg.gauge("stream/msamples_per_s", MetricClass::kTiming).set(s.msamples_per_s);
+  reg.gauge("stream/deadline_miss_rate", MetricClass::kTiming)
+      .set(s.deadline_miss_rate);
+  reg.gauge("stream/items", MetricClass::kTiming)
+      .set(static_cast<double>(s.items));
+  reg.gauge("stream/deadline_misses", MetricClass::kTiming)
+      .set(static_cast<double>(s.deadline_misses));
+  reg.gauge("stream/total_msamples", MetricClass::kTiming)
+      .set(s.total_msamples);
+  reg.gauge("stream/wall_s", MetricClass::kTiming).set(s.wall_s);
+  reg.gauge("stream/ring_depth", MetricClass::kTiming).set(s.ring_depth);
+  reg.gauge("stream/stage_threads", MetricClass::kTiming).set(s.stage_threads);
+  reg.gauge("stream/rt_factor", MetricClass::kTiming).set(s.rt_factor);
+}
+
+}  // namespace jmb::obs

@@ -1,0 +1,62 @@
+// Streaming-pipeline observability: per-operator queue/stall/deadline
+// metrics and the run-level summary the streaming benches export.
+//
+// Everything here is MetricClass::kTiming — queue depths, stalls and
+// deadline misses depend on wall-clock scheduling (ring depth, thread
+// placement, machine load), so none of it may leak into the default
+// physics export, which must stay byte-identical across every streaming
+// configuration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/bounds.h"
+#include "obs/registry.h"
+
+namespace jmb::obs {
+
+/// Run-level streaming summary: the headline numbers bench_result.json
+/// carries in its optional "streaming" object.
+struct StreamingStats {
+  double msamples_per_s = 0.0;     ///< sustained virtual samples / wall s
+  double deadline_miss_rate = 0.0; ///< missed items / retired items
+  std::uint64_t items = 0;         ///< work items retired
+  std::uint64_t deadline_misses = 0;
+  double total_msamples = 0.0;     ///< virtual samples pushed through, 1e6
+  double wall_s = 0.0;
+  double ring_depth = 0.0;         ///< per-edge SPSC capacity
+  double stage_threads = 0.0;      ///< operator threads stages were packed on
+  double rt_factor = 0.0;          ///< virtual-clock speedup; <= 0 free-run
+};
+
+/// Per-operator handle: resolves its metrics once at construction so the
+/// operator hot loop is pointer-chasing adds, the same discipline as
+/// engine::StageMetrics. One instance per operator thread, each backed by
+/// that operator's own registry (merged in operator order afterwards).
+class StreamOpObs {
+ public:
+  StreamOpObs(MetricRegistry& reg, std::size_t op_index);
+
+  /// An item was popped; `depth` is the input ring's occupancy after.
+  void on_pop(std::size_t depth) {
+    const double d = static_cast<double>(depth);
+    depth_->set(d);
+    depth_hist_->observe(d);
+    items_->add(1.0);
+  }
+  /// Output ring was full; the operator had to wait (backpressure).
+  void on_push_stall() { stalls_->add(1.0); }
+
+ private:
+  Gauge* depth_ = nullptr;
+  Histogram* depth_hist_ = nullptr;
+  Counter* items_ = nullptr;
+  Counter* stalls_ = nullptr;
+};
+
+/// Publish the run-level summary as kTiming gauges (for CSV dumps and
+/// post-run inspection of a merged registry).
+void register_stream_summary(MetricRegistry& reg, const StreamingStats& s);
+
+}  // namespace jmb::obs

@@ -4,9 +4,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <string_view>
 #include <vector>
 
+#include "engine/env.h"
 #include "engine/pipeline.h"
 #include "engine/system.h"
 #include "engine/thread_pool.h"
@@ -34,6 +36,101 @@ TEST(ThreadPool, WaitIsReusable) {
   pool.submit([&count] { count.fetch_add(1); });
   pool.wait();
   EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  engine::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, TasksMaySubmitFurtherTasks) {
+  engine::ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &count] {
+      count.fetch_add(1);
+      pool.submit([&count] { count.fetch_add(1); });
+    });
+  }
+  // wait() must also cover the tasks spawned from inside tasks: in_flight
+  // is bumped at submit time, before the parent task retires.
+  pool.wait();
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, DestructionWithDrainedQueueIsClean) {
+  std::atomic<int> count{0};
+  {
+    engine::ThreadPool pool(2);
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait();  // queue drained; destructor only has to stop idle workers
+  }
+  EXPECT_EQ(count.load(), 4);
+}
+
+// The strict env parser behind JMB_THREADS (and the streaming knobs):
+// digits only, warn-once fallback on anything else.
+TEST(EngineEnv, ParseU64StrictRejectsNonCanonicalForms) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(engine::parse_u64_strict("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(engine::parse_u64_strict("18446744073709551615", v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(engine::parse_u64_strict(nullptr, v));
+  EXPECT_FALSE(engine::parse_u64_strict("", v));
+  EXPECT_FALSE(engine::parse_u64_strict("-1", v));      // sign
+  EXPECT_FALSE(engine::parse_u64_strict("+4", v));      // sign
+  EXPECT_FALSE(engine::parse_u64_strict(" 4", v));      // leading whitespace
+  EXPECT_FALSE(engine::parse_u64_strict("4 ", v));      // trailing whitespace
+  EXPECT_FALSE(engine::parse_u64_strict("4x", v));      // trailing garbage
+  EXPECT_FALSE(engine::parse_u64_strict("0x10", v));    // hex
+  EXPECT_FALSE(engine::parse_u64_strict("18446744073709551616", v));  // 2^64
+}
+
+TEST(EngineEnv, EnvU64FallsBackOnMalformedValues) {
+  bool warned = false;
+  ASSERT_EQ(unsetenv("JMB_TEST_KNOB"), 0);
+  EXPECT_EQ(engine::env_u64("JMB_TEST_KNOB", 7, true, warned), 7u);
+  EXPECT_FALSE(warned);  // unset is not a warning
+
+  ASSERT_EQ(setenv("JMB_TEST_KNOB", "12", 1), 0);
+  EXPECT_EQ(engine::env_u64("JMB_TEST_KNOB", 7, true, warned), 12u);
+  EXPECT_FALSE(warned);
+
+  for (const char* bad : {"-3", " 4", "4x", "", "0"}) {
+    warned = false;
+    ASSERT_EQ(setenv("JMB_TEST_KNOB", bad, 1), 0);
+    EXPECT_EQ(engine::env_u64("JMB_TEST_KNOB", 7, true, warned), 7u)
+        << "value '" << bad << "'";
+    EXPECT_TRUE(warned) << "value '" << bad << "'";
+    // Second read with the flag still set stays silent.
+    EXPECT_EQ(engine::env_u64("JMB_TEST_KNOB", 7, true, warned), 7u);
+  }
+  // With min_one off, an explicit 0 is a valid value.
+  warned = false;
+  ASSERT_EQ(setenv("JMB_TEST_KNOB", "0", 1), 0);
+  EXPECT_EQ(engine::env_u64("JMB_TEST_KNOB", 7, false, warned), 0u);
+  EXPECT_FALSE(warned);
+  ASSERT_EQ(unsetenv("JMB_TEST_KNOB"), 0);
+}
+
+TEST(EngineEnv, DefaultThreadCountSurvivesMalformedJmbThreads) {
+  ASSERT_EQ(setenv("JMB_THREADS", "3", 1), 0);
+  EXPECT_EQ(engine::default_thread_count(), 3u);
+  for (const char* bad : {"-2", "4x", " 8", "", "0"}) {
+    ASSERT_EQ(setenv("JMB_THREADS", bad, 1), 0);
+    EXPECT_GE(engine::default_thread_count(), 1u) << "value '" << bad << "'";
+  }
+  ASSERT_EQ(unsetenv("JMB_THREADS"), 0);
+  EXPECT_GE(engine::default_thread_count(), 1u);
 }
 
 TEST(TrialRunner, SeedsAreBaseXorIndex) {
