@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
 
   // One trial per elapsed-time row; each row reseeds from the bench seed
   // exactly as the sequential sweep did, so the table is unchanged.
-  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
+  engine::TrialRunner runner({.base_seed = seed});
   const auto rows =
       runner.run(times_ms.size(), [&](engine::TrialContext& ctx) {
         const double t_ms = times_ms[ctx.index];

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
 
   // One trial per coherence-time row; the MAC run is deterministic given
   // mac.seed, which stays the bench seed as before.
-  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
+  engine::TrialRunner runner({.base_seed = seed});
   const auto rows =
       runner.run(coherence_ms.size(), [&](engine::TrialContext& ctx) {
         const double tc_ms = coherence_ms[ctx.index];

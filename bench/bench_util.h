@@ -19,7 +19,8 @@
 #include "dsp/stats.h"
 #include "engine/trial_runner.h"
 #include "obs/export.h"
-#include "obs/trace.h"
+#include "obs/flight/export.h"
+#include "obs/flight/recorder.h"
 
 namespace jmb::bench {
 
@@ -78,7 +79,9 @@ inline std::uint64_t seed_from(int argc, char** argv) {
 
 /// Telemetry options every bench and example shares. Obtained from
 /// parse_options(); pass to finish() after the run to emit the report,
-/// the bench_result.json/.csv export, and the Chrome trace.
+/// the bench_result.json/.csv export, and the Chrome trace. Since the
+/// flight recorder (obs/flight/) became the span backend, --trace-out
+/// needs no per-bench wiring: finish() drains the process-wide rings.
 struct BenchOptions {
   std::string figure;
   std::uint64_t seed = 1;
@@ -86,8 +89,6 @@ struct BenchOptions {
   std::string trace_out;       ///< --trace-out= / JMB_TRACE_OUT
   std::string fault_plan;      ///< --fault-plan= / JMB_FAULT_PLAN
   bool timing_metrics = false; ///< --metrics-timing / JMB_METRICS_TIMING
-  /// Allocated when trace_out is set; wire into TrialRunnerOptions::trace.
-  std::shared_ptr<obs::TraceRecorder> trace;
   /// Run parameters recorded in bench_result.json (n_aps, trials, ...).
   std::vector<std::pair<std::string, double>> params;
 
@@ -99,7 +100,6 @@ struct BenchOptions {
   std::uint64_t fault_events = 0;
   std::vector<std::pair<std::string, double>> fault_stats;
 
-  [[nodiscard]] obs::TraceRecorder* trace_ptr() const { return trace.get(); }
   void add_param(std::string name, double value) {
     params.emplace_back(std::move(name), value);
   }
@@ -149,10 +149,20 @@ inline BenchOptions parse_options(int& argc, char** argv, std::string figure) {
       opts.timing_metrics = true;
     }
   }
-  if (!opts.trace_out.empty()) {
-    opts.trace = std::make_shared<obs::TraceRecorder>();
-  }
   return opts;
+}
+
+/// Drain the flight recorder to --trace-out when requested. Shared by
+/// finish() and the benches (streaming) that export without a
+/// TrialRunner. Returns false on I/O failure.
+inline bool write_trace_if_requested(const BenchOptions& opts) {
+  if (opts.trace_out.empty()) return true;
+  if (!obs::flight::FlightRecorder::instance().enabled()) {
+    std::fprintf(stderr,
+                 "warning: --trace-out requested but JMB_FLIGHT=0; the "
+                 "trace will be empty\n");
+  }
+  return obs::flight::write_chrome_trace_file(opts.trace_out);
 }
 
 /// End-of-run tail every bench shares: the stderr stage report, then the
@@ -178,16 +188,7 @@ inline int finish(const BenchOptions& opts, const engine::TrialRunner& runner) {
                                      opts.timing_metrics);
     ok = obs::write_text_file(opts.metrics_out, text) && ok;
   }
-  if (!opts.trace_out.empty() && opts.trace) {
-    if (std::FILE* f = std::fopen(opts.trace_out.c_str(), "wb")) {
-      opts.trace->write_chrome_trace(f);
-      std::fclose(f);
-    } else {
-      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
-                   opts.trace_out.c_str());
-      ok = false;
-    }
-  }
+  ok = write_trace_if_requested(opts) && ok;
   return ok ? 0 : 1;
 }
 

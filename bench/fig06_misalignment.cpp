@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   // One trial per misalignment row. Every row reseeds from the bench seed
   // (not the per-trial stream): the paper evaluates the *same* 100 channels
   // at every misalignment and both SNRs, so only the misalignment varies.
-  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
+  engine::TrialRunner runner({.base_seed = seed});
   const auto rows =
       runner.run(mis_grid.size(), [&](engine::TrialContext& ctx) {
         const double mis = mis_grid[ctx.index];

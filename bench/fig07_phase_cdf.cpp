@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   // One trial per topology; the facade's pipeline records the real
   // per-stage metrics into the trial's set, and the attached ObsSink
   // collects the phase-sync / precoder / decode physics probes.
-  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
+  engine::TrialRunner runner({.base_seed = seed});
   const auto per_topo =
       runner.run(kTopologies, [&](engine::TrialContext& ctx) -> rvec {
         core::SystemParams p;

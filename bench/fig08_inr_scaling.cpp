@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   bench::banner("Fig. 8: INR at a nulled client vs number of AP-client pairs",
                 seed);
 
-  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
+  engine::TrialRunner runner({.base_seed = seed});
 
   // (a) one trial per (N, band) grid point; the historical
   // seed + 1000n + b derivation is kept so the table is unchanged.

@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
   opts.add_param("topologies_per_point", 12);
   opts.add_param("max_n", kMaxN);
 
-  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
+  engine::TrialRunner runner({.base_seed = seed});
   const std::vector<Point> points =
       runner.run(bands.size() * per_band, [&](engine::TrialContext& ctx) {
         const std::size_t band_idx = ctx.index / per_band;

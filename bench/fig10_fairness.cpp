@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
   opts.add_param("sizes", static_cast<double>(n_sizes));
   opts.add_param("bands", static_cast<double>(bands.size()));
 
-  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
+  engine::TrialRunner runner({.base_seed = seed});
   const auto cells = runner.run(
       bands.size() * n_sizes, [&](engine::TrialContext& ctx) {
         const auto& band = bands[ctx.index / n_sizes];

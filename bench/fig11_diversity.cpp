@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
 
   // One trial per SNR row. Every column reseeds a fresh Rng(seed), as the
   // original sweep did, so all columns share the same channel draws.
-  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
+  engine::TrialRunner runner({.base_seed = seed});
   const auto rows =
       runner.run(snr_grid.size(), [&](engine::TrialContext& ctx) {
         const double snr_db = snr_grid[ctx.index];

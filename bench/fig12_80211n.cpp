@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   opts.add_param("runs_per_band", kRuns);
 
   // One trial per SNR band, keeping the historical seed + band derivation.
-  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
+  engine::TrialRunner runner({.base_seed = seed});
   const auto rows = runner.run(bands.size(), [&](engine::TrialContext& ctx) {
     const auto& band = bands[ctx.index];
     Rng rng(seed + static_cast<std::uint64_t>(ctx.index));

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   // One trial per run on its own RNG stream (seed ^ run index).
   constexpr std::size_t kRuns = 120;
   opts.add_param("runs", kRuns);
-  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
+  engine::TrialRunner runner({.base_seed = seed});
   const auto per_run = runner.run(kRuns, [&](engine::TrialContext& ctx) {
     core::Compat11nParams p;
     // Sweep the full operational range like the paper.

@@ -14,6 +14,7 @@
 #include "dsp/rng.h"
 #include "engine/metrics.h"
 #include "engine/stream/spsc_ring.h"
+#include "obs/flight/recorder.h"
 #include "phy/receiver.h"
 #include "phy/transmitter.h"
 #include "phy/viterbi.h"
@@ -363,6 +364,40 @@ void BM_SpscOperatorHop(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
 }
 BENCHMARK(BM_SpscOperatorHop)->Arg(2)->Arg(64)->UseRealTime();
+
+// Flight-recorder hot path: a raw record write with a pre-interned name
+// — the per-event tax every instrumented site pays. The budget in
+// DESIGN.md §12 is <20 ns/record.
+void BM_FlightRecordWrite(benchmark::State& state) {
+  auto& rec = obs::flight::FlightRecorder::instance();
+  rec.set_enabled_for_test(true);
+  obs::flight::FlightRing* ring = rec.local_ring();
+  const std::uint32_t name = rec.intern("bench/flight_write");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ring->write(obs::flight::EventType::kInstant, name,
+                obs::flight::now_ticks(), obs::flight::make_flow(0, i), i);
+    ++i;
+  }
+  benchmark::DoNotOptimize(ring);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlightRecordWrite);
+
+// Full span scope: thread-local ring load + two TSC reads + one record —
+// the cost ScopedStageTimer adds per stage invocation.
+void BM_FlightSpanScope(benchmark::State& state) {
+  auto& rec = obs::flight::FlightRecorder::instance();
+  rec.set_enabled_for_test(true);
+  const std::uint32_t name = rec.intern("bench/flight_span");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    obs::flight::SpanScope span(name, obs::flight::make_flow(0, i++));
+    benchmark::DoNotOptimize(i);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlightSpanScope);
 
 // Latency distributions: run each op repeatedly under a ScopedStageTimer
 // so every repetition lands in the op's frame_us histogram, then report

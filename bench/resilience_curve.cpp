@@ -310,7 +310,7 @@ int main(int argc, char** argv) {
 
   // Trial grid: scenario A topologies first, then (rate, topology) pairs.
   const std::size_t n_trials = kTopoA + kNumRates * kTopoB;
-  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
+  engine::TrialRunner runner({.base_seed = seed});
 
   struct Outcome {
     PointA a;

@@ -112,6 +112,7 @@ std::uint64_t total_push_stalls(const obs::MetricRegistry& reg) {
 int export_metrics(const bench::BenchOptions& opts,
                    const obs::MetricRegistry& reg,
                    const obs::StreamingStats* streaming) {
+  if (!bench::write_trace_if_requested(opts)) return 1;
   if (opts.metrics_out.empty()) return 0;
   obs::BenchRunInfo info;
   info.figure = opts.figure;

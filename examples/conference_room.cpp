@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(seed),
               engine::default_thread_count());
 
-  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
+  engine::TrialRunner runner({.base_seed = seed});
   const auto rows = runner.run(n_max, [&](engine::TrialContext& ctx) {
     const std::size_t n = ctx.index + 1;
     Rng& rng = ctx.rng;

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   std::printf("A client at ~6 dB per-link SNR (dead spot).\n\n");
 
   constexpr std::size_t kApCounts[] = {1, 2, 4, 6};
-  engine::TrialRunner runner({.base_seed = seed, .trace = opts.trace_ptr()});
+  engine::TrialRunner runner({.base_seed = seed});
   const auto rows = runner.run(
       std::size(kApCounts), [&](engine::TrialContext& ctx) {
         const std::size_t n = kApCounts[ctx.index];

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   // The single end-to-end run goes through the TrialRunner so the
   // pipeline's per-stage metrics land in a report at the end.
   engine::TrialRunner runner(
-      {.base_seed = 7, .n_threads = 1, .trace = opts.trace_ptr()});
+      {.base_seed = 7, .n_threads = 1});
   const auto results = runner.run(1, [](engine::TrialContext& ctx) {
     // 1. Describe the deployment: 2 APs, 2 clients, free-running
     //    oscillators (up to +-2 ppm at the APs), 150 us software

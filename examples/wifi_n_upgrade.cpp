@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   opts.seed = seed;
 
   engine::TrialRunner runner(
-      {.base_seed = seed, .n_threads = 1, .trace = opts.trace_ptr()});
+      {.base_seed = seed, .n_threads = 1});
   const auto results = runner.run(1, [&](engine::TrialContext& ctx) {
     Rng rng(seed);  // historical seeding: the run reproduces exactly
     core::Compat11nParams p;

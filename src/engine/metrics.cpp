@@ -1,7 +1,7 @@
 #include "engine/metrics.h"
 
 #include "obs/bounds.h"
-#include "obs/trace.h"
+#include "obs/flight/recorder.h"
 
 namespace jmb::engine {
 
@@ -76,13 +76,20 @@ void StageMetricsSet::merge(const StageMetricsSet& other) {
 
 ScopedStageTimer::ScopedStageTimer(StageMetricsSet* set, std::string_view name,
                                    const obs::ObsSink* sink,
-                                   std::uint64_t frame)
+                                   std::uint64_t frame, std::uint64_t flow)
     : set_(set),
       name_(name),
-      sink_(sink && sink->trace() ? sink : nullptr),
-      frame_(frame),
+      ring_(obs::flight::FlightRecorder::instance().local_ring()),
+      flow_(flow),
       t0_(std::chrono::steady_clock::now()) {
-  if (sink_) ts_us_ = obs::TraceRecorder::now_us();
+  if (ring_) {
+    name_id_ = obs::flight::FlightRecorder::instance().intern(name);
+    if (flow_ == obs::flight::kNoFlow && sink != nullptr) {
+      // Batch identity: the trial is the "stream", the frame the item.
+      flow_ = obs::flight::make_flow(sink->trial(), frame);
+    }
+    t0_ticks_ = obs::flight::now_ticks();
+  }
 }
 
 ScopedStageTimer::~ScopedStageTimer() {
@@ -90,8 +97,9 @@ ScopedStageTimer::~ScopedStageTimer() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
           .count();
   if (set_) set_->stage(name_).add_frame_time(dt);
-  if (sink_) {
-    sink_->trace()->record(name_, sink_->trial(), frame_, ts_us_, dt * 1e6);
+  if (ring_) {
+    ring_->write(obs::flight::EventType::kSpan, name_id_, t0_ticks_, flow_,
+                 obs::flight::now_ticks() - t0_ticks_);
   }
 }
 

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight/recorder.h"
 #include "obs/registry.h"
 #include "obs/sink.h"
 
@@ -111,15 +112,20 @@ class StageMetricsSet {
 };
 
 /// RAII timer: on destruction adds the elapsed wall time and one frame to
-/// the named stage, and — when `sink` carries a TraceRecorder — records a
-/// trace span. Null `set` makes it a no-op. `name` is held by reference
+/// the named stage, and — when the flight recorder is enabled — writes a
+/// TSC-stamped span record to the calling thread's flight ring. The span
+/// carries `flow` (an obs::flight::make_flow id) so one item's stage
+/// chain reconstructs causally; when no explicit flow is given and a
+/// sink is present, the batch identity (trial, frame) is used. Null
+/// `set` still records the flight span. `name` is held by reference
 /// (string_view), so pass the kStage* constants or another string that
 /// outlives the timer; per-frame construction allocates nothing.
 class ScopedStageTimer {
  public:
   explicit ScopedStageTimer(StageMetricsSet* set, std::string_view name,
                             const obs::ObsSink* sink = nullptr,
-                            std::uint64_t frame = 0);
+                            std::uint64_t frame = 0,
+                            std::uint64_t flow = obs::flight::kNoFlow);
   ScopedStageTimer(const ScopedStageTimer&) = delete;
   ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
   ~ScopedStageTimer();
@@ -127,9 +133,10 @@ class ScopedStageTimer {
  private:
   StageMetricsSet* set_;
   std::string_view name_;
-  const obs::ObsSink* sink_;
-  std::uint64_t frame_;
-  double ts_us_ = 0.0;  ///< wall-clock span start, only sampled when tracing
+  obs::flight::FlightRing* ring_;  ///< null when recording is disabled
+  std::uint32_t name_id_ = 0;
+  std::uint64_t flow_;
+  std::uint64_t t0_ticks_ = 0;
   std::chrono::steady_clock::time_point t0_;
 };
 

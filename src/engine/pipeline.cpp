@@ -11,6 +11,7 @@
 #include "fault/resilience.h"
 #include "linalg/pinv.h"
 #include "obs/bounds.h"
+#include "obs/flight/recorder.h"
 #include "phy/ofdm.h"
 #include "phy/preamble.h"
 #include "simd/kernels.h"
@@ -81,8 +82,13 @@ void pump_faults(SystemState& sys) {
   const std::size_t before = sys.fault->events_applied();
   EngineFaultHost host(sys);
   sys.fault->advance_to(sys.now, host);
-  if (sys.resilience && sys.fault->events_applied() != before) {
-    sys.resilience->note_fault(sys.fault->last_fault_t());
+  if (sys.fault->events_applied() != before) {
+    // Rare (only on a fault edge), so the interning lookup is fine here.
+    obs::flight::instant("fault/injected", obs::flight::kNoFlow,
+                         sys.fault->events_applied());
+    if (sys.resilience) {
+      sys.resilience->note_fault(sys.fault->last_fault_t());
+    }
   }
 }
 

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <stdexcept>
 
 #include "core/measurement.h"
 #include "obs/bounds.h"
+#include "obs/flight/export.h"
+#include "obs/flight/recorder.h"
 #include "phy/params.h"
 
 namespace jmb::engine::stream {
@@ -84,10 +87,19 @@ StreamPipeline::StreamPipeline(std::vector<StreamLaneSpec> specs,
   }
   results_.resize(lanes_.size());
 
+  obs::flight::FlightRecorder& flight = obs::flight::FlightRecorder::instance();
+  flight_on_ = flight.enabled();
+  admit_name_ = flight.intern("stream/admit");
+  done_wait_name_ = flight.intern("ring/done");
+  miss_name_ = flight.intern("stream/deadline_miss");
+
   const auto parts = partition_stages(kNumStages, cfg_.n_threads);
   for (std::size_t k = 0; k < parts.size(); ++k) {
     ops_.push_back(
         std::make_unique<Operator>(parts[k].first, parts[k].second, k));
+    ops_.back()->wait_name = flight.intern("ring/op" + std::to_string(k));
+    ops_.back()->depth_name =
+        flight.intern("stream/op" + std::to_string(k) + "/depth");
   }
   for (std::size_t k = 0; k <= ops_.size(); ++k) {
     rings_.push_back(std::make_unique<SpscRing<StreamItem>>(cfg_.ring_depth));
@@ -112,6 +124,15 @@ StreamItem StreamPipeline::make_item(Lane& lane) {
   it.deadline_s = clock_.deadline_s(lane.cum_samples);
   it.frame = std::make_unique<FrameContext>(lane.sys->state());
   if (it.kind == ItemKind::kData) it.frame->streams = &lane.payload;
+  it.flow = obs::flight::make_flow(lane.index, it.seq);
+  if (flight_on_) {
+    // Admission opens the item's causal chain; enq_tsc covers the whole
+    // time-to-first-pop (including a stalled admission retry, which IS
+    // queueing delay from the item's point of view).
+    it.enq_tsc = obs::flight::now_ticks();
+    obs::flight::record(obs::flight::EventType::kInstant, admit_name_,
+                        it.enq_tsc, it.flow, it.seq);
+  }
   ++lane.next_index;
   lane.busy = true;
   return it;
@@ -135,6 +156,12 @@ void StreamPipeline::retire(StreamItem& item, StreamReport& rep) {
       ++rep.deadline_misses;
       miss_count_->add(1.0);
       miss_us_->observe(rec.miss_latency_s * 1e6);
+      if (flight_on_) {
+        obs::flight::instant(
+            miss_name_, item.flow,
+            static_cast<std::uint64_t>(rec.miss_latency_s * 1e6));
+        obs::flight::trigger_dump("deadline_miss");
+      }
     }
   }
   ++rep.items;
@@ -178,7 +205,8 @@ void StreamPipeline::process_item(Operator& op, StreamItem& item) {
     }
     if (!applies) continue;
     const ScopedStageTimer timer(&lanes_[item.lane]->metrics,
-                                 stages_[s]->name(), nullptr, sys.frame_seq);
+                                 stages_[s]->name(), nullptr, sys.frame_seq,
+                                 item.flow);
     stages_[s]->run(sctx);
   }
 }
@@ -199,8 +227,22 @@ void StreamPipeline::operator_loop(std::size_t k) {
         continue;
       }
     }
-    op.obs.on_pop(in.size());
+    const std::size_t depth = in.size();
+    op.obs.on_pop(depth);
+    if (item.enq_tsc != 0) {
+      // The pop closes the item's ring residency: one kRingWait span
+      // from the upstream push to now, on this operator's timeline.
+      const std::uint64_t now = obs::flight::now_ticks();
+      obs::flight::record(obs::flight::EventType::kRingWait, op.wait_name,
+                          item.enq_tsc, item.flow, now - item.enq_tsc);
+      double d = static_cast<double>(depth);
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof bits);
+      obs::flight::record(obs::flight::EventType::kCounter, op.depth_name,
+                          now, obs::flight::kNoFlow, bits);
+    }
     process_item(op, item);
+    item.enq_tsc = flight_on_ ? obs::flight::now_ticks() : 0;
     while (!out.try_push(item)) {
       op.obs.on_push_stall();
       std::this_thread::yield();
@@ -223,6 +265,11 @@ void StreamPipeline::source_sink_loop(StreamReport& rep) {
     bool progress = false;
     StreamItem item;
     while (done.try_pop(item)) {
+      if (item.enq_tsc != 0) {
+        obs::flight::record(obs::flight::EventType::kRingWait,
+                            done_wait_name_, item.enq_tsc, item.flow,
+                            obs::flight::now_ticks() - item.enq_tsc);
+      }
       retire(item, rep);
       ++retired;
       progress = true;

@@ -70,6 +70,13 @@ struct StreamItem {
   std::uint64_t n_samples = 0;  ///< virtual airtime this item occupies
   double deadline_s = 0.0;      ///< from the virtual sample clock
   bool aborted = false;         ///< data item with no usable precoder
+  /// Flight-recorder causal id, obs::flight::make_flow(lane, seq): every
+  /// stage span and ring wait of this item carries it, so the journey
+  /// reconstructs as one chain across operator threads.
+  std::uint64_t flow = 0;
+  /// TSC stamp of the last ring push (0 when recording is disabled);
+  /// the popping side turns it into a kRingWait span.
+  std::uint64_t enq_tsc = 0;
   std::unique_ptr<FrameContext> frame;
 };
 
@@ -165,6 +172,9 @@ class StreamPipeline {
     std::size_t last_stage = 0;
     obs::MetricRegistry reg;
     obs::StreamOpObs obs;
+    /// Pre-interned flight-record names (hot path stays lookup-free).
+    std::uint32_t wait_name = 0;   ///< "ring/op<k>" kRingWait spans
+    std::uint32_t depth_name = 0;  ///< "stream/op<k>/depth" counter
     Operator(std::size_t first, std::size_t last, std::size_t index)
         : first_stage(first), last_stage(last), obs(reg, index) {}
   };
@@ -194,6 +204,12 @@ class StreamPipeline {
   obs::MetricRegistry sink_reg_;
   obs::Counter* miss_count_ = nullptr;
   obs::Histogram* miss_us_ = nullptr;
+
+  /// Flight-recorder wiring, resolved once at construction.
+  bool flight_on_ = false;
+  std::uint32_t admit_name_ = 0;      ///< "stream/admit" instants
+  std::uint32_t done_wait_name_ = 0;  ///< "ring/done" kRingWait spans
+  std::uint32_t miss_name_ = 0;       ///< "stream/deadline_miss" instants
 
   std::vector<StreamLaneResult> results_;
   StageMetricsSet merged_;

@@ -26,10 +26,6 @@
 #include "engine/thread_pool.h"
 #include "obs/sink.h"
 
-namespace jmb::obs {
-class TraceRecorder;
-}  // namespace jmb::obs
-
 namespace jmb::engine {
 
 /// Threads to use when the caller does not pin a count: JMB_THREADS if
@@ -47,7 +43,7 @@ struct TrialContext {
   obs::ObsSink sink;
 
   /// RAII wall-time sample attributed to `stage` in this trial's metrics
-  /// (and a trace span when a recorder is attached).
+  /// (and a flight-recorder span carrying the (trial, frame) flow id).
   [[nodiscard]] ScopedStageTimer time_stage(std::string_view stage,
                                             std::uint64_t frame = 0) const {
     return ScopedStageTimer(metrics, stage, &sink, frame);
@@ -58,8 +54,6 @@ struct TrialRunnerOptions {
   std::uint64_t base_seed = 1;
   /// 0 = auto (JMB_THREADS env, else hardware concurrency).
   std::size_t n_threads = 0;
-  /// Optional shared frame-trace recorder (spans carry the trial id).
-  obs::TraceRecorder* trace = nullptr;
 };
 
 class TrialRunner {
@@ -90,7 +84,7 @@ class TrialRunner {
       ctx.seed = opts_.base_seed ^ static_cast<std::uint64_t>(i);
       ctx.rng = Rng(ctx.seed);
       ctx.metrics = &per_trial[i];
-      ctx.sink = obs::ObsSink(&per_trial[i].registry(), opts_.trace,
+      ctx.sink = obs::ObsSink(&per_trial[i].registry(),
                               static_cast<std::uint32_t>(i));
       results[i] = fn(ctx);
     };

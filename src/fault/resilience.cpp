@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "obs/bounds.h"
+#include "obs/flight/export.h"
+#include "obs/flight/recorder.h"
 
 namespace jmb::fault {
 
@@ -45,6 +47,13 @@ void ResilienceController::quarantine(std::size_t ap, double t_s,
     obs_->count("resilience/quarantines");
     obs_->count(reason);
   }
+  // Flight-recorder crash scene: mark the quarantine on this thread's
+  // timeline and snapshot the last N records of every thread. Quarantine
+  // is rare by design, so the interning lookup and (dir-gated) dump cost
+  // nothing in steady state.
+  obs::flight::instant(std::string_view(reason),
+                       obs::flight::kNoFlow, ap);
+  obs::flight::trigger_dump("quarantine");
 }
 
 void ResilienceController::on_sync_result(std::size_t ap, bool ok,

@@ -1,0 +1,40 @@
+#include "obs/flight/clock.h"
+
+namespace jmb::obs::flight {
+
+namespace {
+
+ClockCalibration measure() {
+  ClockCalibration cal;
+  const auto w0 = std::chrono::steady_clock::now();
+  cal.tsc0 = now_ticks();
+#if defined(__x86_64__) || defined(_M_X64)
+  // Spin ~2 ms: long enough that steady_clock granularity is noise,
+  // short enough to be invisible at process start. Paid once.
+  for (;;) {
+    const auto w1 = std::chrono::steady_clock::now();
+    if (w1 - w0 >= std::chrono::milliseconds(2)) {
+      const std::uint64_t t1 = now_ticks();
+      const double us =
+          std::chrono::duration<double, std::micro>(w1 - w0).count();
+      if (us > 0.0 && t1 > cal.tsc0) {
+        cal.ticks_per_us = static_cast<double>(t1 - cal.tsc0) / us;
+      }
+      break;
+    }
+  }
+#endif
+  // Fallback path (and any degenerate measurement): ticks are
+  // steady_clock nanoseconds, so 1000 ticks per microsecond.
+  if (!(cal.ticks_per_us > 0.0)) cal.ticks_per_us = 1e3;
+  return cal;
+}
+
+}  // namespace
+
+const ClockCalibration& clock_calibration() {
+  static const ClockCalibration cal = measure();
+  return cal;
+}
+
+}  // namespace jmb::obs::flight

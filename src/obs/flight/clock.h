@@ -1,0 +1,58 @@
+// Timestamp source for the flight recorder.
+//
+// Hot-path records are stamped with the raw time-stamp counter (rdtsc on
+// x86-64: ~6 ns, monotonic on every post-2008 part via invariant TSC) and
+// converted to microseconds only at export time, using a one-time
+// calibration against steady_clock. Non-x86 builds fall back to
+// steady_clock nanoseconds with a 1000 ticks/us identity calibration, so
+// callers never branch on the architecture.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace jmb::obs::flight {
+
+/// Raw monotonic tick count. The unit is *ticks* — only meaningful
+/// relative to clock_calibration().
+inline std::uint64_t now_ticks() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+/// Result of the one-time tick-rate measurement. `tsc0` is the trace
+/// epoch: exported timestamps are `(ticks - tsc0) / ticks_per_us`, which
+/// keeps sub-microsecond resolution in a double (an absolute unix-epoch
+/// microsecond count would eat the mantissa).
+struct ClockCalibration {
+  std::uint64_t tsc0 = 0;
+  double ticks_per_us = 1e3;
+};
+
+/// The process-wide calibration, measured once (~2 ms spin against
+/// steady_clock) on first use. Thread-safe; every later call is a load.
+const ClockCalibration& clock_calibration();
+
+/// Convert a now_ticks() stamp to microseconds since the trace epoch.
+inline double ticks_to_us(std::uint64_t ticks) {
+  const ClockCalibration& cal = clock_calibration();
+  return static_cast<double>(static_cast<std::int64_t>(ticks - cal.tsc0)) /
+         cal.ticks_per_us;
+}
+
+/// Convert a tick *duration* to microseconds.
+inline double tick_delta_us(std::uint64_t dt) {
+  return static_cast<double>(dt) / clock_calibration().ticks_per_us;
+}
+
+}  // namespace jmb::obs::flight

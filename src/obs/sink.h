@@ -3,8 +3,10 @@
 // Callers store an `ObsSink*` and null-check before each probe, so an
 // un-instrumented run costs one pointer compare per probe site and no
 // observability symbol is touched. A sink bundles the per-trial metric
-// registry (lock-free; merged in trial order afterwards) with the shared
-// trace recorder (optional) and the trial id spans are attributed to.
+// registry (lock-free; merged in trial order afterwards) with the trial
+// id spans are attributed to. Trace spans no longer route through the
+// sink: the flight recorder (obs/flight/) is per-thread and always on,
+// so stage timers write to it directly.
 #pragma once
 
 #include <cstdint>
@@ -15,16 +17,13 @@
 
 namespace jmb::obs {
 
-class TraceRecorder;
-
 class ObsSink {
  public:
   ObsSink() = default;
-  ObsSink(MetricRegistry* reg, TraceRecorder* trace, std::uint32_t trial)
-      : reg_(reg), trace_(trace), trial_(trial) {}
+  ObsSink(MetricRegistry* reg, std::uint32_t trial)
+      : reg_(reg), trial_(trial) {}
 
   [[nodiscard]] MetricRegistry* registry() const { return reg_; }
-  [[nodiscard]] TraceRecorder* trace() const { return trace_; }
   [[nodiscard]] std::uint32_t trial() const { return trial_; }
 
   void count(std::string_view name, double d = 1.0,
@@ -44,7 +43,6 @@ class ObsSink {
 
  private:
   MetricRegistry* reg_ = nullptr;
-  TraceRecorder* trace_ = nullptr;
   std::uint32_t trial_ = 0;
 };
 

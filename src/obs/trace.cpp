@@ -51,7 +51,16 @@ std::vector<TraceSpan> TraceRecorder::snapshot() const {
 }
 
 void TraceRecorder::write_chrome_trace(std::FILE* out) const {
-  const std::vector<TraceSpan> spans = snapshot();
+  std::vector<TraceSpan> spans;
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      spans.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+    dropped = dropped_;
+  }
   std::string buf;
   buf += "{\"traceEvents\":[";
   bool first = true;
@@ -70,8 +79,34 @@ void TraceRecorder::write_chrome_trace(std::FILE* out) const {
     buf += std::to_string(s.frame);
     buf += "}}";
   }
+  if (dropped > 0) {
+    if (!first) buf += ',';
+    buf +=
+        "{\"name\":\"trace/dropped_events\",\"cat\":\"counter\",\"ph\":\"C\","
+        "\"ts\":";
+    append_json_double(buf, spans.empty() ? 0.0 : spans.back().ts_us);
+    buf += ",\"pid\":0,\"tid\":0,\"args\":{\"value\":";
+    buf += std::to_string(dropped);
+    buf += "}}";
+  }
   buf += "]}\n";
   std::fwrite(buf.data(), 1, buf.size(), out);
+}
+
+void TraceRecorder::export_metrics(MetricRegistry& reg) const {
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    recorded = static_cast<std::uint64_t>(ring_.size()) + dropped_;
+    dropped = dropped_;
+  }
+  reg.gauge("trace/recorded_events", MetricClass::kTiming)
+      .set(static_cast<double>(recorded));
+  if (dropped > 0) {
+    reg.gauge("trace/dropped_events", MetricClass::kTiming)
+        .set(static_cast<double>(dropped));
+  }
 }
 
 }  // namespace jmb::obs

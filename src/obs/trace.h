@@ -14,6 +14,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/registry.h"
+
 namespace jmb::obs {
 
 struct TraceSpan {
@@ -44,7 +46,15 @@ class TraceRecorder {
 
   /// Chrome trace_event JSON: {"traceEvents":[{"ph":"X",...}]}. Each span
   /// maps trial id -> tid so per-trial timelines stack in the viewer.
+  /// When spans were evicted, a final "C" counter event carries the
+  /// `trace/dropped_events` total so the loss is visible in the viewer.
   void write_chrome_trace(std::FILE* out) const;
+
+  /// Export the recorder's loss accounting into `reg` as kTiming gauges
+  /// (`trace/recorded_events`, and `trace/dropped_events` when nonzero),
+  /// so a bounded buffer that overflowed is loud in the metrics artifact
+  /// instead of silently truncating the trace.
+  void export_metrics(MetricRegistry& reg) const;
 
  private:
   const std::size_t capacity_;

@@ -136,7 +136,6 @@ TEST(ObsSink, NullRegistryIsNoOp) {
   sink.set_gauge("y", 1.0);
   sink.observe("z", obs::kHzBounds, 1.0);
   EXPECT_EQ(sink.registry(), nullptr);
-  EXPECT_EQ(sink.trace(), nullptr);
 }
 
 // The determinism contract behind ISSUE acceptance: a run whose trials
@@ -426,21 +425,70 @@ TEST(ObsTrace, ChromeTraceDumpParsesAndCarriesSpans) {
   EXPECT_DOUBLE_EQ(e.get("tid")->as_number(), 3.0);
 }
 
-TEST(ObsTrace, ScopedStageTimerRecordsSpanAndMetrics) {
-  engine::StageMetricsSet set;
+// Evicting the oldest spans must be loud: the counter exports into a
+// registry (kTiming, so default exports stay unchanged) and the Chrome
+// dump carries a trailing "C" event with the same total.
+TEST(ObsTrace, DroppedEventsExportWhenBoundIsHit) {
+  obs::TraceRecorder rec(4);
+  for (std::uint64_t frame = 0; frame < 6; ++frame) {
+    rec.record("stage", 0, frame, static_cast<double>(frame) * 10.0, 5.0);
+  }
+  obs::MetricRegistry reg;
+  rec.export_metrics(reg);
+  const auto* recorded = reg.find("trace/recorded_events");
+  ASSERT_NE(recorded, nullptr);
+  EXPECT_EQ(std::get<obs::Gauge>(recorded->metric).value(), 6.0);
+  const auto* dropped = reg.find("trace/dropped_events");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->cls, obs::MetricClass::kTiming);
+  EXPECT_EQ(std::get<obs::Gauge>(dropped->metric).value(), 2.0);
+
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  rec.write_chrome_trace(f);
+  std::rewind(f);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  EXPECT_NE(text.find("\"trace/dropped_events\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);
+}
+
+// A recorder that never overflowed exports no dropped counter at all —
+// the metric appears exactly when there is loss to report.
+TEST(ObsTrace, NoDroppedEventsMetricWithoutLoss) {
   obs::TraceRecorder rec(8);
-  const obs::ObsSink sink(&set.registry(), &rec, 3);
+  rec.record("stage", 0, 0, 0.0, 1.0);
+  obs::MetricRegistry reg;
+  rec.export_metrics(reg);
+  EXPECT_NE(reg.find("trace/recorded_events"), nullptr);
+  EXPECT_EQ(reg.find("trace/dropped_events"), nullptr);
+}
+
+TEST(ObsTrace, ScopedStageTimerRecordsFlightSpanAndMetrics) {
+  auto& flight = obs::flight::FlightRecorder::instance();
+  if (!flight.enabled()) GTEST_SKIP() << "JMB_FLIGHT=0";
+  obs::flight::FlightRing* ring = flight.local_ring();
+  ASSERT_NE(ring, nullptr);
+  const std::uint64_t written0 = ring->written();
+
+  engine::StageMetricsSet set;
+  const obs::ObsSink sink(&set.registry(), 3);
   { const engine::ScopedStageTimer timer(&set, "x", &sink, 7); }
   const engine::StageSnapshot snap = set.snapshot("x");
   EXPECT_EQ(snap.frames, 1u);
   ASSERT_NE(snap.frame_us, nullptr);
   EXPECT_EQ(snap.frame_us->count(), 1u);
-  ASSERT_EQ(rec.size(), 1u);
-  const auto spans = rec.snapshot();
-  EXPECT_EQ(spans[0].name, "x");
-  EXPECT_EQ(spans[0].trial, 3u);
-  EXPECT_EQ(spans[0].frame, 7u);
-  EXPECT_GE(spans[0].dur_us, 0.0);
+
+  ASSERT_EQ(ring->written(), written0 + 1);
+  const auto records = ring->snapshot(1);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, obs::flight::EventType::kSpan);
+  EXPECT_EQ(flight.name_of(records[0].name), "x");
+  // Without an explicit flow the batch identity (trial, frame) is used.
+  EXPECT_EQ(records[0].flow, obs::flight::make_flow(3, 7));
 }
 
 }  // namespace

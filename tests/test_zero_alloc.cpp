@@ -16,6 +16,7 @@
 #include "fault/injector.h"
 #include "fault/plan.h"
 #include "obs/alloc_count.h"
+#include "obs/flight/recorder.h"
 #include "phy/convcode.h"
 #include "phy/interleaver.h"
 #include "phy/modulation.h"
@@ -138,6 +139,49 @@ TEST(ZeroAlloc, SteadyStateFrameKernelsDoNotAllocate) {
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->cls, obs::MetricClass::kTiming);
   EXPECT_EQ(std::get<obs::Gauge>(e->metric).value(), 0.0);
+}
+
+TEST(ZeroAlloc, FlightRecorderHotPathDoesNotAllocate) {
+  // The flight recorder's steady-state cost — a record write and a span
+  // scope, with recording *enabled* — must never touch the heap. Warm-up
+  // leases this thread's ring and interns the names; after that, writes
+  // are four relaxed stores into preallocated slots.
+  namespace flight = obs::flight;
+  auto& rec = flight::FlightRecorder::instance();
+  rec.set_enabled_for_test(true);
+  flight::FlightRing* ring = rec.local_ring();
+  ASSERT_NE(ring, nullptr);
+  const std::uint32_t span_name = rec.intern("zero_alloc/span");
+  const std::uint32_t inst_name = rec.intern("zero_alloc/instant");
+  // Warm the string_view lookup path too (the intern itself may allocate
+  // on first sight; lookups afterwards must not).
+  {
+    flight::SpanScope warm(std::string_view("zero_alloc/span"));
+  }
+
+  obs::reset_alloc_counts();
+  obs::set_alloc_counting(true);
+  for (std::uint64_t it = 0; it < 4096; ++it) {
+    const std::uint64_t flow = flight::make_flow(1, it);
+    {
+      flight::SpanScope span(span_name, flow);
+      flight::record(flight::EventType::kRingWait, inst_name,
+                     flight::now_ticks(), flow, it);
+    }
+    flight::instant(inst_name, flow, it);
+    {
+      // Interned-name lookup by string: lock-free scan, no allocation.
+      flight::SpanScope span(std::string_view("zero_alloc/span"), flow);
+    }
+  }
+  obs::set_alloc_counting(false);
+
+  const obs::AllocCounts c = obs::alloc_counts();
+  EXPECT_EQ(c.allocs, 0u)
+      << "flight hot path allocated " << c.allocs << " times (" << c.bytes
+      << " bytes)";
+  EXPECT_EQ(c.deallocs, 0u);
+  EXPECT_GE(ring->written(), 4096u * 4);
 }
 
 TEST(ZeroAlloc, SimdDispatchPathDoesNotAllocate) {
