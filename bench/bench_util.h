@@ -100,6 +100,12 @@ struct BenchOptions {
   std::uint64_t fault_events = 0;
   std::vector<std::pair<std::string, double>> fault_stats;
 
+  // Metro summary for the bench_result "metro" object; the metro bench
+  // calls set_metro(). Left untouched (has_metro == false), the export is
+  // byte-identical to a single-system bench's.
+  bool has_metro = false;
+  obs::MetroSummary metro;
+
   void add_param(std::string name, double value) {
     params.emplace_back(std::move(name), value);
   }
@@ -110,6 +116,10 @@ struct BenchOptions {
   }
   void add_fault_stat(std::string name, double value) {
     fault_stats.emplace_back(std::move(name), value);
+  }
+  void set_metro(obs::MetroSummary summary) {
+    has_metro = true;
+    metro = std::move(summary);
   }
 };
 
@@ -179,6 +189,8 @@ inline int finish(const BenchOptions& opts, const engine::TrialRunner& runner) {
     info.fault_plan = opts.fault_plan.empty() ? "builtin" : opts.fault_plan;
     info.fault_events = opts.fault_events;
     info.fault_stats = opts.fault_stats;
+    info.has_metro = opts.has_metro;
+    info.metro = opts.metro;
     const bool csv = opts.metrics_out.size() >= 4 &&
                      opts.metrics_out.compare(opts.metrics_out.size() - 4, 4,
                                               ".csv") == 0;
@@ -238,31 +250,13 @@ inline std::vector<std::vector<double>> band_link_gains(std::size_t n_aps,
   return gains;
 }
 
-/// Dense-deployment link gains: every client has a distinct nearby AP
-/// whose SNR lands in the band, with the remaining APs a few dB below
-/// (clients scatter across the room, so each is close to *some* AP).
-/// This diagonal dominance is what keeps the paper's channel matrices
-/// "random and well conditioned" even at 10x10.
+/// Dense-deployment link gains for a band; the model itself now lives in
+/// chan::diverse_link_gains (the metro layer samples per-cell gains with
+/// the same RNG call sequence), this wrapper just adapts the SnrBand.
 inline std::vector<std::vector<double>> diverse_link_gains(
     std::size_t n_aps, std::size_t n_clients, const SnrBand& band, Rng& rng) {
-  // Random assignment of primary APs (a permutation when sizes match).
-  std::vector<std::size_t> primary(n_clients);
-  for (std::size_t c = 0; c < n_clients; ++c) primary[c] = c % n_aps;
-  for (std::size_t c = n_clients; c-- > 1;) {
-    std::swap(primary[c], primary[static_cast<std::size_t>(
-                              rng.uniform_int(0, static_cast<int>(c)))]);
-  }
-  std::vector<std::vector<double>> gains(n_clients,
-                                         std::vector<double>(n_aps, 0.0));
-  for (std::size_t c = 0; c < n_clients; ++c) {
-    const double best = rng.uniform(band.lo_db, band.hi_db);
-    for (std::size_t a = 0; a < n_aps; ++a) {
-      const double snr =
-          (a == primary[c]) ? best : best - rng.uniform(3.0, 12.0);
-      gains[c][a] = from_db(snr);
-    }
-  }
-  return gains;
+  return chan::diverse_link_gains(n_aps, n_clients, band.lo_db, band.hi_db,
+                                  rng);
 }
 
 /// Residual per-slave phase-error sigma used by the link-model sweeps,

@@ -1,8 +1,10 @@
 #include "chan/medium.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/fft.h"
 #include "dsp/resampler.h"
 
 namespace jmb::chan {
@@ -12,7 +14,7 @@ Medium::Medium(MediumParams p, std::uint64_t noise_seed)
 
 NodeId Medium::add_node(OscillatorParams osc, double noise_var) {
   osc.sample_rate_hz = params_.sample_rate_hz;
-  nodes_.push_back(Node{Oscillator(osc), noise_var});
+  nodes_.push_back(Node{Oscillator(osc), noise_var, {}});
   return nodes_.size() - 1;
 }
 
@@ -26,6 +28,14 @@ double Medium::noise_var(NodeId id) const { return nodes_.at(id).noise_var; }
 
 void Medium::set_noise_var(NodeId id, double noise_var) {
   nodes_.at(id).noise_var = noise_var;
+}
+
+void Medium::set_interference(NodeId rx, std::vector<double> psd) {
+  nodes_.at(rx).interference_psd = std::move(psd);
+}
+
+const std::vector<double>& Medium::interference(NodeId rx) const {
+  return nodes_.at(rx).interference_psd;
 }
 
 void Medium::set_link(NodeId tx, NodeId rx, FadingParams fading) {
@@ -70,6 +80,28 @@ cvec Medium::receive(NodeId rx, double start_s, std::size_t n) {
   // Start with the receiver's own thermal noise.
   cvec y(n);
   for (cplx& v : y) v = noise_rng_.cgaussian(rxn.noise_var);
+
+  // Inter-cell interference as shaped noise: draw each FFT bin at the
+  // installed per-subcarrier power and transform one block at a time.
+  // Bin k of variance nfft * psd[k] lands in the time domain (ifft
+  // scales by 1/N) with per-sample variance mean(psd) — a flat psd of v
+  // raises the white floor by exactly v. Receivers without a profile
+  // skip this entirely (no RNG draws), keeping legacy runs bitwise
+  // identical.
+  if (!rxn.interference_psd.empty()) {
+    const std::vector<double>& psd = rxn.interference_psd;
+    const std::size_t nfft = psd.size();
+    const auto nfft_d = static_cast<double>(nfft);
+    cvec bins(nfft);
+    for (std::size_t start = 0; start < n; start += nfft) {
+      for (std::size_t k = 0; k < nfft; ++k) {
+        bins[k] = noise_rng_.cgaussian(nfft_d * psd[k]);
+      }
+      const cvec block = ifft(bins);
+      const std::size_t len = std::min(nfft, n - start);
+      for (std::size_t i = 0; i < len; ++i) y[start + i] += block[i];
+    }
+  }
 
   for (const Transmission& t : transmissions_) {
     if (t.tx == rx) continue;  // half-duplex: a node doesn't hear itself

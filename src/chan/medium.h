@@ -48,6 +48,16 @@ class Medium {
   /// Adjust a receiver's noise floor (used to calibrate operating SNR).
   void set_noise_var(NodeId id, double noise_var);
 
+  /// Install a per-subcarrier interference profile at receiver `rx`:
+  /// psd[k] is the extra noise power per complex sample contributed by
+  /// neighboring cells' leakage on FFT bin k (noise-rise units — a flat
+  /// psd of v raises the white floor by exactly v). Rendered in receive()
+  /// as shaped Gaussian noise, one psd.size()-bin block at a time. An
+  /// empty vector removes the profile and restores the exact legacy
+  /// noise path (no extra RNG draws — bitwise identical output).
+  void set_interference(NodeId rx, std::vector<double> psd);
+  [[nodiscard]] const std::vector<double>& interference(NodeId rx) const;
+
   /// Install / replace the directed link tx -> rx.
   void set_link(NodeId tx, NodeId rx, FadingParams fading);
   [[nodiscard]] FadingChannel* link(NodeId tx, NodeId rx);
@@ -81,6 +91,8 @@ class Medium {
   struct Node {
     Oscillator osc;
     double noise_var = 1.0;
+    /// Empty = no inter-cell interference (legacy path, no RNG draws).
+    std::vector<double> interference_psd;
   };
   struct Transmission {
     NodeId tx = 0;

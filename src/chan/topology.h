@@ -5,6 +5,7 @@
 // paper's testbed (Section 10c, Fig. 5).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "dsp/rng.h"
@@ -67,5 +68,73 @@ struct RoomParams {
 
 /// Propagation delay over distance d (speed of light), in seconds.
 [[nodiscard]] double propagation_delay_s(double distance_m);
+
+/// Dense-deployment link gains: every client has a distinct nearby AP
+/// whose SNR lands in [lo_db, hi_db], with the remaining APs a few dB
+/// below (clients scatter across the room, so each is close to *some*
+/// AP). This diagonal dominance is what keeps the paper's channel
+/// matrices "random and well conditioned" even at 10x10.
+[[nodiscard]] std::vector<std::vector<double>> diverse_link_gains(
+    std::size_t n_aps, std::size_t n_clients, double lo_db, double hi_db,
+    Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Metro-scale cell grid: each cell is one conference-room-sized JMB
+// cluster; cells tile a square-ish grid with `pitch_m` between centers.
+// Neighboring clusters leak into each other through walls and streets —
+// modeled as distance-based coupling applied as a per-subcarrier noise
+// rise at the victim cell (see inter_cell_interference).
+// ---------------------------------------------------------------------------
+
+struct CellGridParams {
+  std::size_t cols = 4;   ///< grid columns; cell i sits at (i % cols, i / cols)
+  double pitch_m = 30.0;  ///< center-to-center spacing
+};
+
+/// Center of cell `cell` on the grid (row-major placement).
+[[nodiscard]] Position cell_center(std::size_t cell, const CellGridParams& g);
+
+/// Center-to-center distance between two cells (symmetric).
+[[nodiscard]] double cell_distance_m(std::size_t a, std::size_t b,
+                                     const CellGridParams& g);
+
+struct InterCellParams {
+  /// Neighbor cluster's in-band transmit level over the victim's noise
+  /// floor, before coupling loss (dB).
+  double tx_snr_db = 30.0;
+  /// Coupling loss at ref_distance_m (dB): walls + street-level clutter.
+  double leakage_ref_db = 30.0;
+  double ref_distance_m = 30.0;
+  /// Beyond-ref falloff exponent (urban canyon, > indoor NLOS).
+  double exponent = 3.5;
+  /// Linear multiplier on the whole term; 0 disables inter-cell coupling
+  /// exactly (the degenerate single-cell path draws nothing and adds
+  /// nothing, keeping legacy configs bitwise identical).
+  double coupling_scale = 1.0;
+};
+
+/// Mean linear interference-to-noise gain contributed by a neighbor
+/// `distance_m` away: coupling_scale * 10^((tx_snr_db - loss(d)) / 10)
+/// with loss(d) = leakage_ref_db + 10 * exponent * log10(d / ref), d
+/// clamped to ref_distance_m from below. Monotone non-increasing in
+/// distance; exactly 0.0 when coupling_scale == 0.
+[[nodiscard]] double inter_cell_leakage_gain(double distance_m,
+                                             const InterCellParams& p);
+
+/// Aggregate per-subcarrier interference power at cell `self` from every
+/// other cell on the grid, in units of the victim's noise floor
+/// (noise-rise: post-interference SNR'[k] = SNR[k] / (1 + I[k])).
+///
+/// Each (cell pair, subcarrier) gets an independent Rayleigh-faded draw
+/// seeded from `trial_seed` and the *unordered* pair — deterministic for
+/// any shard schedule, and symmetric: cell a sees the same fade toward b
+/// as b toward a. `duty[j]` scales neighbor j's contribution by its
+/// transmit duty cycle (fraction of airtime actually occupied); pass 1.0
+/// for saturated neighbors. Returns all-zeros (no RNG draws) when
+/// coupling_scale == 0.
+[[nodiscard]] std::vector<double> inter_cell_interference(
+    std::size_t self, std::size_t n_cells, const CellGridParams& grid,
+    const InterCellParams& p, std::size_t n_subcarriers,
+    std::uint64_t trial_seed, const std::vector<double>& duty);
 
 }  // namespace jmb::chan

@@ -47,4 +47,47 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback,
   return fallback;
 }
 
+/// Strict non-negative decimal parse for rate-style knobs: digits with at
+/// most one '.' (e.g. "0.5", "2", "1.25"). No sign, no whitespace, no
+/// exponent, no trailing garbage, and the value must be finite. Returns
+/// false on any violation.
+inline bool parse_f64_strict(const char* text, double& out) {
+  if (text == nullptr || *text < '0' || *text > '9') return false;
+  bool seen_dot = false;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p == '.') {
+      // Exactly one dot, and it must sit between digits ("1." and the
+      // leading-dot case are rejected; the loop entry handled ".5").
+      if (seen_dot || p[1] < '0' || p[1] > '9') return false;
+      seen_dot = true;
+    } else if (*p < '0' || *p > '9') {
+      return false;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (*end != '\0' || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+/// Read a non-negative real env knob (churn rates, scale factors).
+/// Unset -> `fallback`; malformed -> `fallback` with a once-per-flag
+/// warning, same contract as env_u64.
+inline double env_f64(const char* name, double fallback, bool& warned) {
+  const char* text = std::getenv(name);
+  if (text == nullptr) return fallback;
+  double v = 0.0;
+  if (parse_f64_strict(text, v)) return v;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "[engine] ignoring %s='%s' (expected a non-negative decimal "
+                 "number); using %g\n",
+                 name, text, fallback);
+  }
+  return fallback;
+}
+
 }  // namespace jmb::engine

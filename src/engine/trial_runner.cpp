@@ -15,9 +15,16 @@ std::size_t default_thread_count() {
 }
 
 void TrialRunner::print_report(std::FILE* out) const {
-  std::fprintf(out,
-               "\n[trial-runner] %zu trial(s), %zu thread(s), %.3f s wall\n",
-               trials_run_, n_threads_, wall_s_);
+  if (cells_run_ != trials_run_) {
+    std::fprintf(out,
+                 "\n[trial-runner] %zu trial(s), %zu cell shard(s), "
+                 "%zu thread(s), %.3f s wall\n",
+                 trials_run_, cells_run_, n_threads_, wall_s_);
+  } else {
+    std::fprintf(out,
+                 "\n[trial-runner] %zu trial(s), %zu thread(s), %.3f s wall\n",
+                 trials_run_, n_threads_, wall_s_);
+  }
   print_stage_metrics(metrics_, out);
 }
 

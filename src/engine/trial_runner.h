@@ -1,11 +1,20 @@
 // Parallel Monte-Carlo trial runner with deterministic per-trial RNG
-// streams.
+// streams and two-level (trial × cell) work scheduling.
 //
 // Every trial gets its own seed (base_seed ^ trial index) and its own
 // StageMetricsSet, so results and metrics are bit-identical no matter how
 // many worker threads execute the trials or in what order they finish:
 // results land in a vector indexed by trial, and metrics are merged in
 // trial order after the fan-out completes.
+//
+// run_sharded() generalizes this to metro-scale scenarios where one trial
+// simulates a grid of cells: each (trial, cell) pair is an independent
+// work item with its own seed (base_seed ^ trial ^ (cell << 32) — cell 0
+// degenerates to the classic per-trial seed, so single-cell configs are
+// bitwise identical to the pre-sharding path) and its own metrics set,
+// and the deterministic merge runs in (trial, cell) lexicographic order.
+// Aggregate exports are therefore byte-identical for any JMB_THREADS and
+// any shard schedule.
 //
 // Thread count comes from TrialRunnerOptions::n_threads, or — when left
 // at 0 — the JMB_THREADS environment variable, falling back to
@@ -34,19 +43,26 @@ namespace jmb::engine {
 
 /// Handed to each trial body: its index, its deterministic seed, a ready
 /// Rng on that seed, a per-trial metrics sink, and an ObsSink bound to
-/// the same trial's registry for physics probes.
+/// the same trial's registry for physics probes. Sharded runs
+/// (run_sharded) additionally carry the cell index within the trial;
+/// plain run() leaves cell = 0 and n_cells = 1.
 struct TrialContext {
   std::size_t index = 0;
   std::uint64_t seed = 0;
+  std::size_t cell = 0;     ///< shard index within the trial
+  std::size_t n_cells = 1;  ///< shards per trial in this run
   Rng rng;
   StageMetricsSet* metrics = nullptr;
   obs::ObsSink sink;
 
   /// RAII wall-time sample attributed to `stage` in this trial's metrics
-  /// (and a flight-recorder span carrying the (trial, frame) flow id).
+  /// (and a flight-recorder span carrying the (trial, cell, frame) flow
+  /// id — for cell 0 identical to the classic (trial, frame) id).
   [[nodiscard]] ScopedStageTimer time_stage(std::string_view stage,
                                             std::uint64_t frame = 0) const {
-    return ScopedStageTimer(metrics, stage, &sink, frame);
+    return ScopedStageTimer(
+        metrics, stage, &sink, frame,
+        obs::flight::make_cell_flow(index, cell, frame));
   }
 };
 
@@ -73,30 +89,56 @@ class TrialRunner {
   template <typename Fn>
   auto run(std::size_t n_trials, Fn&& fn)
       -> std::vector<decltype(fn(std::declval<TrialContext&>()))> {
+    return run_sharded(n_trials, 1, std::forward<Fn>(fn));
+  }
+
+  /// Two-level fan-out: `n_trials` trials of `n_cells` cell shards each.
+  /// Every (trial, cell) pair is one independent work item scheduled over
+  /// the pool; item results land in a vector indexed by
+  /// trial * n_cells + cell, and per-item metric sets merge in that flat
+  /// order — (trial, cell) lexicographic — so the aggregate registry is
+  /// independent of thread count and shard schedule. Seeds follow
+  /// base_seed ^ (first_trial + trial) ^ (cell << 32): the cell occupies
+  /// high bits so distinct (trial, cell) pairs never collide, and cell 0
+  /// reproduces the classic per-trial seed bit-for-bit. `first_trial`
+  /// offsets ctx.index so a bench sweeping configurations of different
+  /// shard counts can give every grid point a distinct RNG stream across
+  /// multiple run_sharded calls.
+  template <typename Fn>
+  auto run_sharded(std::size_t n_trials, std::size_t n_cells, Fn&& fn,
+                   std::size_t first_trial = 0)
+      -> std::vector<decltype(fn(std::declval<TrialContext&>()))> {
     using Result = decltype(fn(std::declval<TrialContext&>()));
     const auto t0 = Clock::now();
-    std::vector<Result> results(n_trials);
-    std::vector<StageMetricsSet> per_trial(n_trials);
+    const std::size_t n_items = n_trials * n_cells;
+    std::vector<Result> results(n_items);
+    std::vector<StageMetricsSet> per_item(n_items);
 
     auto one = [&](std::size_t i) {
+      const std::size_t trial = first_trial + i / n_cells;
+      const std::size_t cell = i % n_cells;
       TrialContext ctx;
-      ctx.index = i;
-      ctx.seed = opts_.base_seed ^ static_cast<std::uint64_t>(i);
+      ctx.index = trial;
+      ctx.cell = cell;
+      ctx.n_cells = n_cells;
+      ctx.seed = opts_.base_seed ^ static_cast<std::uint64_t>(trial) ^
+                 (static_cast<std::uint64_t>(cell) << 32);
       ctx.rng = Rng(ctx.seed);
-      ctx.metrics = &per_trial[i];
-      ctx.sink = obs::ObsSink(&per_trial[i].registry(),
-                              static_cast<std::uint32_t>(i));
+      ctx.metrics = &per_item[i];
+      ctx.sink = obs::ObsSink(&per_item[i].registry(),
+                              static_cast<std::uint32_t>(trial),
+                              static_cast<std::uint32_t>(cell));
       results[i] = fn(ctx);
     };
 
-    if (n_threads_ <= 1 || n_trials <= 1) {
-      for (std::size_t i = 0; i < n_trials; ++i) one(i);
+    if (n_threads_ <= 1 || n_items <= 1) {
+      for (std::size_t i = 0; i < n_items; ++i) one(i);
     } else {
-      ThreadPool pool(std::min(n_threads_, n_trials));
+      ThreadPool pool(std::min(n_threads_, n_items));
       std::exception_ptr first_error;
       std::size_t first_error_index = 0;
       std::mutex err_mu;
-      for (std::size_t i = 0; i < n_trials; ++i) {
+      for (std::size_t i = 0; i < n_items; ++i) {
         pool.submit([&, i] {
           try {
             one(i);
@@ -113,9 +155,11 @@ class TrialRunner {
       if (first_error) std::rethrow_exception(first_error);
     }
 
-    // Merge in trial order so the aggregate is independent of scheduling.
-    for (const StageMetricsSet& m : per_trial) metrics_.merge(m);
+    // Merge in (trial, cell) order so the aggregate is independent of
+    // scheduling.
+    for (const StageMetricsSet& m : per_item) metrics_.merge(m);
     trials_run_ += n_trials;
+    cells_run_ += n_items;
     wall_s_ += std::chrono::duration<double>(Clock::now() - t0).count();
     return results;
   }
@@ -129,6 +173,9 @@ class TrialRunner {
   /// Wall time spent inside run() so far (seconds).
   [[nodiscard]] double wall_s() const { return wall_s_; }
   [[nodiscard]] std::size_t trials_run() const { return trials_run_; }
+  /// Total (trial, cell) work items run so far; equals trials_run() for
+  /// unsharded runs.
+  [[nodiscard]] std::size_t cells_run() const { return cells_run_; }
 
   /// Print the shared per-stage report: thread count, trials, total wall
   /// time, then the stage table. Defaults to stderr so bench stdout
@@ -143,6 +190,7 @@ class TrialRunner {
   StageMetricsSet metrics_;
   double wall_s_ = 0.0;
   std::size_t trials_run_ = 0;
+  std::size_t cells_run_ = 0;
 };
 
 }  // namespace jmb::engine

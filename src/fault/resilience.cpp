@@ -31,12 +31,15 @@ void ResilienceController::quarantine(std::size_t ap, double t_s,
   needs_remeasure_ = true;
   ++quarantines_;
   recovery_pending_ = true;
+  // Quarantine is cold by design, so building the namespaced metric
+  // names here costs nothing in steady state.
+  const std::string reason_name = params_.metric_prefix + reason;
   if (fault_pending_) {
     fault_pending_ = false;
     last_detect_latency_s_ = t_s - pending_since_;
     if (obs_) {
-      obs_->observe("resilience/time_to_detect_s", obs::kLatencySBounds,
-                    last_detect_latency_s_);
+      obs_->observe(params_.metric_prefix + "/time_to_detect_s",
+                    obs::kLatencySBounds, last_detect_latency_s_);
     }
   } else {
     // Nothing announced the fault (e.g. a plan-less deployment); anchor
@@ -44,14 +47,12 @@ void ResilienceController::quarantine(std::size_t ap, double t_s,
     pending_since_ = t_s;
   }
   if (obs_) {
-    obs_->count("resilience/quarantines");
-    obs_->count(reason);
+    obs_->count(params_.metric_prefix + "/quarantines");
+    obs_->count(reason_name);
   }
   // Flight-recorder crash scene: mark the quarantine on this thread's
-  // timeline and snapshot the last N records of every thread. Quarantine
-  // is rare by design, so the interning lookup and (dir-gated) dump cost
-  // nothing in steady state.
-  obs::flight::instant(std::string_view(reason),
+  // timeline and snapshot the last N records of every thread.
+  obs::flight::instant(std::string_view(reason_name),
                        obs::flight::kNoFlow, ap);
   obs::flight::trigger_dump("quarantine");
 }
@@ -69,7 +70,7 @@ void ResilienceController::on_sync_result(std::size_t ap, bool ok,
     ++s.consecutive_misses;
     if (s.health == ApHealth::kHealthy &&
         s.consecutive_misses >= params_.sync_miss_threshold) {
-      quarantine(ap, t_s, "resilience/quarantine_sync_loss");
+      quarantine(ap, t_s, "/quarantine_sync_loss");
     }
     if (s.health == ApHealth::kProbation) {
       s.health = ApHealth::kQuarantined;
@@ -83,12 +84,12 @@ void ResilienceController::on_sync_result(std::size_t ap, bool ok,
     s.residual_strikes++;
     s.clean_headers = 0;
     if (obs_) {
-      obs_->observe("resilience/residual_strike_rad", obs::kPhaseRadBounds,
-                    residual_rad);
+      obs_->observe(params_.metric_prefix + "/residual_strike_rad",
+                    obs::kPhaseRadBounds, residual_rad);
     }
     if (s.health == ApHealth::kHealthy &&
         s.residual_strikes >= params_.residual_strike_threshold) {
-      quarantine(ap, t_s, "resilience/quarantine_residual");
+      quarantine(ap, t_s, "/quarantine_residual");
     }
     return;
   }
@@ -101,14 +102,14 @@ void ResilienceController::on_sync_result(std::size_t ap, bool ok,
     // restores a trustworthy reference.
     s.health = ApHealth::kProbation;
     needs_remeasure_ = true;
-    if (obs_) obs_->count("resilience/probations");
+    if (obs_) obs_->count(params_.metric_prefix + "/probations");
   }
 }
 
 void ResilienceController::mark_down(std::size_t ap, double t_s) {
   if (ap >= state_.size()) return;
   if (state_[ap].health == ApHealth::kHealthy) {
-    quarantine(ap, t_s, "resilience/quarantine_marked_down");
+    quarantine(ap, t_s, "/quarantine_marked_down");
   }
 }
 
@@ -120,7 +121,7 @@ void ResilienceController::on_remeasure(double t_s) {
       state_[a].consecutive_misses = 0;
       state_[a].residual_strikes = 0;
       active_[a] = 1;
-      if (obs_) obs_->count("resilience/readmissions");
+      if (obs_) obs_->count(params_.metric_prefix + "/readmissions");
     }
   }
   needs_remeasure_ = false;
@@ -132,9 +133,9 @@ void ResilienceController::on_recovered(double t_s) {
   ++recoveries_;
   last_recover_latency_s_ = t_s - pending_since_;
   if (obs_) {
-    obs_->count("resilience/recoveries");
-    obs_->observe("resilience/time_to_recover_s", obs::kLatencySBounds,
-                  last_recover_latency_s_);
+    obs_->count(params_.metric_prefix + "/recoveries");
+    obs_->observe(params_.metric_prefix + "/time_to_recover_s",
+                  obs::kLatencySBounds, last_recover_latency_s_);
   }
 }
 

@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "obs/sink.h"
@@ -36,6 +37,11 @@ struct ResilienceParams {
   /// Consecutive clean sync headers a probation AP must produce before it
   /// rejoins joint transmissions.
   std::size_t probation_headers = 2;
+  /// Metric namespace for everything the controller publishes. Per-cluster
+  /// controllers (metro sharding) pass e.g. "cell3/resilience" so the
+  /// merged aggregate registry keeps clusters apart; the default keeps
+  /// every legacy metric name byte-identical.
+  std::string metric_prefix = "resilience";
 };
 
 enum class ApHealth : std::uint8_t {

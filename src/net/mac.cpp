@@ -13,6 +13,20 @@ namespace jmb::net {
 
 namespace {
 
+/// Airtime of a slot that carries no data (sync preamble + turnaround):
+/// what an idle or headerless slot costs.
+double idle_slot_s(const MacParams& params) {
+  return static_cast<double>(phy::kPreambleLen) /
+             params.airtime.sample_rate_hz +
+         params.airtime.turnaround_s;
+}
+
+/// Latency sample on delivery, when the caller asked for them.
+void note_delivery(MacReport& report, const MacParams& params, const Packet& p,
+                   double t) {
+  if (params.record_latency) report.frame_latency_s.push_back(t - p.enqueue_s);
+}
+
 void finalize(MacReport& report, const MacParams& params) {
   report.duration_s = params.duration_s;
   report.total_goodput_mbps = 0.0;
@@ -81,13 +95,30 @@ MacReport run_baseline_mac(std::size_t n_clients, const LinkStateFn& link_state,
   std::uint64_t next_id = 0;
 
   while (t < params.duration_s) {
-    const std::size_t client = turn % n_clients;
-    ++turn;
     if (params.saturated) {
-      queue.push({client, params.psdu_bytes, 0, t, 0, next_id++});
+      // With churn, skip clients currently detached from the cell; the
+      // scan is bounded by one full round-robin sweep.
+      std::size_t scanned = 0;
+      if (params.activity) {
+        while (scanned < n_clients && !params.activity(turn % n_clients, t)) {
+          ++turn;
+          ++scanned;
+        }
+      }
+      if (scanned < n_clients) {
+        queue.push({turn % n_clients, params.psdu_bytes, 0, t, 0, next_id++});
+        ++turn;
+      }
     }
     auto pkt = queue.pop();
-    if (!pkt) break;  // non-saturated mode with an empty queue: done
+    if (!pkt) {
+      if (params.saturated && params.activity) {
+        // Cell momentarily empty: idle the slot, users may arrive later.
+        t += idle_slot_s(params);
+        continue;
+      }
+      break;  // non-saturated mode with an empty queue: done
+    }
 
     const LinkState ls = link_state(pkt->client);
     const auto rate_idx = rate::select_rate(ls.subcarrier_snr);
@@ -109,6 +140,7 @@ MacReport run_baseline_mac(std::size_t n_clients, const LinkStateFn& link_state,
         rate::frame_error_prob(ls.subcarrier_snr, *rate_idx, pkt->bytes);
     if (rng.uniform() >= per) {
       ++report.per_client[pkt->client].delivered;
+      note_delivery(report, params, *pkt, t);
     } else {
       ++report.per_client[pkt->client].failed_attempts;
       if (++pkt->retries <= params.max_retries) {
@@ -134,25 +166,48 @@ MacReport run_jmb_mac(std::size_t n_aps, std::size_t n_clients,
 
   double t = 0.0;
   double next_measurement = 0.0;
+  std::size_t next_forced = 0;  // cursor into params.remeasure_at
 
   while (t < params.duration_s) {
-    if (t >= next_measurement) {
+    const bool forced = next_forced < params.remeasure_at.size() &&
+                        params.remeasure_at[next_forced] <= t;
+    if (t >= next_measurement || forced) {
+      while (next_forced < params.remeasure_at.size() &&
+             params.remeasure_at[next_forced] <= t) {
+        ++next_forced;
+      }
       const double meas =
           rate::measurement_airtime_s(n_aps, n_clients, params.airtime);
       t += meas;
       report.measurement_airtime_s += meas;
+      ++report.measurement_epochs;
       next_measurement = t + params.coherence_time_s;
       continue;
     }
     if (params.saturated) {
-      // Keep the queue deep enough for a full joint transmission.
-      while (queue.size() < n_streams) {
-        queue.push({rr % n_clients, params.psdu_bytes, 0, t, 0, next_id++});
+      // Keep the queue deep enough for a full joint transmission. With
+      // churn, detached clients are skipped and the scan is bounded by a
+      // full round-robin sweep on top of the fill budget.
+      const std::size_t max_scans =
+          n_streams + (params.activity ? n_clients : 0);
+      std::size_t scans = 0;
+      while (queue.size() < n_streams && scans < max_scans) {
+        ++scans;
+        const std::size_t client = rr % n_clients;
         ++rr;
+        if (params.activity && !params.activity(client, t)) continue;
+        queue.push({client, params.psdu_bytes, 0, t, 0, next_id++});
       }
     }
     std::vector<Packet> batch = queue.pop_joint(n_streams);
-    if (batch.empty()) break;
+    if (batch.empty()) {
+      if (params.saturated && params.activity) {
+        // Cell momentarily empty: idle the slot, users may arrive later.
+        t += idle_slot_s(params);
+        continue;
+      }
+      break;
+    }
     ++report.joint_transmissions;
 
     // Rate selection per Section 9: the APs know the full channel, the
@@ -197,6 +252,7 @@ MacReport run_jmb_mac(std::size_t n_aps, std::size_t n_clients,
                                                 *rate_idx, p.bytes);
       if (rng.uniform() >= per) {
         ++report.per_client[p.client].delivered;
+        note_delivery(report, params, p, t);
       } else {
         ++report.per_client[p.client].failed_attempts;
         if (++p.retries <= params.max_retries) {
@@ -230,13 +286,27 @@ MacReport run_baseline_mac_resilient(std::size_t n_aps, std::size_t n_clients,
     for (std::size_t a = 0; a < n_aps; ++a) {
       up[a] = (fault && fault->ap_down(a)) ? 0 : 1;
     }
-    const std::size_t client = turn % n_clients;
-    ++turn;
     if (params.saturated) {
-      queue.push({client, params.psdu_bytes, 0, t, 0, next_id++});
+      std::size_t scanned = 0;
+      if (params.activity) {
+        while (scanned < n_clients && !params.activity(turn % n_clients, t)) {
+          ++turn;
+          ++scanned;
+        }
+      }
+      if (scanned < n_clients) {
+        queue.push({turn % n_clients, params.psdu_bytes, 0, t, 0, next_id++});
+        ++turn;
+      }
     }
     auto pkt = queue.pop();
-    if (!pkt) break;
+    if (!pkt) {
+      if (params.saturated && params.activity) {
+        t += idle_slot_s(params);
+        continue;
+      }
+      break;
+    }
 
     // Each client transmits from its best *surviving* AP — the mask makes
     // the link model re-associate instantly, the per-AP independence that
@@ -260,6 +330,7 @@ MacReport run_baseline_mac_resilient(std::size_t n_aps, std::size_t n_clients,
         rate::frame_error_prob(ls.subcarrier_snr, *rate_idx, pkt->bytes);
     if (rng.uniform() >= per) {
       ++report.per_client[pkt->client].delivered;
+      note_delivery(report, params, *pkt, t);
     } else {
       ++report.per_client[pkt->client].failed_attempts;
       if (++pkt->retries <= params.max_retries) {
@@ -300,15 +371,24 @@ MacReport run_jmb_mac_resilient(std::size_t n_aps, std::size_t n_clients,
     return resilience ? resilience->active() : all_active;
   };
 
+  std::size_t next_forced = 0;  // cursor into params.remeasure_at
+
   while (t < params.duration_s) {
     pump_mac_faults(fault, resilience, t);
 
-    if (t >= next_measurement ||
+    const bool forced = next_forced < params.remeasure_at.size() &&
+                        params.remeasure_at[next_forced] <= t;
+    if (t >= next_measurement || forced ||
         (resilience && resilience->needs_remeasure())) {
+      while (next_forced < params.remeasure_at.size() &&
+             params.remeasure_at[next_forced] <= t) {
+        ++next_forced;
+      }
       const double meas =
           rate::measurement_airtime_s(n_aps, n_clients, params.airtime);
       t += meas;
       report.measurement_airtime_s += meas;
+      ++report.measurement_epochs;
       next_measurement = t + params.coherence_time_s;
       if (resilience) resilience->on_remeasure(t);
       continue;
@@ -361,11 +441,14 @@ MacReport run_jmb_mac_resilient(std::size_t n_aps, std::size_t n_clients,
     }
 
     if (params.saturated) {
+      const std::size_t max_attempts =
+          4 * n_streams + (params.activity ? n_clients : 0);
       std::size_t attempts = 0;
-      while (queue.size() < n_streams && attempts < 4 * n_streams) {
+      while (queue.size() < n_streams && attempts < max_attempts) {
         ++attempts;
         const std::size_t client = rr % n_clients;
         ++rr;
+        if (params.activity && !params.activity(client, t)) continue;
         if (fault && fault->backhaul_packet_lost()) {
           // Lost on the wire between gateway and APs; counted, not queued.
           ++report.backhaul_drops;
@@ -441,6 +524,7 @@ MacReport run_jmb_mac_resilient(std::size_t n_aps, std::size_t n_clients,
                                                 *rate_idx, p.bytes);
       if (rng.uniform() >= per) {
         ++report.per_client[p.client].delivered;
+        note_delivery(report, params, p, t);
       } else {
         all_delivered = false;
         ++report.per_client[p.client].failed_attempts;

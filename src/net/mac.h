@@ -37,6 +37,13 @@ using LinkStateFn = std::function<LinkState(std::size_t client)>;
 using MaskedLinkStateFn = std::function<LinkState(
     std::size_t client, const std::vector<std::uint8_t>& active_aps)>;
 
+/// Churn/mobility hook: is `client` attached to this cell at virtual time
+/// t? The scheduler skips detached clients (no traffic is generated for
+/// them) and idles when the cell is momentarily empty. A null ActivityFn
+/// means "everyone, always" and leaves every MAC variant on the exact
+/// legacy code path.
+using ActivityFn = std::function<bool(std::size_t client, double t)>;
+
 struct MacParams {
   double duration_s = 1.0;
   std::size_t psdu_bytes = 1500;
@@ -48,6 +55,17 @@ struct MacParams {
   /// Consecutive joint transmissions without the lead's sync header before
   /// the MAC declares the lead dead and re-elects (resilient variant).
   std::size_t lead_miss_threshold = 3;
+
+  // --- metro churn/mobility knobs (defaults keep the legacy path) ---
+  /// Null = every client always attached (legacy behaviour, bit-exact).
+  ActivityFn activity;
+  /// Forced re-measurement instants (sorted ascending): a hand-off into
+  /// the cell requires measuring the newcomer's channel outside the
+  /// regular coherence cadence. JMB variants only; empty = none.
+  std::vector<double> remeasure_at;
+  /// Record per-frame delivery latency (enqueue -> ACK) samples into
+  /// MacReport::frame_latency_s.
+  bool record_latency = false;
 };
 
 struct ClientStats {
@@ -64,6 +82,10 @@ struct MacReport {
   double measurement_airtime_s = 0.0;
   double duration_s = 0.0;
   std::size_t joint_transmissions = 0;  ///< 0 for the baseline
+  std::size_t measurement_epochs = 0;   ///< JMB variants; includes forced ones
+  /// Delivery latencies, one sample per delivered frame, in delivery
+  /// order (only populated when MacParams::record_latency is set).
+  std::vector<double> frame_latency_s;
 
   // --- resilience accounting (run_*_resilient variants; zero elsewhere) ---
   std::size_t lead_elections = 0;   ///< times the MAC re-elected a lead

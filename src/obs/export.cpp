@@ -2,6 +2,15 @@
 
 #include <cstdio>
 
+// GCC 12 misfires -Warray-bounds / -Wstringop-overread on the (unreachable
+// but not provably so) _M_realloc_insert path of
+// vector<pair<string, JsonValue>> at -O2; which emplace site trips it
+// shifts with inlining, so suppress the pair for this TU.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#pragma GCC diagnostic ignored "-Wstringop-overread"
+#endif
+
 namespace jmb::obs {
 
 namespace {
@@ -78,6 +87,27 @@ JsonValue bench_result_doc(const BenchRunInfo& info, const MetricRegistry& reg,
     streaming.emplace_back("stage_threads", s.stage_threads);
     streaming.emplace_back("rt_factor", s.rt_factor);
     root.emplace_back("streaming", std::move(streaming));
+  }
+  if (info.has_metro) {
+    const MetroSummary& m = info.metro;
+    JsonObject metro;
+    metro.emplace_back("cells", static_cast<double>(m.cells));
+    metro.emplace_back("users_per_cell", static_cast<double>(m.users_per_cell));
+    metro.emplace_back("churn_rate_hz", m.churn_rate_hz);
+    metro.emplace_back("aggregate_goodput_mbps", m.aggregate_goodput_mbps);
+    metro.emplace_back("p99_frame_latency_s", m.p99_frame_latency_s);
+    metro.emplace_back("arrivals", static_cast<double>(m.arrivals));
+    metro.emplace_back("departures", static_cast<double>(m.departures));
+    metro.emplace_back("handoffs", static_cast<double>(m.handoffs));
+    metro.emplace_back("blocked_handoffs",
+                       static_cast<double>(m.blocked_handoffs));
+    metro.emplace_back("lead_elections",
+                       static_cast<double>(m.lead_elections));
+    metro.emplace_back("quarantines", static_cast<double>(m.quarantines));
+    JsonArray per_cell;
+    for (const double g : m.per_cell_goodput_mbps) per_cell.emplace_back(g);
+    metro.emplace_back("per_cell_goodput_mbps", std::move(per_cell));
+    root.emplace_back("metro", std::move(metro));
   }
   JsonArray metrics;
   for (const MetricRegistry::Entry& e : reg.entries()) {

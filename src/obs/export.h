@@ -18,6 +18,24 @@
 
 namespace jmb::obs {
 
+/// Metro-sharding run summary for the bench_result "metro" object. Plain
+/// data so the exporter stays independent of the metro layer; the metro
+/// bench fills it from a metro::MetroResult.
+struct MetroSummary {
+  std::uint64_t cells = 0;
+  std::uint64_t users_per_cell = 0;
+  double churn_rate_hz = 0.0;
+  double aggregate_goodput_mbps = 0.0;
+  double p99_frame_latency_s = 0.0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t handoffs = 0;  ///< accepted hand-offs (grid-wide)
+  std::uint64_t blocked_handoffs = 0;
+  std::uint64_t lead_elections = 0;
+  std::uint64_t quarantines = 0;
+  std::vector<double> per_cell_goodput_mbps;
+};
+
 struct BenchRunInfo {
   std::string figure;  ///< e.g. "fig09_throughput_scaling"
   std::uint64_t seed = 0;
@@ -41,6 +59,14 @@ struct BenchRunInfo {
   /// exports.
   bool has_streaming = false;
   StreamingStats streaming;
+
+  // --- metro-sharding summary (metro benches only) ---
+  /// When set, a "metro" object is emitted (cell grid shape, churn and
+  /// hand-off totals, aggregate goodput, p99 frame latency). Single-system
+  /// runs leave this false so their artifacts stay byte-identical to
+  /// pre-metro exports.
+  bool has_metro = false;
+  MetroSummary metro;
 };
 
 /// Build the bench_result.v1 document for a merged registry.

@@ -59,6 +59,16 @@ inline constexpr std::uint64_t make_flow(std::uint64_t stream,
   return (stream << 40) | (seq & ((1ull << 40) - 1));
 }
 
+/// Flow id for metro-sharded runs: the cell shard index rides in bits
+/// 16..23 of the stream field, above the 16-bit trial index. Cell 0
+/// reproduces the classic make_flow(trial, seq) id bit-for-bit, so
+/// single-cell traces are indistinguishable from pre-sharding ones.
+inline constexpr std::uint64_t make_cell_flow(std::uint64_t trial,
+                                              std::uint64_t cell,
+                                              std::uint64_t seq) {
+  return make_flow(((cell & 0xff) << 16) | (trial & 0xffff), seq);
+}
+
 /// Decoded trace record, as returned by snapshots. `tsc` is the event
 /// (or span start) stamp in raw ticks; `value` is type-dependent (see
 /// EventType).

@@ -20,11 +20,13 @@ namespace jmb::obs {
 class ObsSink {
  public:
   ObsSink() = default;
-  ObsSink(MetricRegistry* reg, std::uint32_t trial)
-      : reg_(reg), trial_(trial) {}
+  ObsSink(MetricRegistry* reg, std::uint32_t trial, std::uint32_t cell = 0)
+      : reg_(reg), trial_(trial), cell_(cell) {}
 
   [[nodiscard]] MetricRegistry* registry() const { return reg_; }
   [[nodiscard]] std::uint32_t trial() const { return trial_; }
+  /// Cell shard the sink is bound to; 0 for unsharded runs.
+  [[nodiscard]] std::uint32_t cell() const { return cell_; }
 
   void count(std::string_view name, double d = 1.0,
              MetricClass cls = MetricClass::kPhysics) const {
@@ -44,6 +46,7 @@ class ObsSink {
  private:
   MetricRegistry* reg_ = nullptr;
   std::uint32_t trial_ = 0;
+  std::uint32_t cell_ = 0;
 };
 
 }  // namespace jmb::obs

@@ -122,6 +122,56 @@ TEST(EngineEnv, EnvU64FallsBackOnMalformedValues) {
   ASSERT_EQ(unsetenv("JMB_TEST_KNOB"), 0);
 }
 
+TEST(EngineEnv, ParseF64StrictRejectsNonCanonicalForms) {
+  double v = 0.0;
+  EXPECT_TRUE(engine::parse_f64_strict("0", v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_TRUE(engine::parse_f64_strict("2", v));
+  EXPECT_DOUBLE_EQ(v, 2.0);
+  EXPECT_TRUE(engine::parse_f64_strict("0.5", v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_TRUE(engine::parse_f64_strict("12.25", v));
+  EXPECT_DOUBLE_EQ(v, 12.25);
+  EXPECT_FALSE(engine::parse_f64_strict(nullptr, v));
+  EXPECT_FALSE(engine::parse_f64_strict("", v));
+  EXPECT_FALSE(engine::parse_f64_strict("-1", v));     // sign
+  EXPECT_FALSE(engine::parse_f64_strict("+0.5", v));   // sign
+  EXPECT_FALSE(engine::parse_f64_strict(" 1.5", v));   // leading whitespace
+  EXPECT_FALSE(engine::parse_f64_strict("1.5 ", v));   // trailing whitespace
+  EXPECT_FALSE(engine::parse_f64_strict(".5", v));     // leading dot
+  EXPECT_FALSE(engine::parse_f64_strict("1.", v));     // trailing dot
+  EXPECT_FALSE(engine::parse_f64_strict("1.2.3", v));  // two dots
+  EXPECT_FALSE(engine::parse_f64_strict("1e3", v));    // exponent
+  EXPECT_FALSE(engine::parse_f64_strict("nan", v));
+  EXPECT_FALSE(engine::parse_f64_strict("1.5x", v));   // trailing garbage
+}
+
+TEST(EngineEnv, EnvF64FallsBackOnMalformedValues) {
+  bool warned = false;
+  ASSERT_EQ(unsetenv("JMB_TEST_RATE"), 0);
+  EXPECT_DOUBLE_EQ(engine::env_f64("JMB_TEST_RATE", 1.5, warned), 1.5);
+  EXPECT_FALSE(warned);  // unset is not a warning
+
+  ASSERT_EQ(setenv("JMB_TEST_RATE", "2.5", 1), 0);
+  EXPECT_DOUBLE_EQ(engine::env_f64("JMB_TEST_RATE", 1.5, warned), 2.5);
+  EXPECT_FALSE(warned);
+  // An explicit 0 is a valid value (it disables rate-style knobs).
+  ASSERT_EQ(setenv("JMB_TEST_RATE", "0", 1), 0);
+  EXPECT_DOUBLE_EQ(engine::env_f64("JMB_TEST_RATE", 1.5, warned), 0.0);
+  EXPECT_FALSE(warned);
+
+  for (const char* bad : {"-3", " 4", "4x", "", ".5", "1e2", "1.2.3"}) {
+    warned = false;
+    ASSERT_EQ(setenv("JMB_TEST_RATE", bad, 1), 0);
+    EXPECT_DOUBLE_EQ(engine::env_f64("JMB_TEST_RATE", 1.5, warned), 1.5)
+        << "value '" << bad << "'";
+    EXPECT_TRUE(warned) << "value '" << bad << "'";
+    // Second read with the flag still set stays silent.
+    EXPECT_DOUBLE_EQ(engine::env_f64("JMB_TEST_RATE", 1.5, warned), 1.5);
+  }
+  ASSERT_EQ(unsetenv("JMB_TEST_RATE"), 0);
+}
+
 TEST(EngineEnv, DefaultThreadCountSurvivesMalformedJmbThreads) {
   ASSERT_EQ(setenv("JMB_THREADS", "3", 1), 0);
   EXPECT_EQ(engine::default_thread_count(), 3u);
