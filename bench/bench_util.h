@@ -106,6 +106,13 @@ struct BenchOptions {
   bool has_metro = false;
   obs::MetroSummary metro;
 
+  // Traffic summary for the bench_result "traffic" object; overload/
+  // fairness benches call set_traffic(). Left untouched
+  // (has_traffic == false), the export is byte-identical to a saturated
+  // bench's.
+  bool has_traffic = false;
+  obs::TrafficSummary traffic;
+
   void add_param(std::string name, double value) {
     params.emplace_back(std::move(name), value);
   }
@@ -120,6 +127,10 @@ struct BenchOptions {
   void set_metro(obs::MetroSummary summary) {
     has_metro = true;
     metro = std::move(summary);
+  }
+  void set_traffic(obs::TrafficSummary summary) {
+    has_traffic = true;
+    traffic = std::move(summary);
   }
 };
 
@@ -191,6 +202,8 @@ inline int finish(const BenchOptions& opts, const engine::TrialRunner& runner) {
     info.fault_stats = opts.fault_stats;
     info.has_metro = opts.has_metro;
     info.metro = opts.metro;
+    info.has_traffic = opts.has_traffic;
+    info.traffic = opts.traffic;
     const bool csv = opts.metrics_out.size() >= 4 &&
                      opts.metrics_out.compare(opts.metrics_out.size() - 4, 4,
                                               ".csv") == 0;

@@ -14,6 +14,8 @@
 #include "dsp/rng.h"
 #include "engine/metrics.h"
 #include "engine/stream/spsc_ring.h"
+#include "net/queue.h"
+#include "net/traffic_api.h"
 #include "obs/flight/recorder.h"
 #include "phy/receiver.h"
 #include "phy/transmitter.h"
@@ -22,6 +24,7 @@
 #include "simd/aligned.h"
 #include "simd/backend.h"
 #include "simd/kernels.h"
+#include "traffic/policy.h"
 
 namespace {
 
@@ -302,6 +305,78 @@ void register_backend_benchmarks() {
         [be](benchmark::State& s) { BM_PrecoderApplyBackend(s, be); });
   }
 }
+
+// ---- Shared downlink queue under deep backlogs --------------------------
+// Overloaded traffic parks thousands of packets across many more clients
+// than there are streams; pop_joint / pop_aggregate selection must stay
+// O(active clients), not O(total queued packets). Steady state: pop a
+// joint batch, push every packet straight back, so depth never drains.
+
+net::DownlinkQueue deep_queue(std::size_t n_clients,
+                              std::size_t pkts_per_client) {
+  net::DownlinkQueue q;
+  for (std::size_t i = 0; i < pkts_per_client; ++i) {
+    for (std::size_t c = 0; c < n_clients; ++c) {
+      q.push(net::Packet{c, 1500, 0, 0.0, 0, 0});
+    }
+  }
+  return q;
+}
+
+void BM_PopJointDeepQueue(benchmark::State& state) {
+  const auto n_clients = static_cast<std::size_t>(state.range(0));
+  const auto per_client = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kStreams = 4;
+  net::DownlinkQueue q = deep_queue(n_clients, per_client);
+  for (auto _ : state) {
+    auto batch = q.pop_joint(kStreams);
+    benchmark::DoNotOptimize(batch.data());
+    for (const auto& p : batch) q.push(p);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kStreams);
+}
+BENCHMARK(BM_PopJointDeepQueue)->Args({8, 128})->Args({64, 16})->Args({64, 64});
+
+void BM_PopAggregateDeepQueue(benchmark::State& state) {
+  const auto n_clients = static_cast<std::size_t>(state.range(0));
+  const auto per_client = static_cast<std::size_t>(state.range(1));
+  const net::AggLimits lim{4, 8000};
+  net::DownlinkQueue q = deep_queue(n_clients, per_client);
+  std::size_t c = 0;
+  for (auto _ : state) {
+    auto frame = q.pop_aggregate(c, lim);
+    benchmark::DoNotOptimize(frame.mpdus.data());
+    for (const auto& p : frame.mpdus) q.push(p);
+    c = (c + 1) % n_clients;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PopAggregateDeepQueue)->Args({64, 16})->Args({64, 64});
+
+// Full scheduler hop: proportional-fair select over every backlogged
+// client, then serve the picks — the per-slot policy overhead the traffic
+// MAC pays on top of raw queue ops.
+void BM_PfSelectDeepQueue(benchmark::State& state) {
+  const auto n_clients = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kStreams = 4;
+  net::DownlinkQueue q = deep_queue(n_clients, 32);
+  traffic::PfScheduler pf;
+  const net::RateHintFn hint = [](std::size_t client) {
+    return 6.0 + static_cast<double>(client % 8) * 6.0;
+  };
+  for (auto _ : state) {
+    auto picks = pf.select(q, kStreams, 0.0, &hint);
+    benchmark::DoNotOptimize(picks.data());
+    for (const std::size_t c : picks) {
+      auto batch = q.pop_aggregate(c, net::AggLimits{});
+      pf.on_served(c, batch.total_bytes, 1e-3);
+      for (const auto& p : batch.mpdus) q.push(p);
+    }
+    pf.on_slot(1e-3);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PfSelectDeepQueue)->Arg(8)->Arg(64);
 
 void BM_BeamformingSinr10x10(benchmark::State& state) {
   Rng rng(7);

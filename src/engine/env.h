@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace jmb::engine {
 
@@ -86,6 +87,29 @@ inline double env_f64(const char* name, double fallback, bool& warned) {
                  "[engine] ignoring %s='%s' (expected a non-negative decimal "
                  "number); using %g\n",
                  name, text, fallback);
+  }
+  return fallback;
+}
+
+/// Read a string-enum env knob (scheduling policy, traffic profile).
+/// `allowed` is a null-terminated array of accepted values. Unset ->
+/// `fallback`; set to anything not in `allowed` -> `fallback` with a
+/// once-per-flag warning listing the choices, same contract as env_u64.
+inline const char* env_choice(const char* name, const char* const* allowed,
+                              const char* fallback, bool& warned) {
+  const char* text = std::getenv(name);
+  if (text == nullptr) return fallback;
+  for (const char* const* a = allowed; *a != nullptr; ++a) {
+    if (std::strcmp(text, *a) == 0) return *a;
+  }
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr, "[engine] ignoring %s='%s' (expected one of:", name,
+                 text);
+    for (const char* const* a = allowed; *a != nullptr; ++a) {
+      std::fprintf(stderr, " %s", *a);
+    }
+    std::fprintf(stderr, "); using %s\n", fallback);
   }
   return fallback;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <utility>
 
 #include "fault/injector.h"
 #include "fault/resilience.h"
@@ -81,10 +83,260 @@ struct LatencyAccumulator {
   }
 };
 
+/// A-MPDU delimiter overhead charged per aggregated subframe.
+constexpr std::size_t kMpduDelimiterBytes = 4;
+
+/// Accumulates per-(client, flow) delivery statistics for traffic-mode
+/// runs. std::map keys keep the export order deterministic.
+class FlowTracker {
+ public:
+  void deliver(const Packet& p, double t) {
+    Accum& a = acc_[{p.client, p.flow}];
+    ++a.delivered;
+    a.bytes += p.bytes;
+    const double lat = t - p.enqueue_s;
+    a.lat_sum += lat;
+    a.lat_sumsq += lat * lat;
+    a.lat_max = std::max(a.lat_max, lat);
+    if (p.deadline_s > 0.0 && t > p.deadline_s) ++a.misses;
+  }
+  void drop(const Packet& p) { ++acc_[{p.client, p.flow}].dropped; }
+
+  void fold_into(MacReport& report, double duration_s) const {
+    report.flows.reserve(acc_.size());
+    for (const auto& [key, a] : acc_) {
+      FlowStats f;
+      f.client = key.first;
+      f.flow = key.second;
+      f.delivered = a.delivered;
+      f.dropped = a.dropped;
+      f.deadline_misses = a.misses;
+      f.delivered_bytes = a.bytes;
+      f.goodput_mbps =
+          static_cast<double>(a.bytes) * 8.0 / duration_s / 1e6;
+      if (a.delivered > 0) {
+        const double n = static_cast<double>(a.delivered);
+        f.mean_latency_s = a.lat_sum / n;
+        f.max_latency_s = a.lat_max;
+        const double var =
+            a.lat_sumsq / n - f.mean_latency_s * f.mean_latency_s;
+        f.jitter_s = var > 0.0 ? std::sqrt(var) : 0.0;
+      }
+      report.flows.push_back(f);
+    }
+  }
+
+ private:
+  struct Accum {
+    std::size_t delivered = 0;
+    std::size_t dropped = 0;
+    std::size_t misses = 0;
+    std::size_t bytes = 0;
+    double lat_sum = 0.0;
+    double lat_sumsq = 0.0;
+    double lat_max = 0.0;
+  };
+  std::map<std::pair<std::size_t, std::uint32_t>, Accum> acc_;
+};
+
+/// Goodput from actual delivered bytes — traffic-mode packets are not all
+/// params.psdu_bytes, so the legacy delivered-count finalize() would lie.
+void finalize_traffic(MacReport& report, const MacParams& params,
+                      const std::vector<double>& client_bytes) {
+  report.duration_s = params.duration_s;
+  report.total_goodput_mbps = 0.0;
+  for (std::size_t c = 0; c < report.per_client.size(); ++c) {
+    report.per_client[c].goodput_mbps =
+        client_bytes[c] * 8.0 / params.duration_s / 1e6;
+    report.total_goodput_mbps += report.per_client[c].goodput_mbps;
+  }
+}
+
+/// Traffic-mode MAC: arrivals come from params.traffic instead of the
+/// synthetic saturated fill, a Scheduler (null = FIFO) picks which clients
+/// each slot serves, and each selected client may aggregate several queued
+/// packets into its stream (params.agg). `jmb` toggles joint transmissions
+/// plus measurement epochs versus one-client-at-a-time 802.11.
+MacReport run_traffic_mac(std::size_t n_aps, std::size_t n_clients,
+                          std::size_t n_streams,
+                          const LinkStateFn& link_state,
+                          const MacParams& params, bool jmb) {
+  MacReport report;
+  report.per_client.resize(n_clients);
+  Rng rng(params.seed);
+  DownlinkQueue queue;
+  TrafficSource& src = *params.traffic;
+  FlowTracker flows;
+  std::vector<double> client_bytes(n_clients, 0.0);
+
+  // Achievable-rate hint for rate-aware policies: the PHY rate the client
+  // would get right now, in Mb/s.
+  const RateHintFn rate_hint = [&](std::size_t client) {
+    const LinkState ls = link_state(client);
+    const auto r = rate::select_rate(ls.subcarrier_snr);
+    if (!r) return 0.0;
+    return static_cast<double>(phy::rate_set()[*r].n_dbps()) *
+           params.airtime.sample_rate_hz /
+           static_cast<double>(phy::kSymbolLen) / 1e6;
+  };
+
+  double t = 0.0;
+  double next_measurement = 0.0;  // JMB only
+  std::size_t next_forced = 0;    // cursor into params.remeasure_at
+
+  std::vector<std::size_t> picked;
+  std::vector<std::uint8_t> taken(n_clients, 0);
+
+  while (t < params.duration_s) {
+    report.offered_packets += src.drain_until(t, queue);
+    report.max_queue_depth =
+        std::max(report.max_queue_depth, static_cast<double>(queue.size()));
+
+    if (jmb) {
+      const bool forced = next_forced < params.remeasure_at.size() &&
+                          params.remeasure_at[next_forced] <= t;
+      if (t >= next_measurement || forced) {
+        while (next_forced < params.remeasure_at.size() &&
+               params.remeasure_at[next_forced] <= t) {
+          ++next_forced;
+        }
+        const double meas =
+            rate::measurement_airtime_s(n_aps, n_clients, params.airtime);
+        t += meas;
+        report.measurement_airtime_s += meas;
+        ++report.measurement_epochs;
+        next_measurement = t + params.coherence_time_s;
+        continue;
+      }
+    }
+
+    if (queue.empty()) {
+      // Idle: jump the clock to the next event. drain_until guarantees
+      // next_arrival_s() > t, so this always makes progress.
+      double next_t = src.next_arrival_s();
+      if (jmb) next_t = std::min(next_t, next_measurement);
+      if (!(next_t > t)) next_t = t + idle_slot_s(params);
+      if (next_t >= params.duration_s) break;
+      t = next_t;
+      continue;
+    }
+
+    // --- user selection (Scheduler policy; null = FIFO order) ---
+    std::vector<std::size_t> selected;
+    if (params.scheduler) {
+      selected = params.scheduler->select(queue, n_streams, t, &rate_hint);
+    } else {
+      selected = queue.clients_fifo();
+    }
+    picked.clear();
+    std::fill(taken.begin(), taken.end(), 0);
+    for (std::size_t c : selected) {
+      if (picked.size() >= n_streams) break;
+      if (c >= n_clients || taken[c] || queue.front_of(c) == nullptr) continue;
+      taken[c] = 1;
+      picked.push_back(c);
+    }
+    if (picked.empty()) {
+      // A misbehaving policy must not stall a backlogged queue.
+      for (std::size_t c : queue.clients_fifo()) {
+        if (picked.size() >= n_streams) break;
+        picked.push_back(c);
+      }
+    }
+
+    std::vector<AggFrame> frames;
+    frames.reserve(picked.size());
+    std::size_t frame_bytes = 0;  // largest stream incl. delimiters
+    for (std::size_t c : picked) {
+      AggFrame f = queue.pop_aggregate(c, params.agg);
+      if (f.mpdus.empty()) continue;
+      report.aggregated_mpdus += f.mpdus.size() - 1;
+      frame_bytes =
+          std::max(frame_bytes,
+                   f.total_bytes + kMpduDelimiterBytes * f.mpdus.size());
+      frames.push_back(std::move(f));
+    }
+    if (frames.empty()) continue;
+    if (jmb) ++report.joint_transmissions;
+
+    // Worst-client common rate, exactly as the legacy joint path: the
+    // effective channel is k*I, so all streams run one rate.
+    std::vector<LinkState> states;
+    states.reserve(frames.size());
+    std::size_t rate_idx = 0;
+    bool reachable = true;
+    bool first = true;
+    for (const AggFrame& f : frames) {
+      states.push_back(link_state(f.client));
+      const auto r = rate::select_rate(states.back().subcarrier_snr);
+      if (!r) {
+        reachable = false;
+        break;
+      }
+      if (first || *r < rate_idx) rate_idx = *r;
+      first = false;
+    }
+
+    // Unreachable member: the attempt burns base-rate airtime, all fail.
+    const phy::Mcs& mcs = phy::rate_set()[reachable ? rate_idx : 0];
+    const double airtime =
+        jmb ? rate::joint_frame_airtime_s(frame_bytes, mcs, params.airtime)
+            : rate::frame_airtime_s(frame_bytes, mcs,
+                                    params.airtime.sample_rate_hz);
+    t += airtime;
+    report.data_airtime_s += airtime;
+
+    // Losses decoupled per stream; within a stream each MPDU gets its own
+    // delivery draw (block-ACK semantics: an A-MPDU can partially fail).
+    std::vector<Packet> requeue;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      AggFrame& f = frames[i];
+      double served_bytes = 0.0;
+      for (Packet& p : f.mpdus) {
+        const bool ok =
+            reachable &&
+            rng.uniform() >= rate::frame_error_prob(
+                                 states[i].subcarrier_snr, rate_idx, p.bytes);
+        if (ok) {
+          ++report.per_client[p.client].delivered;
+          client_bytes[p.client] += static_cast<double>(p.bytes);
+          served_bytes += static_cast<double>(p.bytes);
+          flows.deliver(p, t);
+          note_delivery(report, params, p, t);
+        } else {
+          ++report.per_client[p.client].failed_attempts;
+          if (p.retries < params.max_retries) {
+            requeue.push_back(p);
+          } else {
+            ++report.per_client[p.client].dropped;
+            flows.drop(p);
+          }
+        }
+      }
+      if (params.scheduler) {
+        params.scheduler->on_served(f.client, served_bytes, airtime);
+      }
+    }
+    if (params.scheduler) params.scheduler->on_slot(airtime);
+    // push_front in reverse batch order keeps each client's failed MPDUs
+    // in their original arrival order at the front of its subqueue.
+    for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
+      queue.push_front(*it);
+    }
+  }
+  flows.fold_into(report, params.duration_s);
+  finalize_traffic(report, params, client_bytes);
+  return report;
+}
+
 }  // namespace
 
 MacReport run_baseline_mac(std::size_t n_clients, const LinkStateFn& link_state,
                            const MacParams& params) {
+  if (params.traffic) {
+    return run_traffic_mac(1, n_clients, 1, link_state, params,
+                           /*jmb=*/false);
+  }
   MacReport report;
   report.per_client.resize(n_clients);
   Rng rng(params.seed);
@@ -143,7 +395,7 @@ MacReport run_baseline_mac(std::size_t n_clients, const LinkStateFn& link_state,
       note_delivery(report, params, *pkt, t);
     } else {
       ++report.per_client[pkt->client].failed_attempts;
-      if (++pkt->retries <= params.max_retries) {
+      if (pkt->retries < params.max_retries) {
         queue.push_front(*pkt);
       } else {
         ++report.per_client[pkt->client].dropped;
@@ -157,6 +409,10 @@ MacReport run_baseline_mac(std::size_t n_clients, const LinkStateFn& link_state,
 MacReport run_jmb_mac(std::size_t n_aps, std::size_t n_clients,
                       std::size_t n_streams, const LinkStateFn& link_state,
                       const MacParams& params) {
+  if (params.traffic) {
+    return run_traffic_mac(n_aps, n_clients, n_streams, link_state, params,
+                           /*jmb=*/true);
+  }
   MacReport report;
   report.per_client.resize(n_clients);
   Rng rng(params.seed);
@@ -229,7 +485,7 @@ MacReport run_jmb_mac(std::size_t n_aps, std::size_t n_clients,
                                        params.airtime);
       for (Packet& p : batch) {
         ++report.per_client[p.client].failed_attempts;
-        if (++p.retries <= params.max_retries) {
+        if (p.retries < params.max_retries) {
           queue.push_front(p);
         } else {
           ++report.per_client[p.client].dropped;
@@ -255,7 +511,7 @@ MacReport run_jmb_mac(std::size_t n_aps, std::size_t n_clients,
         note_delivery(report, params, p, t);
       } else {
         ++report.per_client[p.client].failed_attempts;
-        if (++p.retries <= params.max_retries) {
+        if (p.retries < params.max_retries) {
           queue.push_front(p);
         } else {
           ++report.per_client[p.client].dropped;
@@ -333,7 +589,7 @@ MacReport run_baseline_mac_resilient(std::size_t n_aps, std::size_t n_clients,
       note_delivery(report, params, *pkt, t);
     } else {
       ++report.per_client[pkt->client].failed_attempts;
-      if (++pkt->retries <= params.max_retries) {
+      if (pkt->retries < params.max_retries) {
         queue.push_front(*pkt);
       } else {
         ++report.per_client[pkt->client].dropped;
@@ -502,7 +758,7 @@ MacReport run_jmb_mac_resilient(std::size_t n_aps, std::size_t n_clients,
                                        params.airtime);
       for (Packet& p : batch) {
         ++report.per_client[p.client].failed_attempts;
-        if (++p.retries <= params.max_retries) {
+        if (p.retries < params.max_retries) {
           queue.push_front(p);
         } else {
           ++report.per_client[p.client].dropped;
@@ -528,7 +784,7 @@ MacReport run_jmb_mac_resilient(std::size_t n_aps, std::size_t n_clients,
       } else {
         all_delivered = false;
         ++report.per_client[p.client].failed_attempts;
-        if (++p.retries <= params.max_retries) {
+        if (p.retries < params.max_retries) {
           queue.push_front(p);
         } else {
           ++report.per_client[p.client].dropped;

@@ -13,6 +13,7 @@
 
 #include "dsp/rng.h"
 #include "net/queue.h"
+#include "net/traffic_api.h"
 #include "rate/airtime.h"
 
 namespace jmb::fault {
@@ -66,6 +67,18 @@ struct MacParams {
   /// Record per-frame delivery latency (enqueue -> ACK) samples into
   /// MacReport::frame_latency_s.
   bool record_latency = false;
+
+  // --- traffic-subsystem knobs (defaults keep the legacy path) ---
+  /// Packet arrival process replacing the synthetic saturated fill. Null
+  /// keeps the legacy always-backlogged behaviour, bit-exact. Non-owning;
+  /// must outlive the run and is mutated by it (arrivals are consumed).
+  TrafficSource* traffic = nullptr;
+  /// User-selection policy for traffic-mode runs. Null = FIFO (the exact
+  /// pop_joint order). Non-owning; mutated by per-slot feedback.
+  Scheduler* scheduler = nullptr;
+  /// A-MPDU-style aggregation budget per client per joint transmission.
+  /// The default (1 frame) is the legacy one-packet-per-client MAC.
+  AggLimits agg;
 };
 
 struct ClientStats {
@@ -73,6 +86,22 @@ struct ClientStats {
   std::size_t failed_attempts = 0;
   std::size_t dropped = 0;
   double goodput_mbps = 0.0;
+};
+
+/// Per-flow delivery accounting for traffic-mode runs (one entry per
+/// (client, flow) pair that generated at least one packet, ordered by
+/// client then flow so exports are deterministic).
+struct FlowStats {
+  std::size_t client = 0;
+  std::uint32_t flow = 0;
+  std::size_t delivered = 0;
+  std::size_t dropped = 0;
+  std::size_t deadline_misses = 0;  ///< delivered after Packet::deadline_s
+  std::size_t delivered_bytes = 0;
+  double goodput_mbps = 0.0;       ///< delivered_bytes over the run duration
+  double mean_latency_s = 0.0;     ///< enqueue -> ACK, delivered packets
+  double max_latency_s = 0.0;
+  double jitter_s = 0.0;  ///< stddev of delivery latency
 };
 
 struct MacReport {
@@ -86,6 +115,11 @@ struct MacReport {
   /// Delivery latencies, one sample per delivered frame, in delivery
   /// order (only populated when MacParams::record_latency is set).
   std::vector<double> frame_latency_s;
+  /// Per-flow accounting; only populated when MacParams::traffic is set.
+  std::vector<FlowStats> flows;
+  std::size_t offered_packets = 0;    ///< arrivals drained from the source
+  std::size_t aggregated_mpdus = 0;   ///< packets carried via aggregation
+  double max_queue_depth = 0.0;       ///< peak shared-queue occupancy
 
   // --- resilience accounting (run_*_resilient variants; zero elsewhere) ---
   std::size_t lead_elections = 0;   ///< times the MAC re-elected a lead

@@ -55,4 +55,10 @@ inline constexpr double kQueueDepthBounds[] = {
     0.0,  1.0,  2.0,  3.0,  4.0,   6.0,   8.0,   12.0,  16.0,
     24.0, 32.0, 48.0, 64.0, 96.0,  128.0, 192.0, 256.0, 512.0};
 
+/// Unit-interval quantities (Jain fairness index, delivery ratios);
+/// resolution concentrated near 1.0 where fair schedulers live.
+inline constexpr double kUnitBounds[] = {
+    0.1,  0.2,  0.3,  0.4,  0.5,  0.6,  0.7,   0.75, 0.8,
+    0.85, 0.9,  0.925, 0.95, 0.97, 0.98, 0.99, 0.995, 1.0};
+
 }  // namespace jmb::obs

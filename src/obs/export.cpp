@@ -109,6 +109,30 @@ JsonValue bench_result_doc(const BenchRunInfo& info, const MetricRegistry& reg,
     metro.emplace_back("per_cell_goodput_mbps", std::move(per_cell));
     root.emplace_back("metro", std::move(metro));
   }
+  if (info.has_traffic) {
+    const TrafficSummary& tr = info.traffic;
+    JsonObject traffic;
+    traffic.emplace_back("profile", tr.profile);
+    traffic.emplace_back("policy", tr.policy);
+    traffic.emplace_back("offered_load", tr.offered_load);
+    traffic.emplace_back("users", static_cast<double>(tr.users));
+    traffic.emplace_back("flows", static_cast<double>(tr.flows));
+    traffic.emplace_back("offered_packets",
+                         static_cast<double>(tr.offered_packets));
+    traffic.emplace_back("delivered_packets",
+                         static_cast<double>(tr.delivered_packets));
+    traffic.emplace_back("dropped_packets",
+                         static_cast<double>(tr.dropped_packets));
+    traffic.emplace_back("deadline_misses",
+                         static_cast<double>(tr.deadline_misses));
+    traffic.emplace_back("aggregated_mpdus",
+                         static_cast<double>(tr.aggregated_mpdus));
+    traffic.emplace_back("jain_fairness", tr.jain_fairness);
+    traffic.emplace_back("goodput_mbps", tr.goodput_mbps);
+    traffic.emplace_back("p50_latency_s", tr.p50_latency_s);
+    traffic.emplace_back("p99_latency_s", tr.p99_latency_s);
+    root.emplace_back("traffic", std::move(traffic));
+  }
   JsonArray metrics;
   for (const MetricRegistry::Entry& e : reg.entries()) {
     if (e.cls == MetricClass::kTiming && !include_timing) continue;

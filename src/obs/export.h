@@ -36,6 +36,26 @@ struct MetroSummary {
   std::vector<double> per_cell_goodput_mbps;
 };
 
+/// Traffic-mode run summary for the bench_result "traffic" object: the
+/// headline overload/fairness numbers for one (load, policy) configuration.
+/// Plain data so the exporter stays independent of src/traffic/.
+struct TrafficSummary {
+  std::string profile;        ///< workload mix name ("web", "mixed", ...)
+  std::string policy;         ///< scheduling policy name ("pf", "edf", ...)
+  double offered_load = 0.0;  ///< offered / nominal-capacity ratio
+  std::uint64_t users = 0;
+  std::uint64_t flows = 0;            ///< distinct (client, flow) pairs
+  std::uint64_t offered_packets = 0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t aggregated_mpdus = 0;  ///< packets that rode an A-MPDU
+  double jain_fairness = 0.0;          ///< over per-flow goodput, (0, 1]
+  double goodput_mbps = 0.0;
+  double p50_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+};
+
 struct BenchRunInfo {
   std::string figure;  ///< e.g. "fig09_throughput_scaling"
   std::uint64_t seed = 0;
@@ -67,6 +87,14 @@ struct BenchRunInfo {
   /// pre-metro exports.
   bool has_metro = false;
   MetroSummary metro;
+
+  // --- traffic-mode summary (overload/fairness benches only) ---
+  /// When set, a "traffic" object is emitted (workload mix, scheduling
+  /// policy, fairness and tail-latency headline numbers). Saturated runs
+  /// leave this false so their artifacts stay byte-identical to
+  /// pre-traffic exports.
+  bool has_traffic = false;
+  TrafficSummary traffic;
 };
 
 /// Build the bench_result.v1 document for a merged registry.

@@ -100,6 +100,9 @@ TEST(Queue, PushFrontForRetransmission) {
   q.push({0, 1500, 0, 0.0, 0, 1});
   q.push_front({1, 1500, 0, 0.0, 1, 2});
   EXPECT_EQ(q.head().id, 2u);
+  // The re-queue IS the retry: push_front bumps the count itself, so a
+  // packet that failed once and is re-queued carries retries = 2.
+  EXPECT_EQ(q.head().retries, 2);
 }
 
 TEST(Queue, JointSelectionDistinctClients) {
@@ -153,8 +156,7 @@ TEST(Queue, PushFrontRetryOrderAfterFailedJoint) {
   auto batch = q.pop_joint(3);
   ASSERT_EQ(batch.size(), 3u);
   for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
-    ++it->retries;
-    q.push_front(*it);
+    q.push_front(*it);  // increments retries itself
   }
   // Retries drain before the backlog, in the original batch order.
   const auto again = q.pop_joint(3);

@@ -1,0 +1,369 @@
+// Tests for the traffic subsystem: deterministic flow generators,
+// A-MPDU-style aggregation bounds, the scheduling policies (FIFO / PF /
+// EDF), and the traffic-mode MAC end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "net/mac.h"
+#include "net/queue.h"
+#include "rate/effective_snr.h"
+#include "traffic/flow.h"
+#include "traffic/policy.h"
+
+namespace jmb::traffic {
+namespace {
+
+using net::AggFrame;
+using net::AggLimits;
+using net::DownlinkQueue;
+using net::Packet;
+
+// ---- flow generators ----------------------------------------------------
+
+TEST(Profile, NamedMixesScaleToPerUserRate) {
+  const Profile poisson = make_profile("poisson", 12.0);
+  ASSERT_EQ(poisson.flows.size(), 1u);
+  EXPECT_EQ(poisson.flows[0].kind, FlowKind::kPoisson);
+  EXPECT_NEAR(poisson.flows[0].rate_mbps, 12.0, 1e-12);
+
+  const Profile video = make_profile("video", 6.0);
+  ASSERT_EQ(video.flows.size(), 1u);
+  EXPECT_EQ(video.flows[0].kind, FlowKind::kCbr);
+  EXPECT_GT(video.flows[0].deadline_s, 0.0);
+
+  const Profile mixed = make_profile("mixed", 10.0);
+  ASSERT_EQ(mixed.flows.size(), 2u);
+  double total = 0.0;
+  for (const auto& f : mixed.flows) total += f.rate_mbps;
+  EXPECT_NEAR(total, 10.0, 1e-12);
+
+  EXPECT_THROW(make_profile("voip", 1.0), std::invalid_argument);
+}
+
+// Drain a source completely and return the arrival sequence as
+// comparable tuples (time, user, flow, bytes).
+std::vector<std::tuple<double, std::size_t, std::uint32_t, std::size_t>>
+arrival_sequence(PacketSource& src, double horizon_s) {
+  DownlinkQueue q;
+  src.drain_until(horizon_s, q);
+  std::vector<std::tuple<double, std::size_t, std::uint32_t, std::size_t>> out;
+  while (auto p = q.pop()) {
+    out.emplace_back(p->enqueue_s, p->client, p->flow, p->bytes);
+  }
+  return out;
+}
+
+TEST(PacketSource, SameSeedSameArrivals) {
+  const Profile profile = make_profile("mixed", 8.0);
+  PacketSource a(42, 3, profile, 0.5);
+  PacketSource b(42, 3, profile, 0.5);
+  const auto sa = arrival_sequence(a, 0.5);
+  const auto sb = arrival_sequence(b, 0.5);
+  EXPECT_FALSE(sa.empty());
+  EXPECT_EQ(sa, sb);
+
+  PacketSource c(43, 3, profile, 0.5);
+  EXPECT_NE(sa, arrival_sequence(c, 0.5));
+}
+
+TEST(PacketSource, PerUserStreamsIndependentOfUserCount) {
+  // Flow RNGs are seeded base ^ user ^ (flow << 16), so user u's arrival
+  // process must not change when more users join the cell — that is what
+  // keeps sharded/threaded runs byte-identical.
+  const Profile profile = make_profile("web", 5.0);
+  PacketSource two(7, 2, profile, 0.25);
+  PacketSource three(7, 3, profile, 0.25);
+  auto s2 = arrival_sequence(two, 0.25);
+  auto s3 = arrival_sequence(three, 0.25);
+  // Keep only users 0 and 1 from the 3-user run.
+  std::erase_if(s3, [](const auto& t) { return std::get<1>(t) >= 2; });
+  EXPECT_EQ(s2, s3);
+}
+
+TEST(PacketSource, IncrementalDrainMatchesOneShot) {
+  const Profile profile = make_profile("poisson", 10.0);
+  PacketSource one(9, 2, profile, 0.4);
+  PacketSource many(9, 2, profile, 0.4);
+  const auto whole = arrival_sequence(one, 0.4);
+
+  DownlinkQueue q;
+  for (double t = 0.0; t <= 0.4 + 1e-9; t += 0.01) many.drain_until(t, q);
+  std::vector<std::tuple<double, std::size_t, std::uint32_t, std::size_t>> inc;
+  while (auto p = q.pop()) {
+    inc.emplace_back(p->enqueue_s, p->client, p->flow, p->bytes);
+  }
+  EXPECT_EQ(whole, inc);
+  EXPECT_EQ(many.offered_packets(), whole.size());
+}
+
+TEST(PacketSource, ArrivalsOrderedAndPastDrainPoint) {
+  const Profile profile = make_profile("mixed", 20.0);
+  PacketSource src(11, 4, profile, 0.3);
+  DownlinkQueue q;
+  src.drain_until(0.1, q);
+  double prev = 0.0;
+  while (auto p = q.pop()) {
+    EXPECT_GE(p->enqueue_s, prev);
+    EXPECT_LE(p->enqueue_s, 0.1);
+    prev = p->enqueue_s;
+  }
+  // The next pending arrival is strictly in the future...
+  EXPECT_GT(src.next_arrival_s(), 0.1);
+  // ...and the horizon exhausts the process.
+  src.drain_until(10.0, q);
+  EXPECT_EQ(src.next_arrival_s(), std::numeric_limits<double>::infinity());
+}
+
+TEST(PacketSource, OfferedRateTracksProfile) {
+  // Long-run offered load should land near rate_mbps for every kind.
+  for (const char* name : {"poisson", "web", "video"}) {
+    const double rate = 16.0;
+    PacketSource src(21, 1, make_profile(name, rate), 4.0);
+    DownlinkQueue q;
+    src.drain_until(4.0, q);
+    const double mbps =
+        static_cast<double>(src.offered_bytes()) * 8.0 / 4.0 / 1e6;
+    EXPECT_NEAR(mbps, rate, rate * 0.25) << name;
+  }
+}
+
+// ---- aggregation --------------------------------------------------------
+
+TEST(Aggregation, FrameAndByteBoundsHold) {
+  DownlinkQueue q;
+  for (std::size_t i = 0; i < 8; ++i) {
+    q.push({0, 1500, 0, 0.0, 0, i});
+  }
+  // Frame cap.
+  AggFrame f = q.pop_aggregate(0, AggLimits{3, static_cast<std::size_t>(-1)});
+  ASSERT_EQ(f.mpdus.size(), 3u);
+  EXPECT_EQ(f.total_bytes, 4500u);
+  EXPECT_EQ(f.mpdus[0].id, 0u);  // arrival order preserved
+  EXPECT_EQ(f.mpdus[2].id, 2u);
+  // Byte cap: 4000 bytes fits two 1500 B packets, not three.
+  f = q.pop_aggregate(0, AggLimits{8, 4000});
+  EXPECT_EQ(f.mpdus.size(), 2u);
+  EXPECT_EQ(f.total_bytes, 3000u);
+  // Head always taken, even when it alone exceeds the byte budget.
+  f = q.pop_aggregate(0, AggLimits{8, 100});
+  EXPECT_EQ(f.mpdus.size(), 1u);
+  // Empty subqueue -> empty frame; other clients untouched.
+  EXPECT_EQ(q.backlog(0), 2u);
+  EXPECT_TRUE(q.pop_aggregate(5, AggLimits{4, 8000}).mpdus.empty());
+}
+
+TEST(Aggregation, DefaultLimitsReproduceSinglePacketPop) {
+  DownlinkQueue q;
+  q.push({2, 700, 0, 0.0, 0, 1});
+  q.push({2, 900, 0, 0.0, 0, 2});
+  const AggFrame f = q.pop_aggregate(2, AggLimits{});
+  ASSERT_EQ(f.mpdus.size(), 1u);
+  EXPECT_EQ(f.mpdus[0].id, 1u);
+  EXPECT_EQ(f.total_bytes, 700u);
+}
+
+// ---- scheduling policies ------------------------------------------------
+
+TEST(Policy, FifoMatchesPopJointOrder) {
+  // The FIFO policy must reproduce pop_joint's client order bit-for-bit:
+  // that is what keeps the null-scheduler and FifoScheduler paths
+  // byte-identical. Exercise several rounds over a scrambled queue.
+  Rng rng(5);
+  DownlinkQueue a, b;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const Packet p{static_cast<std::size_t>(rng.uniform_int(0, 7)), 1500, 0,
+                   0.0, 0, i};
+    a.push(p);
+    b.push(p);
+  }
+  FifoScheduler fifo;
+  while (!a.empty()) {
+    const auto picks = fifo.select(b, 4, 0.0, nullptr);
+    const auto batch = a.pop_joint(4);
+    ASSERT_EQ(picks.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(picks[i], batch[i].client);
+      const AggFrame f = b.pop_aggregate(picks[i], AggLimits{});
+      ASSERT_EQ(f.mpdus.size(), 1u);
+      EXPECT_EQ(f.mpdus[0].id, batch[i].id);
+    }
+  }
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Policy, PfConvergesToEqualRatesForSymmetricUsers) {
+  // Two always-backlogged clients with identical achievable rates, one
+  // stream per slot: PF must alternate, giving equal long-run service.
+  DownlinkQueue q;
+  for (std::size_t i = 0; i < 4096; ++i) {
+    q.push({i % 2, 1500, 0, 0.0, 0, i});
+  }
+  PfScheduler pf(0.05);
+  const net::RateHintFn hint = [](std::size_t) { return 24.0; };
+  std::size_t served[2] = {0, 0};
+  const double slot_s = 1e-3;
+  for (int s = 0; s < 1000 && !q.empty(); ++s) {
+    const auto picks = pf.select(q, 1, s * slot_s, &hint);
+    ASSERT_EQ(picks.size(), 1u);
+    const AggFrame f = q.pop_aggregate(picks[0], AggLimits{});
+    ++served[picks[0]];
+    pf.on_served(picks[0], static_cast<double>(f.total_bytes), slot_s);
+    pf.on_slot(slot_s);
+  }
+  EXPECT_NEAR(static_cast<double>(served[0]), static_cast<double>(served[1]),
+              1.0);
+  EXPECT_NEAR(pf.ewma_mbps(0), pf.ewma_mbps(1), 0.25);
+  EXPECT_GT(pf.ewma_mbps(0), 1.0);  // filter actually charged
+}
+
+TEST(Policy, PfPrioritizesStarvedClient) {
+  DownlinkQueue q;
+  q.push({0, 1500, 0, 0.0, 0, 1});
+  q.push({1, 1500, 0, 0.0, 0, 2});
+  PfScheduler pf(0.05);
+  // Serve client 0 heavily without ever serving client 1.
+  for (int s = 0; s < 50; ++s) {
+    pf.on_served(0, 1500.0, 1e-3);
+    pf.on_slot(1e-3);
+  }
+  const auto picks = pf.select(q, 2, 0.05, nullptr);
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0], 1u);  // starved client outranks the well-served one
+  EXPECT_EQ(picks[1], 0u);
+}
+
+TEST(Policy, EdfNeverInvertsReadyDeadlines) {
+  // Head-of-line deadlines scrambled across clients: the selection must
+  // come out in non-decreasing deadline order, deadline-free (0) last,
+  // and ties must keep FIFO order. Randomized rounds to cover shuffles.
+  Rng rng(13);
+  EdfScheduler edf;
+  for (int round = 0; round < 20; ++round) {
+    DownlinkQueue q;
+    const std::size_t n = 8;
+    for (std::size_t c = 0; c < n; ++c) {
+      Packet p{c, 1500, 0, 0.0, 0, c};
+      // ~1 in 4 packets best-effort, the rest with deadlines in [10,110] ms.
+      const int roll = rng.uniform_int(0, 3);
+      p.deadline_s = roll == 0 ? 0.0 : 0.01 + 0.1 * rng.uniform();
+      q.push(p);
+    }
+    const auto picks = edf.select(q, n, 0.0, nullptr);
+    ASSERT_EQ(picks.size(), n);
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    double prev = -1.0;
+    for (const std::size_t c : picks) {
+      const double d = q.front_of(c)->deadline_s;
+      const double eff = d <= 0.0 ? kInf : d;
+      EXPECT_GE(eff, prev);
+      prev = eff;
+    }
+  }
+}
+
+TEST(Policy, FactoryMapsNamesAndRejectsUnknown) {
+  EXPECT_EQ(make_scheduler("fifo")->name(), "fifo");
+  EXPECT_EQ(make_scheduler("pf")->name(), "pf");
+  EXPECT_EQ(make_scheduler("edf")->name(), "edf");
+  EXPECT_THROW(make_scheduler("round-robin"), std::invalid_argument);
+}
+
+// ---- traffic-mode MAC end to end ----------------------------------------
+
+net::LinkStateFn flat_links(double snr_db) {
+  return [snr_db](std::size_t) {
+    return net::LinkState{rvec(phy::kNumDataCarriers, from_db(snr_db))};
+  };
+}
+
+net::MacParams base_traffic_params() {
+  net::MacParams p;
+  p.duration_s = 0.2;
+  p.saturated = false;
+  p.record_latency = true;
+  p.agg = AggLimits{4, 8000};
+  return p;
+}
+
+TEST(TrafficMac, FlowsAccountedAndDeterministic) {
+  const Profile profile = make_profile("mixed", 10.0);
+  const auto run = [&](net::Scheduler* sched) {
+    PacketSource src(99, 4, profile, 0.2);
+    net::MacParams p = base_traffic_params();
+    p.traffic = &src;
+    p.scheduler = sched;
+    return net::run_jmb_mac(4, 4, 4, flat_links(25.0), p);
+  };
+  PfScheduler pf_a, pf_b;
+  const net::MacReport a = run(&pf_a);
+  const net::MacReport b = run(&pf_b);
+
+  EXPECT_FALSE(a.flows.empty());
+  EXPECT_GT(a.offered_packets, 0u);
+  std::size_t delivered = 0, dropped = 0;
+  for (const auto& f : a.flows) {
+    delivered += f.delivered;
+    dropped += f.dropped;
+  }
+  EXPECT_LE(delivered + dropped, a.offered_packets);
+  EXPECT_GT(delivered, 0u);
+  EXPECT_GT(a.aggregated_mpdus, 0u);  // deep arrivals actually aggregate
+  EXPECT_GT(a.total_goodput_mbps, 0.0);
+
+  // Same seed, fresh scheduler state: bit-identical accounting.
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].delivered, b.flows[i].delivered);
+    EXPECT_EQ(a.flows[i].delivered_bytes, b.flows[i].delivered_bytes);
+    EXPECT_EQ(a.flows[i].deadline_misses, b.flows[i].deadline_misses);
+    EXPECT_DOUBLE_EQ(a.flows[i].mean_latency_s, b.flows[i].mean_latency_s);
+  }
+  EXPECT_DOUBLE_EQ(a.total_goodput_mbps, b.total_goodput_mbps);
+}
+
+TEST(TrafficMac, NullSchedulerMatchesFifoPolicy) {
+  // MacParams::scheduler == nullptr is documented as "FIFO"; running the
+  // explicit FifoScheduler must reproduce it exactly.
+  const Profile profile = make_profile("poisson", 12.0);
+  const auto run = [&](net::Scheduler* sched) {
+    PacketSource src(123, 3, profile, 0.2);
+    net::MacParams p = base_traffic_params();
+    p.traffic = &src;
+    p.scheduler = sched;
+    return net::run_jmb_mac(4, 3, 3, flat_links(22.0), p);
+  };
+  FifoScheduler fifo;
+  const net::MacReport implicit = run(nullptr);
+  const net::MacReport explicit_fifo = run(&fifo);
+  ASSERT_EQ(implicit.flows.size(), explicit_fifo.flows.size());
+  for (std::size_t i = 0; i < implicit.flows.size(); ++i) {
+    EXPECT_EQ(implicit.flows[i].delivered, explicit_fifo.flows[i].delivered);
+    EXPECT_EQ(implicit.flows[i].delivered_bytes,
+              explicit_fifo.flows[i].delivered_bytes);
+    EXPECT_DOUBLE_EQ(implicit.flows[i].mean_latency_s,
+                     explicit_fifo.flows[i].mean_latency_s);
+  }
+  EXPECT_DOUBLE_EQ(implicit.total_goodput_mbps,
+                   explicit_fifo.total_goodput_mbps);
+  EXPECT_EQ(implicit.joint_transmissions, explicit_fifo.joint_transmissions);
+}
+
+TEST(TrafficMac, BaselineTrafficModeRuns) {
+  const Profile profile = make_profile("video", 4.0);
+  PacketSource src(55, 2, profile, 0.2);
+  net::MacParams p = base_traffic_params();
+  p.traffic = &src;
+  const net::MacReport r = net::run_baseline_mac(2, flat_links(20.0), p);
+  EXPECT_FALSE(r.flows.empty());
+  EXPECT_EQ(r.joint_transmissions, 0u);
+  std::size_t delivered = 0;
+  for (const auto& f : r.flows) delivered += f.delivered;
+  EXPECT_GT(delivered, 0u);
+}
+
+}  // namespace
+}  // namespace jmb::traffic
