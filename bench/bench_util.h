@@ -113,6 +113,13 @@ struct BenchOptions {
   bool has_traffic = false;
   obs::TrafficSummary traffic;
 
+  // Precoder summary for the bench_result "precoder" object; the CSI
+  // sweep bench calls set_precoder(). Left untouched
+  // (has_precoder == false), the export is byte-identical to a ZF-only
+  // bench's.
+  bool has_precoder = false;
+  obs::PrecoderSummary precoder;
+
   void add_param(std::string name, double value) {
     params.emplace_back(std::move(name), value);
   }
@@ -131,6 +138,10 @@ struct BenchOptions {
   void set_traffic(obs::TrafficSummary summary) {
     has_traffic = true;
     traffic = std::move(summary);
+  }
+  void set_precoder(obs::PrecoderSummary summary) {
+    has_precoder = true;
+    precoder = std::move(summary);
   }
 };
 
@@ -204,6 +215,8 @@ inline int finish(const BenchOptions& opts, const engine::TrialRunner& runner) {
     info.metro = opts.metro;
     info.has_traffic = opts.has_traffic;
     info.traffic = opts.traffic;
+    info.has_precoder = opts.has_precoder;
+    info.precoder = opts.precoder;
     const bool csv = opts.metrics_out.size() >= 4 &&
                      opts.metrics_out.compare(opts.metrics_out.size() - 4, 4,
                                               ".csv") == 0;

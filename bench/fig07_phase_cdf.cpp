@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "engine/env.h"
 #include "engine/system.h"
 #include "engine/trial_runner.h"
 
@@ -26,6 +27,19 @@ int main(int argc, char** argv) {
   opts.add_param("topologies", kTopologies);
   opts.add_param("rounds", kRounds);
 
+  // JMB_PRECODER swaps the weight rule inside the sample-level pipeline;
+  // the default ZF config leaves every export byte-identical.
+  bool precoder_warned = false;
+  core::PrecoderConfig precoder_cfg;
+  precoder_cfg.kind = engine::env_precoder_kind(precoder_warned);
+  if (precoder_cfg.kind == phy::PrecoderKind::kRzf) {
+    precoder_cfg.ridge = core::PrecoderConfig::mmse_ridge(1, 1.0);
+  }
+  if (precoder_cfg.kind != phy::PrecoderKind::kZf) {
+    std::printf("precoder: %s (JMB_PRECODER)\n\n",
+                phy::precoder_kind_name(precoder_cfg.kind));
+  }
+
   // One trial per topology; the facade's pipeline records the real
   // per-stage metrics into the trial's set, and the attached ObsSink
   // collects the phase-sync / precoder / decode physics probes.
@@ -35,6 +49,7 @@ int main(int argc, char** argv) {
         core::SystemParams p;
         p.n_aps = 2;
         p.n_clients = 1;
+        p.precoder = precoder_cfg;
         p.seed = ctx.rng.next_u64();
         // Static testbed (nodes on ledges/tripods): the probe isolates the
         // oscillator-sync error, not channel aging.

@@ -15,6 +15,7 @@
 
 #include "bench_util.h"
 #include "core/link_model.h"
+#include "engine/env.h"
 #include "engine/trial_runner.h"
 #include "linalg/pinv.h"
 #include "net/mac.h"
@@ -29,7 +30,7 @@ struct Point {
 };
 
 Point run_point(std::size_t n, const bench::SnrBand& band, int topologies,
-                engine::TrialContext& ctx) {
+                phy::PrecoderKind kind, engine::TrialContext& ctx) {
   Rng& rng = ctx.rng;
   net::MacParams mac;
   mac.duration_s = 0.1;
@@ -53,7 +54,14 @@ Point run_point(std::size_t n, const bench::SnrBand& band, int topologies,
     }
     {
       const auto timer = ctx.time_stage(engine::kStagePrecode);
-      precoder = core::ZfPrecoder::build(h, 1.0, &ctx.sink);
+      // JMB_PRECODER selects the weight rule; the default ZF config makes
+      // build_kind bitwise-identical to the legacy ZfPrecoder::build.
+      core::PrecoderConfig cfg;
+      cfg.kind = kind;
+      if (kind == phy::PrecoderKind::kRzf) {
+        cfg.ridge = core::PrecoderConfig::mmse_ridge(n, 1.0);
+      }
+      precoder = core::Precoder::build_kind(h, cfg, &ctx.sink);
       if (precoder) {
         ctx.metrics->stage(engine::kStagePrecode)
             .add_condition(condition_number(h.at(0)));
@@ -123,12 +131,19 @@ int main(int argc, char** argv) {
   opts.add_param("topologies_per_point", 12);
   opts.add_param("max_n", kMaxN);
 
+  bool precoder_warned = false;
+  const phy::PrecoderKind kind = engine::env_precoder_kind(precoder_warned);
+  if (kind != phy::PrecoderKind::kZf) {
+    std::printf("precoder: %s (JMB_PRECODER)\n\n",
+                phy::precoder_kind_name(kind));
+  }
+
   engine::TrialRunner runner({.base_seed = seed});
   const std::vector<Point> points =
       runner.run(bands.size() * per_band, [&](engine::TrialContext& ctx) {
         const std::size_t band_idx = ctx.index / per_band;
         const std::size_t n = kMinN + ctx.index % per_band;
-        return run_point(n, bands[band_idx], 12, ctx);
+        return run_point(n, bands[band_idx], 12, kind, ctx);
       });
 
   for (std::size_t b = 0; b < bands.size(); ++b) {

@@ -63,6 +63,7 @@ struct Config {
   const char* profile = "mixed";
   double duration_s = 0.25;
   std::size_t topologies = 2;
+  phy::PrecoderKind precoder = phy::PrecoderKind::kZf;
 };
 
 struct Point {
@@ -136,8 +137,13 @@ Point run_point(double load, const char* policy, const Config& cfg,
   std::vector<std::vector<std::vector<rvec>>> pools(kGroups);
   {
     Rng pool_rng(rng.next_u64());
+    core::PrecoderConfig pcfg;
+    pcfg.kind = cfg.precoder;
+    if (pcfg.kind == phy::PrecoderKind::kRzf) {
+      pcfg.ridge = core::PrecoderConfig::mmse_ridge(kStreams, 1.0);
+    }
     for (std::size_t g = 0; g < kGroups; ++g) {
-      const auto precoder = core::ZfPrecoder::build(h[g], 1.0, &ctx.sink);
+      const auto precoder = core::Precoder::build_kind(h[g], pcfg, &ctx.sink);
       if (!precoder) continue;
       pools[g].reserve(kSinrPool);
       for (std::size_t i = 0; i < kSinrPool; ++i) {
@@ -272,6 +278,12 @@ int main(int argc, char** argv) {
     cfg.loads.push_back(load_knob);
   } else {
     cfg.loads.assign(kLoads, kLoads + kNumLoads);
+  }
+  static bool warn_precoder = false;
+  cfg.precoder = engine::env_precoder_kind(warn_precoder);
+  if (cfg.precoder != phy::PrecoderKind::kZf) {
+    std::printf("precoder: %s (JMB_PRECODER)\n",
+                phy::precoder_kind_name(cfg.precoder));
   }
   if (quick) {
     cfg.duration_s = 0.1;

@@ -45,7 +45,8 @@ if(NOT rc EQUAL 0)
 endif()
 
 # Fail path: corrupt every metric value in the candidate; the physics
-# byte-compare must notice and exit 1 (not 0, and not a usage error).
+# byte-compare must notice and exit 1 (not 0, not a usage error, and not
+# the structural exit 3 — the shape is untouched).
 file(READ "${OUT2}" text)
 string(REGEX REPLACE "\"value\":([0-9])" "\"value\":9\\1" text "${text}")
 file(WRITE "${OUT2}.tampered" "${text}")
@@ -56,4 +57,20 @@ execute_process(
 if(NOT rc EQUAL 1)
   message(FATAL_ERROR
     "tampered comparison exited ${rc}, expected 1: mismatch not detected")
+endif()
+
+# Structural path: a different "figure" header means the artifacts are
+# not the same experiment — exit 3 (regenerate the baseline), distinct
+# from the physics-value exit 1.
+file(READ "${OUT2}" text)
+string(REPLACE "\"figure\":\"" "\"figure\":\"not-" text "${text}")
+file(WRITE "${OUT2}.drifted" "${text}")
+execute_process(
+  COMMAND "${COMPARE}" "${OUT1}" "${OUT2}.drifted"
+  RESULT_VARIABLE rc
+  ERROR_QUIET)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR
+    "drifted comparison exited ${rc}, expected 3: structural drift not "
+    "classified")
 endif()

@@ -44,32 +44,85 @@ double zf_leakage_db(const CMatrix& h, const CMatrix& w) {
 
 }  // namespace
 
-std::optional<ZfPrecoder> ZfPrecoder::build(const ChannelMatrixSet& h,
-                                            double per_antenna_power,
-                                            const obs::ObsSink* obs) {
+std::optional<Precoder> Precoder::build(const ChannelMatrixSet& h,
+                                        double per_antenna_power,
+                                        const obs::ObsSink* obs) {
   PinvScratch scratch;
   return build_impl(h, scratch, per_antenna_power, obs);
 }
 
-std::optional<ZfPrecoder> ZfPrecoder::build(const ChannelMatrixSet& h,
-                                            Workspace& ws,
-                                            double per_antenna_power,
-                                            const obs::ObsSink* obs) {
+std::optional<Precoder> Precoder::build(const ChannelMatrixSet& h,
+                                        Workspace& ws,
+                                        double per_antenna_power,
+                                        const obs::ObsSink* obs) {
   return build_impl(h, ws.pinv, per_antenna_power, obs);
 }
 
-std::optional<ZfPrecoder> ZfPrecoder::build_masked(
+std::optional<Precoder> Precoder::build_kind(const ChannelMatrixSet& h,
+                                             const PrecoderConfig& cfg,
+                                             Workspace& ws,
+                                             const obs::ObsSink* obs) {
+  return build_kind_impl(h, cfg, ws.pinv, obs);
+}
+
+std::optional<Precoder> Precoder::build_kind(const ChannelMatrixSet& h,
+                                             const PrecoderConfig& cfg,
+                                             const obs::ObsSink* obs) {
+  PinvScratch scratch;
+  return build_kind_impl(h, cfg, scratch, obs);
+}
+
+std::optional<Precoder> Precoder::build_kind_impl(const ChannelMatrixSet& h,
+                                                  const PrecoderConfig& cfg,
+                                                  PinvScratch& scratch,
+                                                  const obs::ObsSink* obs) {
+  Precoder p;
+  if (h.n_clients() > h.n_tx()) {
+    // More users than streams: serve the greedy semi-orthogonal subset.
+    std::vector<std::size_t> sel = greedy_select(h, h.n_tx());
+    if (sel.size() < h.n_tx()) {
+      // Could not find n_tx separable users; serve what we found.
+      if (sel.empty()) return std::nullopt;
+    }
+    const ChannelMatrixSet sub = client_subset(h, sel);
+    if (!p.rebuild_kind(sub, cfg, scratch, obs)) return std::nullopt;
+    p.selected_ = std::move(sel);
+    return p;
+  }
+  if (!p.rebuild_kind(h, cfg, scratch, obs)) return std::nullopt;
+  return p;
+}
+
+std::optional<Precoder> Precoder::build_masked(
     const ChannelMatrixSet& h, std::span<const std::uint8_t> active_tx,
     Workspace& ws, double per_antenna_power, const obs::ObsSink* obs) {
+  PrecoderConfig cfg;
+  cfg.per_antenna_power = per_antenna_power;
+  return build_masked_impl(h, cfg, active_tx, ws, obs);
+}
+
+std::optional<Precoder> Precoder::build_masked(
+    const ChannelMatrixSet& h, const PrecoderConfig& cfg,
+    std::span<const std::uint8_t> active_tx, Workspace& ws,
+    const obs::ObsSink* obs) {
+  return build_masked_impl(h, cfg, active_tx, ws, obs);
+}
+
+std::optional<Precoder> Precoder::build_masked_impl(
+    const ChannelMatrixSet& h, const PrecoderConfig& cfg,
+    std::span<const std::uint8_t> active_tx, Workspace& ws,
+    const obs::ObsSink* obs) {
   if (active_tx.size() != h.n_tx()) {
-    throw std::invalid_argument("ZfPrecoder::build_masked: mask size mismatch");
+    throw std::invalid_argument("Precoder::build_masked: mask size mismatch");
   }
   std::size_t n_active = 0;
   for (const std::uint8_t a : active_tx) n_active += (a != 0) ? 1 : 0;
   if (n_active == h.n_tx()) {
     // Full set active: take the ordinary path so results stay bitwise
     // identical to build() (no reduce/expand round trip).
-    return build_impl(h, ws.pinv, per_antenna_power, obs);
+    Precoder full;
+    if (!full.rebuild_kind(h, cfg, ws.pinv, obs)) return std::nullopt;
+    return full;
   }
   if (n_active < h.n_clients()) return std::nullopt;
 
@@ -84,14 +137,14 @@ std::optional<ZfPrecoder> ZfPrecoder::build_masked(
       }
     }
   }
-  std::optional<ZfPrecoder> small =
-      build_impl(reduced, ws.pinv, per_antenna_power, obs);
-  if (!small) return std::nullopt;
+  Precoder small;
+  if (!small.rebuild_kind(reduced, cfg, ws.pinv, obs)) return std::nullopt;
 
   // Re-expand to full n_tx rows: excluded APs transmit exactly zero, so
   // synthesis can keep indexing weights by absolute AP id.
-  ZfPrecoder p;
-  p.scale_ = small->scale_;
+  Precoder p;
+  p.scale_ = small.scale_;
+  p.kind_ = small.kind_;
   p.w_.resize(h.n_subcarriers());
   for (std::size_t k = 0; k < h.n_subcarriers(); ++k) {
     CMatrix& w = p.w_[k];
@@ -100,7 +153,7 @@ std::optional<ZfPrecoder> ZfPrecoder::build_masked(
     for (std::size_t i = 0; i < h.n_tx(); ++i) {
       if (active_tx[i] == 0) continue;
       for (std::size_t c = 0; c < h.n_clients(); ++c) {
-        w(i, c) = small->w_[k](j, c);
+        w(i, c) = small.w_[k](j, c);
       }
       ++j;
     }
@@ -109,7 +162,7 @@ std::optional<ZfPrecoder> ZfPrecoder::build_masked(
   return p;
 }
 
-void ZfPrecoder::pack() {
+void Precoder::pack() {
   const std::size_t n_sc = w_.size();
   const std::size_t nt = n_tx();
   const std::size_t ns = n_streams();
@@ -122,21 +175,42 @@ void ZfPrecoder::pack() {
   }
 }
 
-std::optional<ZfPrecoder> ZfPrecoder::build_impl(const ChannelMatrixSet& h,
-                                                 PinvScratch& scratch,
-                                                 double per_antenna_power,
-                                                 const obs::ObsSink* obs) {
+std::optional<Precoder> Precoder::build_impl(const ChannelMatrixSet& h,
+                                             PinvScratch& scratch,
+                                             double per_antenna_power,
+                                             const obs::ObsSink* obs) {
+  PrecoderConfig cfg;
+  cfg.per_antenna_power = per_antenna_power;
+  Precoder p;
+  if (!p.rebuild_kind(h, cfg, scratch, obs)) return std::nullopt;
+  return p;
+}
+
+bool Precoder::rebuild_kind(const ChannelMatrixSet& h,
+                            const PrecoderConfig& cfg, PinvScratch& scratch,
+                            const obs::ObsSink* obs) {
   if (h.n_subcarriers() == 0 || h.n_clients() == 0 || h.n_tx() == 0) {
-    throw std::invalid_argument("ZfPrecoder: empty channel set");
+    throw std::invalid_argument("Precoder: empty channel set");
   }
   if (h.n_tx() < h.n_clients()) {
     throw std::invalid_argument(
-        "ZfPrecoder: need at least as many AP antennas as clients");
+        "Precoder: need at least as many AP antennas as clients");
   }
-  ZfPrecoder p;
-  p.w_.resize(h.n_subcarriers());
+  kind_ = cfg.kind;
+  selected_.clear();
+  w_.resize(h.n_subcarriers());
   for (std::size_t k = 0; k < h.n_subcarriers(); ++k) {
-    if (!pinv_into(h.at(k), 0.0, scratch, p.w_[k])) return std::nullopt;
+    switch (cfg.kind) {
+      case phy::PrecoderKind::kZf:
+        if (!pinv_into(h.at(k), 0.0, scratch, w_[k])) return false;
+        break;
+      case phy::PrecoderKind::kRzf:
+        if (!pinv_into(h.at(k), cfg.ridge, scratch, w_[k])) return false;
+        break;
+      case phy::PrecoderKind::kConj:
+        hermitian_into(h.at(k), w_[k]);
+        break;
+    }
   }
   // One global scale: with unit-power stream symbols, AP antenna i spends
   // mean_k row_power(W_k, i) per subcarrier. Scale so the hungriest
@@ -144,14 +218,14 @@ std::optional<ZfPrecoder> ZfPrecoder::build_impl(const ChannelMatrixSet& h,
   double worst = 0.0;
   for (std::size_t i = 0; i < h.n_tx(); ++i) {
     double mean_row = 0.0;
-    for (const CMatrix& w : p.w_) mean_row += w.row_power(i);
-    mean_row /= static_cast<double>(p.w_.size());
+    for (const CMatrix& w : w_) mean_row += w.row_power(i);
+    mean_row /= static_cast<double>(w_.size());
     worst = std::max(worst, mean_row);
   }
-  if (worst <= 0.0) return std::nullopt;
-  p.scale_ = std::sqrt(per_antenna_power / worst);
-  for (CMatrix& w : p.w_) w *= cplx{p.scale_, 0.0};
-  p.pack();
+  if (worst <= 0.0) return false;
+  scale_ = std::sqrt(cfg.per_antenna_power / worst);
+  for (CMatrix& w : w_) w *= cplx{scale_, 0.0};
+  pack();
 
   if (obs) {
     // Probe a handful of strided subcarriers — cheap relative to the
@@ -159,15 +233,106 @@ std::optional<ZfPrecoder> ZfPrecoder::build_impl(const ChannelMatrixSet& h,
     constexpr std::size_t kMaxProbes = 8;
     const std::size_t stride =
         std::max<std::size_t>(1, h.n_subcarriers() / kMaxProbes);
+    const char* const leakage_metric = cfg.kind == phy::PrecoderKind::kZf
+                                           ? "precoder/zf_leakage_db"
+                                           : "precoder/leakage_db";
     for (std::size_t k = 0; k < h.n_subcarriers(); k += stride) {
       obs->observe("precoder/cond", obs::kCondBounds,
                    channel_condition(h.at(k)));
-      obs->observe("precoder/zf_leakage_db", obs::kDbBounds,
-                   zf_leakage_db(h.at(k), p.w_[k]));
+      obs->observe(leakage_metric, obs::kDbBounds,
+                   zf_leakage_db(h.at(k), w_[k]));
     }
     obs->count("precoder/builds");
   }
-  return p;
+  return true;
+}
+
+std::vector<std::size_t> Precoder::greedy_select(const ChannelMatrixSet& h,
+                                                 std::size_t max_streams) {
+  const std::size_t n_users = h.n_clients();
+  const std::size_t want = std::min(max_streams, n_users);
+  if (want == 0 || h.n_subcarriers() == 0) return {};
+
+  // Wideband user signatures live in the concatenated space of a few
+  // strided probe subcarriers' channel rows; all the norms and inner
+  // products the greedy pass needs are captured by the K x K Gram matrix,
+  // so the Gram-Schmidt runs in "kernel" form on G alone.
+  constexpr std::size_t kMaxProbes = 8;
+  const std::size_t stride =
+      std::max<std::size_t>(1, h.n_subcarriers() / kMaxProbes);
+  std::vector<cplx> gram(n_users * n_users);
+  for (std::size_t k = 0; k < h.n_subcarriers(); k += stride) {
+    const CMatrix& hk = h.at(k);
+    for (std::size_t u = 0; u < n_users; ++u) {
+      for (std::size_t v = 0; v < n_users; ++v) {
+        gram[u * n_users + v] += row_hdot(hk, u, hk, v);
+      }
+    }
+  }
+
+  std::vector<double> resid(n_users);       // squared residual norms
+  std::vector<cplx> coef(n_users * want);   // coef[u][i] = <q_i, g_u>
+  std::vector<char> taken(n_users, 0);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    resid[u] = gram[u * n_users + u].real();
+  }
+
+  std::vector<std::size_t> sel;
+  sel.reserve(want);
+  while (sel.size() < want) {
+    // Strict > with ascending scan: ties break to the lower client index.
+    std::size_t best = n_users;
+    double best_r2 = 0.0;
+    for (std::size_t u = 0; u < n_users; ++u) {
+      if (taken[u] == 0 && resid[u] > best_r2) {
+        best = u;
+        best_r2 = resid[u];
+      }
+    }
+    if (best == n_users) break;
+    // Skip users numerically inside the selected span — a ZF solve on
+    // them would be rank deficient anyway.
+    if (best_r2 <= 1e-12 * gram[best * n_users + best].real()) break;
+    const std::size_t step = sel.size();
+    sel.push_back(best);
+    taken[best] = 1;
+    if (sel.size() == want) break;
+    // New orthonormal direction q_step = resid(g_best) / |resid(g_best)|;
+    // fold its coefficient into every user and shrink their residuals.
+    const double rnorm = std::sqrt(best_r2);
+    for (std::size_t u = 0; u < n_users; ++u) {
+      cplx c = gram[best * n_users + u];
+      for (std::size_t i = 0; i < step; ++i) {
+        c -= std::conj(coef[best * want + i]) * coef[u * want + i];
+      }
+      c /= rnorm;
+      coef[u * want + step] = c;
+      resid[u] = std::max(0.0, resid[u] - std::norm(c));
+    }
+  }
+  std::sort(sel.begin(), sel.end());
+  return sel;
+}
+
+ChannelMatrixSet client_subset(const ChannelMatrixSet& h,
+                               std::span<const std::size_t> users) {
+  if (users.empty()) {
+    throw std::invalid_argument("client_subset: empty selection");
+  }
+  ChannelMatrixSet sub(users.size(), h.n_tx());
+  for (std::size_t k = 0; k < h.n_subcarriers(); ++k) {
+    const CMatrix& full = h.at(k);
+    CMatrix& r = sub.at(k);
+    for (std::size_t c = 0; c < users.size(); ++c) {
+      if (users[c] >= h.n_clients()) {
+        throw std::invalid_argument("client_subset: user index out of range");
+      }
+      for (std::size_t i = 0; i < h.n_tx(); ++i) {
+        r(c, i) = full(users[c], i);
+      }
+    }
+  }
+  return sub;
 }
 
 MrtPrecoder MrtPrecoder::build(const std::vector<cvec>& h_per_sc,

@@ -5,6 +5,22 @@
 // need to normalize H^{-1} to respect power constraints"). The effective
 // channel every client sees is scale * I.
 //
+// The precoder zoo (ROADMAP item 2) generalizes the same build/apply
+// interface across three weight rules selected by phy::PrecoderKind:
+//
+//   kZf   W_k = pinv(H_k)            — the paper's choice; bit-identical
+//                                      to the original ZfPrecoder path.
+//   kRzf  W_k = H^H (H H^H + a I)^-1 — regularized ZF; with the ridge `a`
+//                                      matched to noise + CSI-error power
+//                                      this is the MMSE transmit filter.
+//   kConj W_k = H_k^H                — conjugate beamforming, the
+//                                      multi-stream generalization of the
+//                                      Section 8 diversity mode.
+//
+// All kinds share the single global power scale and the packed SoA layout,
+// so synthesis, link evaluation, and the SIMD apply kernels are oblivious
+// to which rule built the weights.
+//
 // Diversity: distributed maximum-ratio transmission to one client,
 // w_i = h_i* / |h_i| per AP — SNR grows ~ N^2 with coherent combining.
 #pragma once
@@ -15,6 +31,7 @@
 
 #include "core/types.h"
 #include "obs/sink.h"
+#include "phy/precoding.h"
 #include "simd/aligned.h"
 
 namespace jmb {
@@ -24,37 +41,106 @@ class Workspace;
 
 namespace jmb::core {
 
-/// Zero-forcing precoder across all used subcarriers.
-class ZfPrecoder {
+/// How to build the weights. Default-constructed = the legacy ZF path.
+struct PrecoderConfig {
+  phy::PrecoderKind kind = phy::PrecoderKind::kZf;
+  /// Each AP antenna's average transmit power budget per subcarrier.
+  double per_antenna_power = 1.0;
+  /// Tikhonov ridge for kRzf (ignored by the other kinds).
+  double ridge = 0.0;
+
+  /// The MMSE-matched ridge: n_streams * effective_noise / power, where
+  /// effective_noise should include receiver noise plus the residual
+  /// CSI-error power (phy::csi_error_power) times the mean link power.
+  [[nodiscard]] static double mmse_ridge(std::size_t n_streams,
+                                         double effective_noise,
+                                         double per_antenna_power = 1.0) {
+    return static_cast<double>(n_streams) * effective_noise /
+           per_antenna_power;
+  }
+};
+
+/// Precoder across all used subcarriers (zoo of weight rules; see above).
+class Precoder {
  public:
   /// Build from the measured channel set. `per_antenna_power` is each AP
   /// antenna's average transmit power budget per subcarrier. Returns
   /// nullopt if any subcarrier's channel is (numerically) rank deficient.
   /// A non-null `obs` receives conditioning and zero-forcing-leakage
   /// distributions sampled over a few strided subcarriers.
-  [[nodiscard]] static std::optional<ZfPrecoder> build(
+  [[nodiscard]] static std::optional<Precoder> build(
       const ChannelMatrixSet& h, double per_antenna_power = 1.0,
       const obs::ObsSink* obs = nullptr);
 
   /// Workspace-backed build: the per-subcarrier pseudo-inverses run through
   /// `ws.pinv` scratch, so a warm workspace makes the build allocation-free
   /// apart from first-time growth of `w_`. Bitwise-identical to build().
-  [[nodiscard]] static std::optional<ZfPrecoder> build(
+  [[nodiscard]] static std::optional<Precoder> build(
       const ChannelMatrixSet& h, Workspace& ws, double per_antenna_power = 1.0,
       const obs::ObsSink* obs = nullptr);
 
-  /// Resilience build: zero-force from the *reduced* H formed by the
+  /// Zoo entry point: build weights for `cfg.kind`. When the channel has
+  /// more clients than AP antennas the spatially most separable n_tx users
+  /// are greedy-selected first (see greedy_select); selected_users() then
+  /// reports who made the cut. With cfg.kind == kZf and n_clients <= n_tx
+  /// this is bitwise-identical to build().
+  [[nodiscard]] static std::optional<Precoder> build_kind(
+      const ChannelMatrixSet& h, const PrecoderConfig& cfg, Workspace& ws,
+      const obs::ObsSink* obs = nullptr);
+
+  /// build_kind with its own scratch (the non-workspace twin of build()).
+  [[nodiscard]] static std::optional<Precoder> build_kind(
+      const ChannelMatrixSet& h, const PrecoderConfig& cfg,
+      const obs::ObsSink* obs = nullptr);
+
+  /// Resilience build: derive weights from the *reduced* H formed by the
   /// transmit antennas with a nonzero entry in `active_tx` (1 per AP), the
   /// re-derivation a quarantine triggers. Weight matrices keep full n_tx
   /// rows — excluded APs get zero rows — so downstream synthesis indexing
   /// is unchanged. Requires active count >= n_clients; with every antenna
   /// active this is bitwise-identical to build().
-  [[nodiscard]] static std::optional<ZfPrecoder> build_masked(
+  [[nodiscard]] static std::optional<Precoder> build_masked(
       const ChannelMatrixSet& h, std::span<const std::uint8_t> active_tx,
       Workspace& ws, double per_antenna_power = 1.0,
       const obs::ObsSink* obs = nullptr);
 
-  /// W for one used subcarrier (n_tx x n_clients), scale included.
+  /// build_masked for any precoder kind.
+  [[nodiscard]] static std::optional<Precoder> build_masked(
+      const ChannelMatrixSet& h, const PrecoderConfig& cfg,
+      std::span<const std::uint8_t> active_tx, Workspace& ws,
+      const obs::ObsSink* obs = nullptr);
+
+  /// In-place rebuild reusing this object's weight/packed capacity: after
+  /// the first build of a given shape, rebuilding every coherence interval
+  /// allocates nothing (pass obs == nullptr; the conditioning probes
+  /// allocate). Values are bitwise-identical to a fresh build_kind() with
+  /// the same inputs. Returns false on a rank-deficient channel, in which
+  /// case the previous weights are no longer valid. Requires
+  /// n_clients <= n_tx (no user selection on this path).
+  [[nodiscard]] bool rebuild_kind(const ChannelMatrixSet& h,
+                                  const PrecoderConfig& cfg,
+                                  PinvScratch& scratch,
+                                  const obs::ObsSink* obs = nullptr);
+
+  /// Deterministic greedy user selection (semi-orthogonal style): seed
+  /// with the strongest wideband user signature, then repeatedly add the
+  /// user with the largest channel component orthogonal to the span of
+  /// those already picked. Ties break to the lower client index; users
+  /// whose residual is numerically inside the span are skipped. Returns
+  /// at most max_streams client indices in ascending order.
+  [[nodiscard]] static std::vector<std::size_t> greedy_select(
+      const ChannelMatrixSet& h, std::size_t max_streams);
+
+  /// Which weight rule built the current weights.
+  [[nodiscard]] phy::PrecoderKind kind() const { return kind_; }
+
+  /// Client indices serving the current streams when build_kind() had to
+  /// down-select (K > n_tx); empty means every client is served in order.
+  [[nodiscard]] std::span<const std::size_t> selected_users() const {
+    return selected_;
+  }
+
+  /// W for one used subcarrier (n_tx x n_streams), scale included.
   [[nodiscard]] const CMatrix& weights(std::size_t used_idx) const {
     return w_[used_idx];
   }
@@ -76,6 +162,8 @@ class ZfPrecoder {
   /// Predicted post-beamforming SNR (linear) at every client for a given
   /// noise power — scale^2 / noise, identical across clients by design
   /// ("each client in a MegaMIMO joint transmission gets the same rate").
+  /// Exact for kZf; for kRzf/kConj the residual leakage makes this the
+  /// interference-free upper bound.
   [[nodiscard]] double predicted_snr(double noise_power) const {
     return scale_ * scale_ / noise_power;
   }
@@ -103,18 +191,40 @@ class ZfPrecoder {
   }
 
  private:
-  /// Single implementation behind both build() overloads.
-  [[nodiscard]] static std::optional<ZfPrecoder> build_impl(
+  /// Single implementation behind both legacy build() overloads.
+  [[nodiscard]] static std::optional<Precoder> build_impl(
       const ChannelMatrixSet& h, PinvScratch& scratch,
       double per_antenna_power, const obs::ObsSink* obs);
+
+  /// Single implementation behind both build_kind() overloads.
+  [[nodiscard]] static std::optional<Precoder> build_kind_impl(
+      const ChannelMatrixSet& h, const PrecoderConfig& cfg,
+      PinvScratch& scratch, const obs::ObsSink* obs);
+
+  /// Shared reduce/expand masked build for any kind.
+  [[nodiscard]] static std::optional<Precoder> build_masked_impl(
+      const ChannelMatrixSet& h, const PrecoderConfig& cfg,
+      std::span<const std::uint8_t> active_tx, Workspace& ws,
+      const obs::ObsSink* obs);
 
   /// Re-fill packed_ from w_ (call whenever w_ changes).
   void pack();
 
   std::vector<CMatrix> w_;
   simd::acvec packed_;  ///< SoA copy behind weight_row()
+  std::vector<std::size_t> selected_;
   double scale_ = 0.0;
+  phy::PrecoderKind kind_ = phy::PrecoderKind::kZf;
 };
+
+/// Original name of the ZF-only precoder; every legacy call site keeps
+/// compiling (and the ZF build path stays byte-for-byte the same code).
+using ZfPrecoder = Precoder;
+
+/// Reduced channel set keeping only the given client rows (ascending
+/// caller-chosen order) — the companion of Precoder::greedy_select.
+[[nodiscard]] ChannelMatrixSet client_subset(
+    const ChannelMatrixSet& h, std::span<const std::size_t> users);
 
 /// Distributed MRT weights for a single client: w_k[i] =
 /// conj(h_k[i]) / max_i(rms |h[i]|), normalized so each AP antenna

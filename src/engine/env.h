@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "phy/precoding.h"
+
 namespace jmb::engine {
 
 /// Strict decimal parse: digits only, no leading whitespace or sign
@@ -112,6 +114,15 @@ inline const char* env_choice(const char* name, const char* const* allowed,
     std::fprintf(stderr, "); using %s\n", fallback);
   }
   return fallback;
+}
+
+/// Read the JMB_PRECODER knob ("zf", "rzf", "mmse", "conj"; "mmse" is an
+/// alias for "rzf"). Unset -> kZf; any other spelling falls back to kZf
+/// with a once-per-flag warning, same contract as env_choice.
+inline phy::PrecoderKind env_precoder_kind(bool& warned) {
+  const char* const choice =
+      env_choice("JMB_PRECODER", phy::kPrecoderKindNames, "zf", warned);
+  return *phy::parse_precoder_kind(choice);
 }
 
 }  // namespace jmb::engine

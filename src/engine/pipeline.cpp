@@ -274,12 +274,20 @@ void PrecodeStage::run(StageContext& stage_ctx) {
     sys.resilience->on_remeasure(sys.now);
   }
   if (sys.resilience && sys.resilience->any_quarantined()) {
-    // Shrink the joint transmission to the surviving set: zero-force from
-    // the reduced H so quarantined APs carry exactly zero weight.
-    sys.precoder = core::ZfPrecoder::build_masked(
-        sys.h, sys.resilience->active(), sys.ws, 1.0, sys.obs);
+    // Shrink the joint transmission to the surviving set: derive weights
+    // from the reduced H so quarantined APs carry exactly zero weight.
+    sys.precoder = core::Precoder::build_masked(
+        sys.h, sys.params.precoder, sys.resilience->active(), sys.ws,
+        sys.obs);
   } else {
-    sys.precoder = core::ZfPrecoder::build(sys.h, sys.ws, 1.0, sys.obs);
+    // Rebuild in place: after the first epoch the weight matrices and the
+    // packed SoA view reuse their capacity, keeping the per-coherence
+    // rebuild allocation-free (values bitwise-identical to a fresh build).
+    if (!sys.precoder) sys.precoder.emplace();
+    if (!sys.precoder->rebuild_kind(sys.h, sys.params.precoder, sys.ws.pinv,
+                                    sys.obs)) {
+      sys.precoder.reset();
+    }
   }
   if (sys.metrics && sys.precoder) {
     sys.metrics->stage(kStagePrecode).add_condition(

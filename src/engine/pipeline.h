@@ -82,6 +82,12 @@ struct SystemParams {
   /// MIMO without phase synchronization" strawman.
   bool disable_slave_correction = false;
 
+  /// Which precoder PrecodeStage builds each measurement epoch. The
+  /// default (kZf, ridge 0) is bitwise-identical to the original
+  /// ZF-only pipeline; see engine::env_precoder_kind for the JMB_PRECODER
+  /// knob benches feed through here.
+  PrecoderConfig precoder{};
+
   std::uint64_t seed = 1;
 };
 

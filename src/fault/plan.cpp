@@ -237,4 +237,16 @@ FaultPlan FaultPlan::random_crashes(double rate_hz, double duration_s,
   return FaultPlan(std::move(events), seed);
 }
 
+FaultPlan FaultPlan::periodic_stale(double first_s, double period_s,
+                                    double stale_s, double duration_s,
+                                    std::uint64_t seed) {
+  std::vector<FaultEvent> events;
+  if (period_s > 0.0 && stale_s > 0.0) {
+    for (double t = first_s; t < duration_s; t += period_s) {
+      events.push_back({FaultKind::kStaleChannel, t, 0, stale_s, 0.0, 1.0});
+    }
+  }
+  return FaultPlan(std::move(events), seed);
+}
+
 }  // namespace jmb::fault

@@ -102,6 +102,17 @@ class FaultPlan {
                                                 double outage_s,
                                                 std::uint64_t seed);
 
+  /// Recurring stale-CSI windows: starting at `first_s`, a kStaleChannel
+  /// window of `stale_s` seconds opens every `period_s` until
+  /// `duration_s`. The distribution system re-delivers the previous H
+  /// snapshot inside each window, so every precoder ages by a known
+  /// amount — the fault-side twin of phy::CsiImpairment::staleness.
+  [[nodiscard]] static FaultPlan periodic_stale(double first_s,
+                                               double period_s,
+                                               double stale_s,
+                                               double duration_s,
+                                               std::uint64_t seed = 1);
+
  private:
   std::vector<FaultEvent> events_;
   std::uint64_t seed_ = 1;

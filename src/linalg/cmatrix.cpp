@@ -232,6 +232,18 @@ void hermitian_into(const CMatrix& a, CMatrix& out) {
                                    reinterpret_cast<double*>(&out(0, 0)));
 }
 
+cplx row_hdot(const CMatrix& a, std::size_t ra, const CMatrix& b,
+              std::size_t rb) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("row_hdot: column count mismatch");
+  }
+  cplx acc{};
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    acc += std::conj(a(ra, c)) * b(rb, c);
+  }
+  return acc;
+}
+
 std::string CMatrix::str() const {
   std::ostringstream os;
   for (std::size_t r = 0; r < rows_; ++r) {

@@ -120,4 +120,9 @@ void multiply_into(const CMatrix& a, std::span<const cplx> v,
 /// out = a^H into a preallocated matrix. `out` must not alias `a`.
 void hermitian_into(const CMatrix& a, CMatrix& out);
 
+/// Hermitian inner product of row `ra` of `a` with row `rb` of `b`:
+/// sum_c conj(a(ra, c)) * b(rb, c). Column counts must match.
+[[nodiscard]] cplx row_hdot(const CMatrix& a, std::size_t ra, const CMatrix& b,
+                            std::size_t rb);
+
 }  // namespace jmb

@@ -206,6 +206,7 @@ MacReport run_traffic_mac(std::size_t n_aps, std::size_t n_clients,
         report.measurement_airtime_s += meas;
         ++report.measurement_epochs;
         next_measurement = t + params.coherence_time_s;
+        if (params.on_measure) params.on_measure(report.measurement_epochs, t);
         continue;
       }
     }
@@ -438,6 +439,7 @@ MacReport run_jmb_mac(std::size_t n_aps, std::size_t n_clients,
       report.measurement_airtime_s += meas;
       ++report.measurement_epochs;
       next_measurement = t + params.coherence_time_s;
+      if (params.on_measure) params.on_measure(report.measurement_epochs, t);
       continue;
     }
     if (params.saturated) {
@@ -646,6 +648,7 @@ MacReport run_jmb_mac_resilient(std::size_t n_aps, std::size_t n_clients,
       report.measurement_airtime_s += meas;
       ++report.measurement_epochs;
       next_measurement = t + params.coherence_time_s;
+      if (params.on_measure) params.on_measure(report.measurement_epochs, t);
       if (resilience) resilience->on_remeasure(t);
       continue;
     }

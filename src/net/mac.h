@@ -79,6 +79,14 @@ struct MacParams {
   /// A-MPDU-style aggregation budget per client per joint transmission.
   /// The default (1 frame) is the legacy one-packet-per-client MAC.
   AggLimits agg;
+
+  // --- precoder/CSI knobs (defaults keep the legacy path) ---
+  /// Called at every measurement epoch (regular cadence and forced
+  /// remeasures alike) with the running epoch count and the virtual time,
+  /// right as the fresh snapshot lands. The CSI-impairment sweeps use it
+  /// to reset channel staleness in step with the MAC's own coherence
+  /// cadence. Null = legacy behaviour, bit-exact.
+  std::function<void(std::size_t epoch, double t)> on_measure;
 };
 
 struct ClientStats {

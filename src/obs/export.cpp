@@ -133,6 +133,20 @@ JsonValue bench_result_doc(const BenchRunInfo& info, const MetricRegistry& reg,
     traffic.emplace_back("p99_latency_s", tr.p99_latency_s);
     root.emplace_back("traffic", std::move(traffic));
   }
+  if (info.has_precoder) {
+    const PrecoderSummary& pc = info.precoder;
+    JsonObject precoder;
+    precoder.emplace_back("headline_kind", pc.headline_kind);
+    precoder.emplace_back("staleness", pc.staleness);
+    precoder.emplace_back("feedback_bits",
+                          static_cast<double>(pc.feedback_bits));
+    precoder.emplace_back("zf_goodput_mbps", pc.zf_goodput_mbps);
+    precoder.emplace_back("rzf_goodput_mbps", pc.rzf_goodput_mbps);
+    precoder.emplace_back("conj_goodput_mbps", pc.conj_goodput_mbps);
+    precoder.emplace_back("rzf_over_zf", pc.rzf_over_zf);
+    precoder.emplace_back("mean_condition", pc.mean_condition);
+    root.emplace_back("precoder", std::move(precoder));
+  }
   JsonArray metrics;
   for (const MetricRegistry::Entry& e : reg.entries()) {
     if (e.cls == MetricClass::kTiming && !include_timing) continue;

@@ -56,6 +56,21 @@ struct TrafficSummary {
   double p99_latency_s = 0.0;
 };
 
+/// Precoder-zoo run summary for the bench_result "precoder" object: the
+/// headline CSI-robustness comparison at one impairment point. Plain data
+/// so the exporter stays independent of core/precoder.h.
+struct PrecoderSummary {
+  std::string headline_kind;  ///< best goodput at the headline CSI point
+  double staleness = 0.0;     ///< headline point: CSI age, coherence intervals
+  std::uint64_t feedback_bits = 0;  ///< headline point: bits/component, 0=full
+  double zf_goodput_mbps = 0.0;
+  double rzf_goodput_mbps = 0.0;
+  double conj_goodput_mbps = 0.0;
+  /// rzf over zf goodput at the headline point — the MMSE robustness win.
+  double rzf_over_zf = 0.0;
+  double mean_condition = 0.0;  ///< mean channel 2-norm condition, all trials
+};
+
 struct BenchRunInfo {
   std::string figure;  ///< e.g. "fig09_throughput_scaling"
   std::uint64_t seed = 0;
@@ -95,6 +110,13 @@ struct BenchRunInfo {
   /// pre-traffic exports.
   bool has_traffic = false;
   TrafficSummary traffic;
+
+  // --- precoder-zoo summary (CSI-robustness benches only) ---
+  /// When set, a "precoder" object is emitted (headline CSI point, per-kind
+  /// goodput, rzf/zf robustness ratio). ZF-only runs leave this false so
+  /// their artifacts stay byte-identical to pre-zoo exports.
+  bool has_precoder = false;
+  PrecoderSummary precoder;
 };
 
 /// Build the bench_result.v1 document for a merged registry.

@@ -1,0 +1,87 @@
+#include "phy/precoding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace jmb::phy {
+
+const char* precoder_kind_name(PrecoderKind kind) {
+  switch (kind) {
+    case PrecoderKind::kZf: return "zf";
+    case PrecoderKind::kRzf: return "rzf";
+    default: return "conj";
+  }
+}
+
+std::optional<PrecoderKind> parse_precoder_kind(std::string_view text) {
+  if (text == "zf") return PrecoderKind::kZf;
+  if (text == "rzf" || text == "mmse") return PrecoderKind::kRzf;
+  if (text == "conj") return PrecoderKind::kConj;
+  return std::nullopt;
+}
+
+double CsiImpairment::correlation() const {
+  if (staleness <= 0.0) return 1.0;
+  return std::exp2(-staleness);
+}
+
+void age_csi(CMatrix& h, double rho, Rng& rng) {
+  if (rho >= 1.0) return;
+  if (rho < 0.0) {
+    throw std::invalid_argument("age_csi: correlation must be in [0, 1]");
+  }
+  const double innov = std::sqrt(1.0 - rho * rho);
+  for (std::size_t r = 0; r < h.rows(); ++r) {
+    for (std::size_t c = 0; c < h.cols(); ++c) {
+      cplx& v = h(r, c);
+      // Innovation power matched to the entry's own power: the link
+      // budget (mean |h|^2) is preserved while the realization drifts.
+      const cplx e = rng.cgaussian(std::norm(v));
+      v = rho * v + innov * e;
+    }
+  }
+}
+
+void quantize_csi(CMatrix& h, unsigned bits) {
+  if (bits == 0) return;
+  if (bits < 2) {
+    throw std::invalid_argument("quantize_csi: need >= 2 bits (or 0 = off)");
+  }
+  const double m = h.max_abs();
+  if (m <= 0.0) return;
+  const double levels = std::ldexp(1.0, static_cast<int>(bits) - 1) - 1.0;
+  const double step = m / levels;
+  for (std::size_t r = 0; r < h.rows(); ++r) {
+    for (std::size_t c = 0; c < h.cols(); ++c) {
+      const cplx v = h(r, c);
+      const double re =
+          std::clamp(std::round(v.real() / step), -levels, levels) * step;
+      const double im =
+          std::clamp(std::round(v.imag() / step), -levels, levels) * step;
+      h(r, c) = cplx{re, im};
+    }
+  }
+}
+
+void impair_csi(CMatrix& h, const CsiImpairment& imp, Rng& rng) {
+  if (imp.is_null()) return;
+  if (imp.staleness > 0.0) age_csi(h, imp.correlation(), rng);
+  quantize_csi(h, imp.feedback_bits);
+}
+
+double csi_error_power(const CsiImpairment& imp) {
+  double err = 0.0;
+  if (imp.staleness > 0.0) {
+    const double rho = imp.correlation();
+    err += 1.0 - rho * rho;
+  }
+  if (imp.feedback_bits >= 2) {
+    const double step =
+        std::ldexp(1.0, 1 - static_cast<int>(imp.feedback_bits));
+    err += step * step / 6.0;  // uniform quantizer, both real components
+  }
+  return err;
+}
+
+}  // namespace jmb::phy

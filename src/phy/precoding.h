@@ -1,0 +1,84 @@
+// Precoder-kind vocabulary and the CSI impairment axis shared by the
+// precoder zoo (core/precoder.h builds weights; this header owns the
+// matrix-level primitives that do not need core::ChannelMatrixSet).
+//
+// The paper commits to zero forcing; ROADMAP item 2 asks "which precoder
+// survives stale or quantized CSI at scale". The two impairments modeled
+// here are exactly the ones a deployed MegaMIMO-style system sees:
+//
+//  - Staleness: the channel keeps fading after the measurement epoch.
+//    Gauss-innovations AR(1) aging per entry, h' = rho h + sqrt(1-rho^2) e
+//    with e ~ CN(0, E|h|^2); rho = 2^-staleness halves the correlation per
+//    coherence interval, so `staleness` reads directly in the units the
+//    MAC's coherence_time_s cadence is quoted in.
+//  - Quantized feedback: clients report B bits per real component on a
+//    per-matrix max-abs grid (the classic limited-feedback model); B = 0
+//    means full-precision CSI and is bit-exact to no quantization at all.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "dsp/rng.h"
+#include "linalg/cmatrix.h"
+
+namespace jmb::phy {
+
+/// The precoder zoo. kZf is the paper's choice (and the bit-exact legacy
+/// path); kRzf regularizes the per-subcarrier solve (MMSE when the ridge
+/// is matched to noise + CSI-error power); kConj is conjugate
+/// beamforming, the multi-stream generalization of Section 8's diversity
+/// MRT — no nulling at all, so it only wins when CSI is near-useless.
+enum class PrecoderKind { kZf, kRzf, kConj };
+
+/// Canonical knob spelling for each kind ("zf", "rzf", "conj").
+[[nodiscard]] const char* precoder_kind_name(PrecoderKind kind);
+
+/// Parse a JMB_PRECODER spelling; accepts "mmse" as an alias for "rzf".
+[[nodiscard]] std::optional<PrecoderKind> parse_precoder_kind(
+    std::string_view text);
+
+/// Null-terminated spelling list for engine::env_choice.
+inline constexpr const char* kPrecoderKindNames[] = {"zf", "rzf", "mmse",
+                                                     "conj", nullptr};
+
+/// One point on the CSI-quality axis. Default-constructed = perfect CSI,
+/// and impair_csi() with a null impairment is a guaranteed no-op (bitwise:
+/// it never touches the matrix or the RNG), so perfect-CSI runs stay
+/// byte-identical to pre-zoo exports.
+struct CsiImpairment {
+  /// Age of the snapshot in coherence intervals at use time.
+  double staleness = 0.0;
+  /// Feedback resolution in bits per real component; 0 = full precision.
+  unsigned feedback_bits = 0;
+
+  [[nodiscard]] bool is_null() const {
+    return staleness <= 0.0 && feedback_bits == 0;
+  }
+  /// AR(1) correlation left after `staleness` coherence intervals.
+  [[nodiscard]] double correlation() const;
+};
+
+/// Age one channel matrix in place: h <- rho h + sqrt(1-rho^2) e with
+/// per-entry innovation power matched to the entry's own power, so the
+/// mean link budget is preserved while the realization decorrelates.
+/// Draws exactly rows*cols complex Gaussians from `rng` (deterministic).
+void age_csi(CMatrix& h, double rho, Rng& rng);
+
+/// Quantize every real component to a `bits`-bit uniform grid over
+/// [-m, m] where m is the matrix max-abs (per-matrix scaling, the
+/// standard limited-feedback model). bits >= 2; bits == 0 is a no-op.
+void quantize_csi(CMatrix& h, unsigned bits);
+
+/// Apply a full impairment (staleness first — the channel fades before
+/// the client quantizes what it measured). No-op, RNG untouched, when
+/// `imp.is_null()`.
+void impair_csi(CMatrix& h, const CsiImpairment& imp, Rng& rng);
+
+/// Residual CSI error power per unit link power for an impairment — the
+/// deterministic estimate an MMSE ridge should price in: (1 - rho^2)
+/// from aging plus the uniform-quantizer noise 2^-2(B-1)/6 per component.
+[[nodiscard]] double csi_error_power(const CsiImpairment& imp);
+
+}  // namespace jmb::phy

@@ -227,5 +227,52 @@ TEST(ZeroAlloc, SimdDispatchPathDoesNotAllocate) {
   EXPECT_EQ(c.deallocs, 0u);
 }
 
+TEST(ZeroAlloc, PrecoderRebuildKindDoesNotAllocate) {
+  // The every-coherence-interval path of the precoder zoo: after the
+  // first build of a given shape, rebuild_kind() must reuse the weight
+  // and packed-SoA capacity for EVERY kind — the PrecodeStage emplace-
+  // once + rebuild pattern depends on it. obs stays nullptr here: the
+  // conditioning probes are allowed to allocate, the rebuild is not.
+  Workspace ws;
+  core::ChannelMatrixSet h_a(3, 3);
+  core::ChannelMatrixSet h_b(3, 3);
+  for (std::size_t k = 0; k < h_a.n_subcarriers(); ++k) {
+    const double t = static_cast<double>(k + 1);
+    for (std::size_t r = 0; r < 3; ++r) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        const double base = r == c ? 1.5 : 0.2;
+        h_a.at(k)(r, c) = cplx{base + 0.01 * t * (r + 1.0), 0.1 * (c + 1.0)};
+        h_b.at(k)(r, c) = cplx{base - 0.01 * t * (c + 1.0), -0.1 * (r + 1.0)};
+      }
+    }
+  }
+
+  core::PrecoderConfig cfgs[3];
+  cfgs[0].kind = phy::PrecoderKind::kZf;
+  cfgs[1].kind = phy::PrecoderKind::kRzf;
+  cfgs[1].ridge = 0.25;
+  cfgs[2].kind = phy::PrecoderKind::kConj;
+
+  for (const core::PrecoderConfig& cfg : cfgs) {
+    auto p = core::Precoder::build_kind(h_a, cfg, ws);
+    ASSERT_TRUE(p.has_value());
+
+    obs::reset_alloc_counts();
+    obs::set_alloc_counting(true);
+    bool ok = true;
+    for (int it = 0; it < 32; ++it) {
+      ok &= p->rebuild_kind(it % 2 == 0 ? h_b : h_a, cfg, ws.pinv);
+    }
+    obs::set_alloc_counting(false);
+
+    const obs::AllocCounts c = obs::alloc_counts();
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(c.allocs, 0u)
+        << phy::precoder_kind_name(cfg.kind) << " rebuild allocated "
+        << c.allocs << " times (" << c.bytes << " bytes)";
+    EXPECT_EQ(c.deallocs, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace jmb

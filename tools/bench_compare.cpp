@@ -11,9 +11,17 @@
 // which case every numeric leaf must agree within that relative
 // tolerance (|a-b| <= REL * max(|a|,|b|,1e-9)).
 //
-// Exit 0 when the artifacts match, 1 on a mismatch, 2 on usage/IO/parse
-// errors. CI runs this against the checked-in BENCH_baseline.json; the
-// baseline is toolchain-pinned (gcc, x86-64, default preset) — see
+// Exit codes tell CI *what kind* of drift it is looking at:
+//   0  the artifacts match;
+//   1  physics (or tolerated-timing) VALUES differ — same experiment,
+//      different numbers: a determinism/physics regression;
+//   2  usage/IO/parse errors;
+//   3  STRUCTURAL drift — the artifacts are not the same experiment or
+//      shape (run-header keys, metric count/name/order, summary-object
+//      presence): the baseline needs regenerating, not the physics
+//      explaining. Structural drift wins over exit 1 when both occur.
+// CI runs this against the checked-in BENCH_*baseline.json files; the
+// baselines are toolchain-pinned (gcc, x86-64, default preset) — see
 // EXPERIMENTS.md for the regeneration command.
 #include <algorithm>
 #include <cmath>
@@ -174,14 +182,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "MISMATCH: %s\n", msg.c_str());
     ++failures;
   };
+  int structural = 0;
+  const auto drift = [&](const std::string& msg) {
+    std::fprintf(stderr, "STRUCTURAL: %s\n", msg.c_str());
+    ++structural;
+  };
 
   // Run header: these define "the same experiment". Any drift here makes
-  // the physics comparison meaningless, so they are always exact.
+  // the physics comparison meaningless — it is structural, not a physics
+  // value regression.
   for (const char* key : {"schema", "figure", "seed", "params", "faults"}) {
     const std::string a = dump_of(base.get(key));
     const std::string b = dump_of(cand.get(key));
     if (a != b) {
-      fail(std::string(key) + ": " + a + " vs " + b);
+      drift(std::string(key) + ": " + a + " vs " + b);
     }
   }
   const JsonValue* schema = base.get("schema");
@@ -210,12 +224,18 @@ int main(int argc, char** argv) {
     if (e.cls == "physics") cand_phys.push_back(&e);
   }
   if (base_phys.size() != cand_phys.size()) {
-    fail("physics metric count: " + std::to_string(base_phys.size()) +
-         " vs " + std::to_string(cand_phys.size()));
+    drift("physics metric count: " + std::to_string(base_phys.size()) +
+          " vs " + std::to_string(cand_phys.size()));
   }
   std::size_t phys_checked = 0;
   for (std::size_t i = 0; i < std::min(base_phys.size(), cand_phys.size());
        ++i) {
+    if (base_phys[i]->name != cand_phys[i]->name) {
+      // A renamed/reordered metric is a shape change, not a value drift.
+      drift("physics metric name: '" + base_phys[i]->name + "' vs '" +
+            cand_phys[i]->name + "'");
+      break;
+    }
     const std::string a = base_phys[i]->value->dump();
     const std::string b = cand_phys[i]->value->dump();
     if (a != b) {
@@ -238,14 +258,14 @@ int main(int argc, char** argv) {
       if (e.cls == "timing") cand_timing.push_back(&e);
     }
     if (base_timing.size() != cand_timing.size()) {
-      fail("timing metric count: " + std::to_string(base_timing.size()) +
-           " vs " + std::to_string(cand_timing.size()));
+      drift("timing metric count: " + std::to_string(base_timing.size()) +
+            " vs " + std::to_string(cand_timing.size()));
     }
     for (std::size_t i = 0;
          i < std::min(base_timing.size(), cand_timing.size()); ++i) {
       if (base_timing[i]->name != cand_timing[i]->name) {
-        fail("timing metric order: '" + base_timing[i]->name + "' vs '" +
-             cand_timing[i]->name + "'");
+        drift("timing metric order: '" + base_timing[i]->name + "' vs '" +
+              cand_timing[i]->name + "'");
         break;
       }
       std::string where;
@@ -258,7 +278,7 @@ int main(int argc, char** argv) {
     const JsonValue* bs = base.get("streaming");
     const JsonValue* cs = cand.get("streaming");
     if ((bs == nullptr) != (cs == nullptr)) {
-      fail("streaming summary present in only one artifact");
+      drift("streaming summary present in only one artifact");
     } else if (bs != nullptr) {
       std::string where;
       if (!close_enough(*bs, *cs, timing_tol, "streaming", where)) {
@@ -267,6 +287,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (structural > 0) {
+    std::fprintf(stderr,
+                 "FAIL (structural): %s vs %s: %d drift(s), %d value "
+                 "mismatch(es) — regenerate the baseline\n",
+                 files[0], files[1], structural, failures);
+    return 3;
+  }
   if (failures > 0) {
     std::fprintf(stderr, "FAIL: %s vs %s: %d mismatch(es)\n", files[0],
                  files[1], failures);
